@@ -1,0 +1,40 @@
+"""Ablation: the penalty ξ of Eq. 5 vs. the plain Lauer-Riedmiller max update.
+
+Without the penalty, a single lucky success freezes an optimistic Q-value
+forever (the stochastic-environment problem of Sect. 3.1.1); with ξ > 0 the
+agents recover from collisions and reach a higher PDR in the hidden-node
+scenario.
+"""
+
+from __future__ import annotations
+
+from conftest import HIDDEN_NODE_PACKETS, HIDDEN_NODE_WARMUP
+
+from repro.core.config import QmaConfig
+from repro.experiments.hidden_node import run_hidden_node
+
+
+def _pdr_with_penalty(penalty: float, seed: int) -> float:
+    config = QmaConfig(penalty=penalty)
+    return run_hidden_node(
+        mac="qma",
+        delta=50,
+        packets_per_node=HIDDEN_NODE_PACKETS,
+        warmup=HIDDEN_NODE_WARMUP,
+        seed=seed,
+        qma_config=config,
+    ).pdr
+
+
+def test_bench_ablation_penalty(benchmark):
+    def run():
+        seeds = (1, 2, 3)
+        with_penalty = sum(_pdr_with_penalty(2.0, s) for s in seeds) / len(seeds)
+        without_penalty = sum(_pdr_with_penalty(0.0, s) for s in seeds) / len(seeds)
+        return with_penalty, without_penalty
+
+    with_penalty, without_penalty = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["pdr_with_penalty"] = round(with_penalty, 3)
+    benchmark.extra_info["pdr_without_penalty"] = round(without_penalty, 3)
+    assert with_penalty >= without_penalty - 0.02
+    assert with_penalty > 0.85

@@ -1,0 +1,56 @@
+"""Ablation: cautious startup on/off for a late-joining node (Sect. 4.3)."""
+
+from __future__ import annotations
+
+from repro.core.config import QmaConfig
+from repro.core.mac import QmaMac
+from repro.experiments.base import make_mac_factory
+from repro.net.network import Network
+from repro.sim.engine import Simulator
+from repro.topology.hidden_node import NODE_A, NODE_C, hidden_node_topology
+from repro.traffic.generators import PoissonTraffic
+
+
+def _run_with_startup(startup_subslots: int, seed: int = 9) -> float:
+    """Node A converges first; node C joins after 20 s.  Returns node A's PDR
+    over the phase after node C joined (lower = the join destroyed more of
+    A's established schedule)."""
+    sim = Simulator(seed=seed)
+    topology = hidden_node_topology()
+    config = QmaConfig(cautious_startup_subslots=startup_subslots)
+    factory = make_mac_factory("qma", qma_config=config)
+    network = Network(sim, topology, factory)
+
+    node_a = network.node(NODE_A)
+    traffic_a = PoissonTraffic(sim, node_a.generate_packet, rate=25.0, rng_name="a")
+    node_a.attach_traffic(traffic_a)
+
+    node_c = network.node(NODE_C)
+    traffic_c = PoissonTraffic(sim, node_c.generate_packet, rate=25.0, start_time=20.0, rng_name="c")
+
+    network.start()
+    sim.schedule_at(20.0, traffic_c.start)
+    sim.run_until(60.0)
+
+    delivered_late = sum(
+        1 for record in network.sink.deliveries
+        if record.origin == NODE_A and record.created_at >= 20.0
+    )
+    generated_late = traffic_a.generated - int(20.0 * 25.0)
+    if generated_late <= 0:
+        return 0.0
+    return min(1.0, delivered_late / generated_late)
+
+
+def test_bench_ablation_cautious_startup(benchmark):
+    def run():
+        return {
+            "with_startup": _run_with_startup(108),
+            "without_startup": _run_with_startup(0),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update({k: round(v, 3) for k, v in results.items()})
+    assert results["with_startup"] > 0.5
+    # Cautious startup must not hurt the established node.
+    assert results["with_startup"] >= results["without_startup"] - 0.1

@@ -1,0 +1,42 @@
+"""Fig. 7: packet delivery ratio in the hidden-node scenario, QMA vs. CSMA/CA."""
+
+from __future__ import annotations
+
+from conftest import HIDDEN_NODE_PACKETS, HIDDEN_NODE_WARMUP
+
+from repro.experiments.hidden_node import run_hidden_node
+
+
+def _pdr(mac: str, delta: float, seed: int = 1) -> float:
+    return run_hidden_node(
+        mac=mac,
+        delta=delta,
+        packets_per_node=HIDDEN_NODE_PACKETS,
+        warmup=HIDDEN_NODE_WARMUP,
+        seed=seed,
+    ).pdr
+
+
+def test_bench_fig07_high_load(benchmark):
+    """At δ = 25 packets/s QMA sustains a high PDR while CSMA/CA degrades."""
+    results = benchmark.pedantic(
+        lambda: {mac: _pdr(mac, 25) for mac in ("qma", "slotted-csma", "unslotted-csma")},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update({f"pdr_{mac}_d25": round(v, 3) for mac, v in results.items()})
+    assert results["qma"] > results["unslotted-csma"]
+    assert results["qma"] > results["slotted-csma"]
+    assert results["qma"] > 0.9
+
+
+def test_bench_fig07_low_load(benchmark):
+    """At δ = 2 packets/s the performance difference shrinks (all PDRs are high)."""
+    results = benchmark.pedantic(
+        lambda: {mac: _pdr(mac, 2) for mac in ("qma", "unslotted-csma")},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update({f"pdr_{mac}_d2": round(v, 3) for mac, v in results.items()})
+    assert results["unslotted-csma"] > 0.7
+    assert results["qma"] > 0.7

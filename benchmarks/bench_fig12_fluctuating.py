@@ -1,0 +1,29 @@
+"""Fig. 12: adaptability to fluctuating traffic and a late-joining node."""
+
+from __future__ import annotations
+
+from repro.experiments.hidden_node import run_fluctuating
+
+
+def test_bench_fig12_fluctuating_traffic(benchmark):
+    histories = benchmark.pedantic(
+        lambda: run_fluctuating(
+            duration=120.0,
+            phase_duration=30.0,
+            node_c_join_time=30.0,
+            high_rate=100.0,
+            low_rate=10.0,
+            seed=1,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    # Both nodes keep learning: their cumulative Q-values change over time and
+    # react to the traffic-phase changes (node A) / late join (node C).
+    for node_id, history in histories.items():
+        values = [v for _, v in history]
+        assert max(values) > min(values)
+        benchmark.extra_info[f"node{node_id}_final_q"] = round(values[-1], 1)
+    # Node C joins late but still finds a policy (its Q-value moves upward).
+    node_c = [v for _, v in histories[2]]
+    assert node_c[-1] > node_c[0]

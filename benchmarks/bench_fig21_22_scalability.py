@@ -1,0 +1,57 @@
+"""Figs. 21-22: DSME secondary-traffic PDR and GTS-request success vs. network size.
+
+The paper-scale experiment (up to 91 nodes, 300 s with a 200 s warm-up) is
+available through ``run_scalability`` / the CLI; the benchmark uses the
+7-node configuration with a reduced duration so that the harness stays fast.
+"""
+
+from __future__ import annotations
+
+from conftest import SCALABILITY_DURATION, SCALABILITY_WARMUP
+
+from repro.experiments.scalability import run_scalability
+
+
+def test_bench_fig21_secondary_pdr(benchmark):
+    def run():
+        return {
+            mac: run_scalability(
+                mac=mac,
+                rings=1,
+                duration=SCALABILITY_DURATION,
+                warmup=SCALABILITY_WARMUP,
+                seed=1,
+            )
+            for mac in ("qma", "slotted-csma", "unslotted-csma")
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for mac, result in results.items():
+        benchmark.extra_info[f"secondary_pdr_{mac}"] = round(result.secondary_pdr, 3)
+        benchmark.extra_info[f"primary_pdr_{mac}"] = round(result.primary_pdr, 3)
+    for result in results.values():
+        assert result.num_nodes == 7
+        assert result.secondary.messages_sent > 0
+        assert 0.0 <= result.secondary_pdr <= 1.0
+
+
+def test_bench_fig22_gts_request_success(benchmark):
+    def run():
+        return {
+            mac: run_scalability(
+                mac=mac,
+                rings=1,
+                duration=SCALABILITY_DURATION,
+                warmup=SCALABILITY_WARMUP,
+                seed=2,
+            )
+            for mac in ("qma", "unslotted-csma")
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for mac, result in results.items():
+        benchmark.extra_info[f"gts_request_success_{mac}"] = round(result.gts_request_success, 3)
+        benchmark.extra_info[f"allocation_rate_{mac}"] = round(result.allocation_rate, 2)
+    for result in results.values():
+        assert result.secondary.requests_sent > 0
+        assert 0.0 <= result.gts_request_success <= 1.0

@@ -1,0 +1,20 @@
+"""Fig. 26: expected number of handshake messages vs. CAP success probability."""
+
+from __future__ import annotations
+
+from repro.experiments.handshake import PAPER_PROBABILITIES, handshake_expected_messages
+
+
+def test_bench_fig26_expected_messages(benchmark):
+    curve = benchmark(handshake_expected_messages, PAPER_PROBABILITIES)
+    benchmark.extra_info["expected_messages"] = {
+        f"{p:.1f}": round(v, 2) for p, v in sorted(curve.items())
+    }
+    # Exact analytic anchors of the paper: 3 messages at p = 1, 3.33 at p = 0.9.
+    assert curve[1.0] == 3.0
+    assert abs(curve[0.9] - 3.33) < 0.01
+    # The curve rises sharply as p decreases (the paper's motivation for a
+    # reliable CAP channel access).
+    values = [curve[p] for p in sorted(curve)]
+    assert values == sorted(values, reverse=True)
+    assert curve[0.1] > 10 * curve[1.0]

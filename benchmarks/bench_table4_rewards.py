@@ -1,0 +1,29 @@
+"""Table 4: local and global rewards for all joint action combinations."""
+
+from __future__ import annotations
+
+from repro.core.actions import QAction
+from repro.core.rewards import global_reward, reward_table
+
+B, C, S = QAction.QBACKOFF, QAction.QCCA, QAction.QSEND
+
+PAPER_ROWS = {
+    (B, S, B): 8,
+    (B, C, B): 7,
+    (C, S, C): 6,
+    (B, B, B): 0,
+    (C, B, C): -4,
+    (S, B, S): -6,
+    (C, C, C): -6,
+    (S, C, S): -5,
+    (S, S, S): -9,
+}
+
+
+def test_bench_table4(benchmark):
+    table = benchmark(reward_table, 3)
+    assert len(table) == 27
+    for actions, expected_global in PAPER_ROWS.items():
+        assert global_reward(actions) == expected_global
+    benchmark.extra_info["rows"] = len(table)
+    benchmark.extra_info["paper_rows_matched"] = len(PAPER_ROWS)

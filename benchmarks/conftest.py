@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates the data behind one of the paper's tables or
+figures on a *reduced* workload (fewer packets, fewer repetitions) so that
+the full harness completes in minutes; use the ``qma-repro`` CLI or the
+experiment runners directly for paper-scale workloads.  The reproduced
+numbers are attached to each benchmark via ``benchmark.extra_info`` so that
+``pytest benchmarks/ --benchmark-only`` prints a self-contained record.
+"""
+
+from __future__ import annotations
+
+#: Reduced workload shared by the hidden-node benchmarks.
+HIDDEN_NODE_PACKETS = 120
+HIDDEN_NODE_WARMUP = 20.0
+
+#: Reduced workload shared by the testbed benchmarks.
+TESTBED_PACKETS = 60
+TESTBED_WARMUP = 25.0
+
+#: Reduced workload shared by the DSME scalability benchmarks.
+SCALABILITY_DURATION = 90.0
+SCALABILITY_WARMUP = 45.0

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Quickstart: QMA vs. CSMA/CA in the paper's hidden-node scenario.
+
+Two senders (A and C) that cannot hear each other transmit Poisson traffic
+to the common sink B.  The script runs the scenario once with QMA and once
+with unslotted CSMA/CA and prints PDR, queue level and end-to-end delay —
+a miniature version of the paper's Fig. 7-9.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_hidden_node
+
+
+def main() -> None:
+    delta = 25            # packets per second and sender
+    packets = 300         # packets per sender (the paper uses 1000)
+    print(f"Hidden-node scenario, delta = {delta} packets/s, {packets} packets per node\n")
+    print(f"{'scheme':<18} {'PDR':>6} {'avg queue':>10} {'avg delay':>12}")
+    print("-" * 50)
+    for mac in ("qma", "slotted-csma", "unslotted-csma"):
+        result = run_hidden_node(
+            mac=mac,
+            delta=delta,
+            packets_per_node=packets,
+            warmup=30.0,
+            seed=1,
+        )
+        print(
+            f"{mac:<18} {result.pdr:>6.3f} {result.average_queue_level:>10.2f} "
+            f"{result.average_delay * 1000:>10.1f} ms"
+        )
+    print(
+        "\nQMA learns which subslots are safe for transmission and therefore "
+        "sustains a much higher delivery ratio than CSMA/CA, whose CCA cannot "
+        "see the hidden terminal."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""FIT IoT-LAB style verification: per-node PDR in the tree and star topologies.
+
+A simulated stand-in for the paper's Sect. 6.2 testbed experiments (Figs. 18
+and 19): every node sends Poisson traffic towards the sink; the script
+prints the per-node packet delivery ratio for QMA and unslotted CSMA/CA and
+the number of transmission attempts (the paper's energy proxy).
+
+Run with::
+
+    python examples/testbed_topologies.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_star, run_tree
+
+
+def report(title, results):
+    print(f"\n=== {title} ===")
+    macs = list(results)
+    nodes = sorted(set().union(*(r.per_node_pdr for r in results.values())))
+    header = "node".ljust(8) + "".join(mac.rjust(18) for mac in macs)
+    print(header)
+    print("-" * len(header))
+    for node in nodes:
+        row = f"{node:<8}"
+        for mac in macs:
+            row += f"{results[mac].per_node_pdr.get(node, float('nan')):>18.3f}"
+        print(row)
+    print("-" * len(header))
+    row = "overall".ljust(8)
+    for mac in macs:
+        row += f"{results[mac].overall_pdr:>18.3f}"
+    print(row)
+    row = "tx att.".ljust(8)
+    for mac in macs:
+        row += f"{results[mac].transmission_attempts:>18}"
+    print(row)
+
+
+def main() -> None:
+    delta, packets, warmup = 10, 200, 40.0
+    tree = {
+        mac: run_tree(mac=mac, delta=delta, packets_per_node=packets, warmup=warmup, seed=1)
+        for mac in ("qma", "unslotted-csma")
+    }
+    report("Tree topology (Fig. 16 / Fig. 18)", tree)
+
+    star = {
+        mac: run_star(mac=mac, delta=5, packets_per_node=packets, warmup=warmup, seed=1)
+        for mac in ("qma", "unslotted-csma")
+    }
+    report("Star topology (Fig. 17 / Fig. 19)", star)
+
+    print(
+        "\nThe tree contains several hidden-terminal constellations, which is "
+        "where QMA's learned schedule pays off; in the dense star every node "
+        "hears every other node, so CSMA/CA's CCA already avoids most "
+        "collisions and the two schemes are much closer (Sect. 6.2.1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""The worked example of Sect. 5 (Fig. 5): three nodes, four subslots.
+
+Replays the scripted action sequence of the paper's example with α = 1,
+γ = 1, ξ = 2 and prints the Q-tables after every frame, matching the values
+shown in Fig. 5.
+
+Run with::
+
+    python examples/worked_example.py
+"""
+
+from __future__ import annotations
+
+from repro.core.actions import QAction
+from repro.core.qtable import QTable
+
+B, C, S = QAction.QBACKOFF, QAction.QCCA, QAction.QSEND
+
+
+def print_tables(tables, title):
+    print(f"--- {title} ---")
+    for name, table in tables.items():
+        rows = table.as_rows()
+        cells = "  ".join(
+            f"m{m}: B={b:6.1f} C={c:6.1f} S={s:6.1f} pi={policy}"
+            for m, b, c, s, policy in rows
+        )
+        print(f"{name}: {cells}")
+    print()
+
+
+def main() -> None:
+    tables = {
+        name: QTable(num_states=4, learning_rate=1.0, discount_factor=1.0,
+                     penalty=2.0, q_init=-10.0)
+        for name in ("n1", "n2", "n3")
+    }
+
+    # Frame 1: n1 QSends successfully in subslot 0 (reward 4), n2's random QCCA
+    # fails (reward 1), both collide with QSend in subslot 2 (reward -3, only
+    # the penalty xi = 2 is applied), n2 QSends successfully in subslot 3 and
+    # n3 (cautious startup) only observes, rewarding QBackoff where it
+    # overhears traffic.
+    tables["n1"].update(0, S, 4.0, 1)
+    tables["n2"].update(0, C, 1.0, 1)
+    tables["n3"].update(0, B, 2.0, 1)
+    tables["n1"].update(2, S, -3.0, 3)
+    tables["n2"].update(2, S, -3.0, 3)
+    tables["n2"].update(3, S, 4.0, 0)
+    tables["n1"].update(3, B, 2.0, 0)
+    tables["n3"].update(3, B, 2.0, 0)
+    print_tables(tables, "after frame 1")
+
+    # Frame 2: the policies from frame 1 are followed; n3 randomly explores
+    # QCCA in subslot 1 and transmits successfully (reward 3).
+    tables["n1"].update(0, S, 4.0, 1)
+    tables["n2"].update(3, S, 4.0, 0)
+    tables["n3"].update(1, C, 3.0, 2)
+    tables["n1"].update(3, B, 2.0, 0)
+    tables["n3"].update(0, B, 2.0, 1)
+    print_tables(tables, "after frame 2")
+
+    # Frame 3: every node keeps its subslot; the schedule is collision free.
+    tables["n1"].update(0, S, 4.0, 1)
+    tables["n2"].update(3, S, 4.0, 0)
+    tables["n3"].update(1, C, 3.0, 2)
+    print_tables(tables, "after frame 3")
+
+    print("Learned transmission subslots:")
+    for name, table in tables.items():
+        print(f"  {name}: {table.transmission_subslots()}")
+    print("\nEvery node owns its own subslot -> no more collisions, exactly as in Fig. 5.")
+
+
+if __name__ == "__main__":
+    main()

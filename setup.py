@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described in ``pyproject.toml``; this file only exists
+so that editable installs (``pip install -e .``) work in offline
+environments whose setuptools lacks the ``wheel`` package required by the
+PEP 517 editable-install path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""Reproduction of *QMA: A Resource-efficient, Q-learning-based Multiple
+Access Scheme for the IIoT* (Meyer & Turau, ICDCS 2021).
+
+The package provides
+
+* the QMA channel-access scheme itself (:mod:`repro.core`),
+* the substrates it is evaluated on: a discrete-event simulator
+  (:mod:`repro.sim`), an IEEE 802.15.4-style PHY and channel
+  (:mod:`repro.phy`), CSMA/CA and ALOHA(-Q) baselines (:mod:`repro.mac`),
+  the DSME superframe / GTS machinery (:mod:`repro.dsme`), topologies,
+  traffic and the network layer (:mod:`repro.topology`, :mod:`repro.traffic`,
+  :mod:`repro.net`),
+* analysis utilities (:mod:`repro.analysis`), and
+* experiment runners reproducing every figure of the paper's evaluation
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro.experiments import run_hidden_node
+
+    result = run_hidden_node(mac="qma", delta=25, packets_per_node=200)
+    print(result.pdr)
+"""
+
+from repro.core import QAction, QmaConfig, QmaMac, QTable
+from repro.mac import SlottedCsmaCa, UnslottedCsmaCa
+from repro.net import Network
+from repro.sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Network",
+    "QAction",
+    "QTable",
+    "QmaConfig",
+    "QmaMac",
+    "Simulator",
+    "SlottedCsmaCa",
+    "UnslottedCsmaCa",
+    "__version__",
+]

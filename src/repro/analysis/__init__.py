@@ -1,0 +1,35 @@
+"""Analysis utilities: statistics, convergence metrics, slot utilisation and
+the absorbing-Markov-chain model of the DSME GTS handshake."""
+
+from repro.analysis.stats import (
+    confidence_interval_95,
+    mean,
+    rolling_average,
+    standard_deviation,
+)
+from repro.analysis.convergence import (
+    convergence_time,
+    cumulative_q_series,
+    is_stable,
+)
+from repro.analysis.slots import SlotUtilisation, slot_utilisation
+from repro.analysis.markov import (
+    AbsorbingMarkovChain,
+    expected_handshake_messages,
+    gts_handshake_chain,
+)
+
+__all__ = [
+    "AbsorbingMarkovChain",
+    "SlotUtilisation",
+    "confidence_interval_95",
+    "convergence_time",
+    "cumulative_q_series",
+    "expected_handshake_messages",
+    "gts_handshake_chain",
+    "is_stable",
+    "mean",
+    "rolling_average",
+    "slot_utilisation",
+    "standard_deviation",
+]

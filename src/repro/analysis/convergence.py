@@ -1,0 +1,53 @@
+"""Convergence metrics based on the cumulative Q-value per frame.
+
+The paper uses the sum of the Q-values of the policy actions over all
+subslots (one sample per frame) as a stability indicator (Fig. 10 / 12):
+a constant cumulative Q-value means the Q-table — and hence the learned
+schedule — has stopped changing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+Sample = Tuple[float, float]  # (time, cumulative Q-value)
+
+
+def cumulative_q_series(history: Sequence[Sample]) -> Tuple[List[float], List[float]]:
+    """Split a ``(time, value)`` history into separate time and value lists."""
+    times = [t for t, _ in history]
+    values = [v for _, v in history]
+    return times, values
+
+
+def is_stable(
+    history: Sequence[Sample],
+    window: int = 10,
+    tolerance: float = 1e-9,
+) -> bool:
+    """True if the last ``window`` samples vary by at most ``tolerance``."""
+    if len(history) < window:
+        return False
+    values = [v for _, v in history[-window:]]
+    return max(values) - min(values) <= tolerance
+
+
+def convergence_time(
+    history: Sequence[Sample],
+    window: int = 10,
+    tolerance: float = 1e-9,
+) -> Optional[float]:
+    """Earliest time after which the cumulative Q-value never changes by more
+    than ``tolerance`` within any trailing ``window`` samples.
+
+    Returns None if the series never stabilises.
+    """
+    if len(history) < window:
+        return None
+    values = [v for _, v in history]
+    times = [t for t, _ in history]
+    for start in range(len(values) - window + 1):
+        tail = values[start:]
+        if max(tail) - min(tail) <= tolerance:
+            return times[start]
+    return None

@@ -1,0 +1,102 @@
+"""Absorbing Markov chain of the DSME GTS handshake (Appendix A.1, Fig. 25/26).
+
+The 3-way handshake (GTS-request, GTS-response, GTS-notify, each with up to
+``retries`` CSMA/CA retransmissions and a restart of the whole handshake
+when a message is dropped) is modelled as an absorbing Markov chain with
+``3 * (retries + 1)`` transient states and one absorbing state (Success).
+
+From the fundamental matrix ``N = (I - Q)^{-1}`` the expected number of
+messages until a GTS is allocated follows as ``S = N 1`` (Eq. 11-12 of the
+paper).  :func:`expected_handshake_messages` reproduces Fig. 26.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+class AbsorbingMarkovChain:
+    """A generic absorbing Markov chain in canonical form."""
+
+    def __init__(self, transient_matrix: Sequence[Sequence[float]]) -> None:
+        q = np.asarray(transient_matrix, dtype=float)
+        if q.ndim != 2 or q.shape[0] != q.shape[1]:
+            raise ValueError("the transient matrix Q must be square")
+        row_sums = q.sum(axis=1)
+        if np.any(q < -1e-12) or np.any(row_sums > 1.0 + 1e-9):
+            raise ValueError("Q must contain probabilities with row sums <= 1")
+        self.q = q
+        self.num_transient = q.shape[0]
+
+    def fundamental_matrix(self) -> np.ndarray:
+        """N = (I - Q)^{-1}: expected visits to each transient state."""
+        identity = np.eye(self.num_transient)
+        return np.linalg.inv(identity - self.q)
+
+    def expected_steps(self) -> np.ndarray:
+        """S = N 1: expected number of steps until absorption per start state."""
+        return self.fundamental_matrix() @ np.ones(self.num_transient)
+
+    def absorption_probability(self) -> np.ndarray:
+        """Probability of eventual absorption per start state (1 for a proper chain)."""
+        return np.clip(self.fundamental_matrix() @ (1.0 - self.q.sum(axis=1)), 0.0, 1.0)
+
+
+def gts_handshake_chain(p: float, retries: int = 3) -> AbsorbingMarkovChain:
+    """Build the absorbing chain of the 3-way GTS handshake (Fig. 25).
+
+    Parameters
+    ----------
+    p:
+        Probability that a single CAP transmission succeeds.
+    retries:
+        Number of CSMA/CA retransmissions before a handshake message is
+        dropped (3 in IEEE 802.15.4 and in the paper's figure).
+
+    State layout: for each of the three handshake messages there is one
+    initial-transmission state followed by ``retries`` retransmission
+    states.  A successful transmission moves to the next message (or to the
+    absorbing Success state after GTS-notify); a failure moves to the next
+    retransmission state, and a failure of the last retransmission drops
+    the message and restarts the whole handshake from the GTS-request.
+    """
+    if not 0.0 < p <= 1.0:
+        raise ValueError("p must lie in (0, 1]")
+    if retries < 0:
+        raise ValueError("retries must be non-negative")
+    attempts = retries + 1
+    num_states = 3 * attempts
+    q = [[0.0] * num_states for _ in range(num_states)]
+
+    def state(message: int, attempt: int) -> int:
+        return message * attempts + attempt
+
+    for message in range(3):
+        for attempt in range(attempts):
+            current = state(message, attempt)
+            # Success: move to the first attempt of the next message
+            # (absorbing Success state after the GTS-notify, i.e. no entry in Q).
+            if message < 2:
+                q[current][state(message + 1, 0)] += p
+            # Failure: next retransmission, or restart from the GTS-request.
+            if attempt < retries:
+                q[current][state(message, attempt + 1)] += 1.0 - p
+            else:
+                q[current][state(0, 0)] += 1.0 - p
+    return AbsorbingMarkovChain(q)
+
+
+def expected_handshake_messages(p: float, retries: int = 3) -> float:
+    """Expected number of CAP messages until a GTS is successfully allocated."""
+    chain = gts_handshake_chain(p, retries)
+    return float(chain.expected_steps()[0])
+
+
+def handshake_message_curve(
+    probabilities: Sequence[float],
+    retries: int = 3,
+) -> List[float]:
+    """Evaluate :func:`expected_handshake_messages` over a probability sweep (Fig. 26)."""
+    return [expected_handshake_messages(p, retries) for p in probabilities]

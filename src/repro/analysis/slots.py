@@ -1,0 +1,79 @@
+"""Subslot-utilisation extraction (Figs. 13-15 of the paper).
+
+Given the policy snapshots of several QMA agents, :func:`slot_utilisation`
+reports which node uses which subslot for which action, whether the
+schedule is collision free (no two nodes transmit in the same subslot) and
+whether QSend actions appear in adjacent subslots (which the paper points
+out must not happen because transmissions span up to three subslots).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.core.actions import QAction
+
+
+@dataclass
+class SlotUtilisation:
+    """Per-node transmission subslots plus schedule-level properties."""
+
+    num_subslots: int
+    assignments: Dict[int, Dict[int, QAction]] = field(default_factory=dict)
+
+    def transmitting_nodes(self, subslot: int) -> List[int]:
+        """Nodes whose policy transmits (QCCA or QSend) in the given subslot."""
+        return sorted(
+            node
+            for node, slots in self.assignments.items()
+            if slots.get(subslot) in (QAction.QCCA, QAction.QSEND)
+        )
+
+    @property
+    def collision_free(self) -> bool:
+        """True if no subslot is claimed by more than one transmitting node."""
+        return all(
+            len(self.transmitting_nodes(m)) <= 1 for m in range(self.num_subslots)
+        )
+
+    def adjacent_send_conflicts(self, span: int = 1) -> List[Tuple[int, int]]:
+        """Pairs of subslots within ``span`` of each other that both hold QSend actions."""
+        send_slots = sorted(
+            m
+            for m in range(self.num_subslots)
+            for node, slots in self.assignments.items()
+            if slots.get(m) is QAction.QSEND
+        )
+        conflicts = []
+        for i, a in enumerate(send_slots):
+            for b in send_slots[i + 1:]:
+                if 0 < b - a <= span:
+                    conflicts.append((a, b))
+        return conflicts
+
+    def utilised_subslots(self) -> int:
+        """Number of subslots used for transmission by at least one node."""
+        return sum(1 for m in range(self.num_subslots) if self.transmitting_nodes(m))
+
+    def node_subslots(self, node: int) -> Dict[int, QAction]:
+        """Transmission subslots (and their action) of a single node."""
+        return {
+            m: action
+            for m, action in self.assignments.get(node, {}).items()
+            if action in (QAction.QCCA, QAction.QSEND)
+        }
+
+
+def slot_utilisation(policies: Mapping[int, Sequence[QAction]]) -> SlotUtilisation:
+    """Build a :class:`SlotUtilisation` from per-node policy snapshots."""
+    if not policies:
+        return SlotUtilisation(num_subslots=0)
+    lengths = {len(policy) for policy in policies.values()}
+    if len(lengths) != 1:
+        raise ValueError("all policies must have the same number of subslots")
+    (num_subslots,) = lengths
+    utilisation = SlotUtilisation(num_subslots=num_subslots)
+    for node, policy in policies.items():
+        utilisation.assignments[node] = {m: action for m, action in enumerate(policy)}
+    return utilisation

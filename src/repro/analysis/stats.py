@@ -1,0 +1,70 @@
+"""Basic statistics: means, confidence intervals and rolling averages.
+
+The paper presents every result with a 95 % confidence interval over 10-15
+repetitions; :func:`confidence_interval_95` reproduces that, using the
+Student-t quantile for small sample sizes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+#: Two-sided 97.5 % Student-t quantiles for 1..30 degrees of freedom.
+_T_975 = (
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+)
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def standard_deviation(values: Sequence[float]) -> float:
+    """Sample standard deviation (n - 1 in the denominator); 0.0 if n < 2."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    m = mean(values)
+    return math.sqrt(sum((v - m) ** 2 for v in values) / (n - 1))
+
+
+def t_quantile_975(degrees_of_freedom: int) -> float:
+    """Two-sided 95 % Student-t quantile, falling back to the normal quantile."""
+    if degrees_of_freedom <= 0:
+        return 0.0
+    if degrees_of_freedom <= len(_T_975):
+        return _T_975[degrees_of_freedom - 1]
+    return 1.96
+
+
+def confidence_interval_95(values: Sequence[float]) -> Tuple[float, float]:
+    """Return ``(mean, half_width)`` of the 95 % confidence interval."""
+    n = len(values)
+    if n == 0:
+        return 0.0, 0.0
+    m = mean(values)
+    if n == 1:
+        return m, 0.0
+    half_width = t_quantile_975(n - 1) * standard_deviation(values) / math.sqrt(n)
+    return m, half_width
+
+
+def rolling_average(values: Sequence[float], window: int) -> List[float]:
+    """Trailing rolling average with the given window (Fig. 11 uses 10 frames)."""
+    if window <= 0:
+        raise ValueError("window must be positive")
+    result: List[float] = []
+    running = 0.0
+    for index, value in enumerate(values):
+        running += value
+        if index >= window:
+            running -= values[index - window]
+        count = min(index + 1, window)
+        result.append(running / count)
+    return result

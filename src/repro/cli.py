@@ -1,0 +1,185 @@
+"""Command-line interface: regenerate the data behind any figure of the paper.
+
+Examples::
+
+    qma-repro table4
+    qma-repro fig7 --deltas 10 25 50 --packets 200 --repetitions 3
+    qma-repro fig21 --rings 1 2 --duration 230
+    qma-repro fig26
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.stats import confidence_interval_95
+from repro.core.rewards import format_reward_table
+from repro.experiments.handshake import PAPER_PROBABILITIES, handshake_expected_messages
+from repro.experiments.hidden_node import run_fluctuating, run_hidden_node, run_slot_utilisation
+from repro.experiments.scalability import run_scalability
+from repro.experiments.testbed import run_star, run_tree
+
+
+def _print_table(header: List[str], rows: List[List[str]]) -> None:
+    widths = [max(len(str(row[i])) for row in [header] + rows) for i in range(len(header))]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+
+
+def cmd_table4(args: argparse.Namespace) -> None:
+    print(format_reward_table(num_agents=args.agents))
+
+
+def cmd_fig7(args: argparse.Namespace) -> None:
+    macs = args.macs
+    rows = []
+    for delta in args.deltas:
+        for mac in macs:
+            samples = [
+                run_hidden_node(
+                    mac=mac,
+                    delta=delta,
+                    packets_per_node=args.packets,
+                    warmup=args.warmup,
+                    seed=seed,
+                )
+                for seed in range(args.repetitions)
+            ]
+            pdr, ci = confidence_interval_95([s.pdr for s in samples])
+            queue, _ = confidence_interval_95([s.average_queue_level for s in samples])
+            delay, _ = confidence_interval_95([s.average_delay for s in samples])
+            rows.append(
+                [delta, mac, f"{pdr:.3f}", f"±{ci:.3f}", f"{queue:.2f}", f"{delay * 1000:.1f} ms"]
+            )
+    _print_table(["delta", "mac", "pdr", "ci95", "avg queue", "avg delay"], rows)
+
+
+def cmd_fig12(args: argparse.Namespace) -> None:
+    histories = run_fluctuating(duration=args.duration)
+    for node_id, history in histories.items():
+        print(f"node {node_id}: {len(history)} frames")
+        step = max(1, len(history) // 20)
+        for time, value in history[::step]:
+            print(f"  t={time:8.1f}s  cumulative Q = {value:8.1f}")
+
+
+def cmd_slots(args: argparse.Namespace) -> None:
+    snapshot, final = run_slot_utilisation(
+        delta=args.delta, snapshot_time=args.snapshot, duration=args.duration
+    )
+    print(f"collision free (snapshot): {snapshot.collision_free}")
+    print(f"collision free (final):    {final.collision_free}")
+    for node, slots in sorted(final.assignments.items()):
+        used = {m: a.short_name for m, a in sorted(final.node_subslots(node).items())}
+        print(f"node {node}: {used}")
+
+
+def cmd_testbed(args: argparse.Namespace) -> None:
+    runner = run_tree if args.scenario == "tree" else run_star
+    rows = []
+    for mac in args.macs:
+        result = runner(
+            mac=mac, delta=args.delta, packets_per_node=args.packets, seed=args.seed
+        )
+        for node_id, pdr in sorted(result.per_node_pdr.items()):
+            rows.append([args.scenario, mac, node_id, f"{pdr:.3f}"])
+        rows.append([args.scenario, mac, "overall", f"{result.overall_pdr:.3f}"])
+    _print_table(["topology", "mac", "node", "pdr"], rows)
+
+
+def cmd_fig21(args: argparse.Namespace) -> None:
+    rows = []
+    for rings in args.rings:
+        for mac in args.macs:
+            result = run_scalability(
+                mac=mac, rings=rings, duration=args.duration, warmup=args.warmup, seed=args.seed
+            )
+            rows.append(
+                [
+                    result.num_nodes,
+                    mac,
+                    f"{result.secondary_pdr:.3f}",
+                    f"{result.gts_request_success:.3f}",
+                    f"{result.allocation_rate:.2f}/s",
+                    f"{result.primary_pdr:.3f}",
+                ]
+            )
+    _print_table(
+        ["nodes", "mac", "secondary pdr", "gts-req success", "(de)alloc rate", "primary pdr"],
+        rows,
+    )
+
+
+def cmd_fig26(args: argparse.Namespace) -> None:
+    curve = handshake_expected_messages(args.probabilities, retries=args.retries)
+    rows = [[f"{p:.1f}", f"{messages:.2f}"] for p, messages in sorted(curve.items())]
+    _print_table(["p", "expected messages"], rows)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="qma-repro",
+        description="Regenerate the evaluation data of the QMA paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table4", help="local/global reward table")
+    p.add_argument("--agents", type=int, default=3)
+    p.set_defaults(func=cmd_table4)
+
+    p = sub.add_parser("fig7", help="hidden-node PDR / queue / delay sweep (Figs. 7-9)")
+    p.add_argument("--macs", nargs="+", default=["qma", "slotted-csma", "unslotted-csma"])
+    p.add_argument("--deltas", nargs="+", type=float, default=[1, 10, 25, 50, 100])
+    p.add_argument("--packets", type=int, default=1000)
+    p.add_argument("--warmup", type=float, default=100.0)
+    p.add_argument("--repetitions", type=int, default=3)
+    p.set_defaults(func=cmd_fig7)
+
+    p = sub.add_parser("fig12", help="fluctuating-traffic convergence (Fig. 12)")
+    p.add_argument("--duration", type=float, default=1500.0)
+    p.set_defaults(func=cmd_fig12)
+
+    p = sub.add_parser("slots", help="subslot utilisation (Figs. 13-15)")
+    p.add_argument("--delta", type=float, default=10.0)
+    p.add_argument("--snapshot", type=float, default=150.0)
+    p.add_argument("--duration", type=float, default=400.0)
+    p.set_defaults(func=cmd_slots)
+
+    p = sub.add_parser("testbed", help="tree / star per-node PDR (Figs. 18-19)")
+    p.add_argument("scenario", choices=["tree", "star"])
+    p.add_argument("--macs", nargs="+", default=["qma", "unslotted-csma"])
+    p.add_argument("--delta", type=float, default=10.0)
+    p.add_argument("--packets", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_testbed)
+
+    p = sub.add_parser("fig21", help="DSME secondary-traffic scalability (Figs. 21-22)")
+    p.add_argument("--macs", nargs="+", default=["qma", "slotted-csma", "unslotted-csma"])
+    p.add_argument("--rings", nargs="+", type=int, default=[1, 2, 3, 4])
+    p.add_argument("--duration", type=float, default=300.0)
+    p.add_argument("--warmup", type=float, default=200.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_fig21)
+
+    p = sub.add_parser("fig26", help="expected handshake messages (Fig. 26)")
+    p.add_argument("--probabilities", nargs="+", type=float, default=list(PAPER_PROBABILITIES))
+    p.add_argument("--retries", type=int, default=3)
+    p.set_defaults(func=cmd_fig26)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

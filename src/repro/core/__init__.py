@@ -1,0 +1,53 @@
+"""QMA — the Q-learning-based multiple access scheme (the paper's contribution).
+
+The package contains every building block of Sect. 3 and 4 of the paper:
+
+* :mod:`repro.core.actions` — the action set {QBackoff, QCCA, QSend};
+* :mod:`repro.core.rewards` — the local reward functions (Eq. 6-8) and the
+  conceptual global reward table (Table 4);
+* :mod:`repro.core.qtable` — the tabular Q-representation with the
+  cooperative multi-agent update extended by the penalty ξ (Eq. 5) and the
+  explicit policy table (Eq. 3);
+* :mod:`repro.core.exploration` — parameter-based exploration (Fig. 4) plus
+  the ε-greedy / constant-ε strategies used for the ablation study;
+* :mod:`repro.core.startup` — the cautious-startup phase (Sect. 4.3);
+* :mod:`repro.core.neighbours` — tracking of piggybacked neighbour queue
+  levels;
+* :mod:`repro.core.mac` — the QMA MAC protocol driven by a subslot clock.
+"""
+
+from repro.core.actions import QAction
+from repro.core.config import QmaConfig
+from repro.core.exploration import (
+    ConstantEpsilon,
+    EpsilonGreedy,
+    ExplorationStrategy,
+    ParameterBasedExploration,
+)
+from repro.core.mac import QmaMac
+from repro.core.neighbours import NeighbourQueueTracker
+from repro.core.qtable import QTable
+from repro.core.rewards import (
+    RewardFunction,
+    global_reward,
+    local_reward,
+    reward_table,
+)
+from repro.core.startup import CautiousStartup
+
+__all__ = [
+    "CautiousStartup",
+    "ConstantEpsilon",
+    "EpsilonGreedy",
+    "ExplorationStrategy",
+    "NeighbourQueueTracker",
+    "ParameterBasedExploration",
+    "QAction",
+    "QTable",
+    "QmaConfig",
+    "QmaMac",
+    "RewardFunction",
+    "global_reward",
+    "local_reward",
+    "reward_table",
+]

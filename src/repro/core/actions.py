@@ -1,0 +1,44 @@
+"""QMA's action set.
+
+The action space of QMA is ``{QBackoff, QCCA, QSend}`` (Sect. 4 of the
+paper):
+
+* ``QBACKOFF`` — wait until the next subslot;
+* ``QCCA`` — perform a clear channel assessment, transmit on success and
+  back off to the next subslot on failure;
+* ``QSEND`` — transmit immediately without assessing the channel
+  (high-risk / high-reward, usable for priority transmissions).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class QAction(Enum):
+    """The three actions available to a QMA agent in every subslot."""
+
+    QBACKOFF = 0
+    QCCA = 1
+    QSEND = 2
+
+    @property
+    def short_name(self) -> str:
+        """Single-letter name used in the paper's tables (B, C, S)."""
+        return {"QBACKOFF": "B", "QCCA": "C", "QSEND": "S"}[self.name]
+
+    @classmethod
+    def from_short_name(cls, letter: str) -> "QAction":
+        """Parse the single-letter notation of the paper (B, C, S)."""
+        mapping = {"B": cls.QBACKOFF, "C": cls.QCCA, "S": cls.QSEND}
+        try:
+            return mapping[letter.upper()]
+        except KeyError as exc:
+            raise ValueError(f"unknown action letter: {letter!r}") from exc
+
+    def __repr__(self) -> str:
+        return f"QAction.{self.name}"
+
+
+#: All actions in a stable order (the order used by the Q-table columns).
+ALL_ACTIONS = (QAction.QBACKOFF, QAction.QCCA, QAction.QSEND)

@@ -1,0 +1,344 @@
+"""The QMA MAC protocol (Sect. 4 of the paper).
+
+Time is discretised into ``M`` subslots.  At the start of every subslot a
+node with a non-empty queue selects an action — following its learned policy
+with probability ``1 - ρ`` or uniformly at random with probability ``ρ``
+(parameter-based exploration) — and executes it:
+
+* ``QBackoff`` waits for the next subslot and is rewarded when a foreign
+  frame is overheard during the wait (Eq. 6);
+* ``QCCA`` performs a clear channel assessment and transmits on success
+  (Eq. 7);
+* ``QSend`` transmits immediately (Eq. 8).
+
+A transmission can span several subslots (frame air time plus ACK wait);
+during this time the node selects no further actions.  When the outcome of
+the action is known, the Q-table is updated with Eq. 5 and the policy with
+Eq. 3 (see :class:`repro.core.qtable.QTable`).
+
+The MAC also implements the cautious-startup phase (Sect. 4.3) and records
+the per-frame cumulative Q-value and the exploration probability over time,
+which the evaluation figures 10-15 are built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.core.actions import ALL_ACTIONS, QAction
+from repro.core.config import QmaConfig
+from repro.core.exploration import ExplorationStrategy, ParameterBasedExploration
+from repro.core.neighbours import NeighbourQueueTracker
+from repro.core.qtable import QTable
+from repro.core.rewards import DEFAULT_REWARDS, RewardFunction
+from repro.core.startup import CautiousStartup
+from repro.mac.base import MacProtocol, TransactionResult
+from repro.mac.gate import ActivityGate
+from repro.phy.frames import Frame, FrameKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.phy.radio import Radio
+    from repro.sim.engine import Simulator
+
+
+class _PendingKind(Enum):
+    """What the agent is currently waiting for."""
+
+    BACKOFF = auto()       # QBackoff: evaluated at the next subslot boundary
+    CCA_FAILED = auto()    # QCCA with busy channel: backoff, evaluated next boundary
+    TRANSMISSION = auto()  # QCCA (idle) or QSend: evaluated when the outcome is known
+    STARTUP = auto()       # cautious-startup observation of one subslot
+
+
+@dataclass
+class _PendingAction:
+    """State saved between selecting an action and learning from its outcome."""
+
+    kind: _PendingKind
+    action: QAction
+    state: int
+    counter: int
+    frame: Optional[Frame] = None
+    overheard: bool = False
+
+
+@dataclass
+class QmaActionStats:
+    """How often each action was selected (and how often at random)."""
+
+    selected: Dict[QAction, int] = field(default_factory=lambda: {a: 0 for a in ALL_ACTIONS})
+    random_selections: int = 0
+    greedy_selections: int = 0
+
+    def record(self, action: QAction, random_pick: bool) -> None:
+        self.selected[action] += 1
+        if random_pick:
+            self.random_selections += 1
+        else:
+            self.greedy_selections += 1
+
+    @property
+    def total(self) -> int:
+        return self.random_selections + self.greedy_selections
+
+
+class QmaMac(MacProtocol):
+    """Q-learning-based multiple access."""
+
+    name = "qma"
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        radio: "Radio",
+        config: Optional[QmaConfig] = None,
+        exploration: Optional[ExplorationStrategy] = None,
+        rewards: Optional[RewardFunction] = None,
+        gate: Optional[ActivityGate] = None,
+    ) -> None:
+        self.config = config if config is not None else QmaConfig()
+        super().__init__(
+            sim,
+            radio,
+            queue_capacity=self.config.queue_capacity,
+            max_frame_retries=self.config.max_frame_retries,
+            gate=gate,
+        )
+        self.rewards = rewards if rewards is not None else DEFAULT_REWARDS
+        self.exploration = (
+            exploration
+            if exploration is not None
+            else ParameterBasedExploration(self.config.exploration_table)
+        )
+        self.qtable = QTable(
+            num_states=self.config.num_subslots,
+            learning_rate=self.config.learning_rate,
+            discount_factor=self.config.discount_factor,
+            penalty=self.config.penalty,
+            q_init=self.config.q_init,
+        )
+        self.startup = CautiousStartup(
+            self.config.cautious_startup_subslots,
+            cca_punishment=self.config.startup_cca_punishment,
+            send_punishment=self.config.startup_send_punishment,
+        )
+        self.neighbours = NeighbourQueueTracker()
+        self.action_stats = QmaActionStats()
+        self._rng = sim.rng.stream(f"qma-{self.node_id}")
+
+        self._subslot = 0
+        self._next_subslot = 0
+        self._counter = 0
+        self.frames_elapsed = 0
+        self._pending: Optional[_PendingAction] = None
+        self._tick_event = None
+
+        #: (time, cumulative Q-value of the policy) recorded at every frame boundary
+        self.q_history: List[Tuple[float, float]] = []
+        #: (time, ρ) recorded at every action selection
+        self.rho_history: List[Tuple[float, float]] = []
+
+    # --------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Start the subslot clock (aligned to the activity gate)."""
+        super().start()
+        start_time = max(self.gate.next_active_time(self.sim.now), self.sim.now)
+        self._next_subslot = 0
+        self._tick_event = self.sim.schedule_at(start_time, self._on_subslot)
+
+    def stop(self) -> None:
+        """Stop the subslot clock (used by tests and node shutdown)."""
+        if self._tick_event is not None and self._tick_event.pending:
+            self._tick_event.cancel()
+        self._tick_event = None
+
+    def _notify_enqueue(self) -> None:
+        # Action selection happens only at subslot boundaries.
+        pass
+
+    # ------------------------------------------------------------ subslot clock
+    @property
+    def current_subslot(self) -> int:
+        """Index of the subslot currently in progress."""
+        return self._subslot
+
+    def _on_subslot(self) -> None:
+        now = self.sim.now
+        self._subslot = self._next_subslot
+        self._counter += 1
+        if self._subslot == 0:
+            self.frames_elapsed += 1
+            if self.config.track_history:
+                self.q_history.append((now, self.qtable.cumulative_policy_value()))
+
+        # 1. Evaluate actions whose outcome becomes known at a subslot boundary.
+        if self._pending is not None and self._pending.kind in (
+            _PendingKind.BACKOFF,
+            _PendingKind.CCA_FAILED,
+            _PendingKind.STARTUP,
+        ):
+            self._evaluate_boundary_action(self._pending)
+            self._pending = None
+
+        # 2. Select the next action (or observe, during cautious startup).
+        # No action is selected while the radio is busy (e.g. transmitting an
+        # ACK for a frame received just before the subslot boundary).
+        if self._pending is None and not self.radio.transmitting:
+            if self.startup.active:
+                self._begin_startup_observation()
+            elif not self.queue.empty:
+                self._select_and_execute()
+
+        # 3. Schedule the next subslot boundary.
+        self._schedule_next_tick()
+
+    def _schedule_next_tick(self) -> None:
+        next_time = self.sim.now + self.config.subslot_duration
+        next_index = (self._subslot + 1) % self.config.num_subslots
+        if not self.gate.active(next_time):
+            next_time = self.gate.next_active_time(next_time)
+            next_index = 0
+        self._next_subslot = next_index
+        self._tick_event = self.sim.schedule_at(next_time, self._on_subslot)
+
+    # ------------------------------------------------------------ action choice
+    def _select_and_execute(self) -> None:
+        now = self.sim.now
+        state = self._subslot
+        rho = self.exploration.probability(
+            self.queue.level, self.neighbours.average_level(now), now
+        )
+        self.exploration.notify_action(now)
+        if self.config.track_history:
+            self.rho_history.append((now, rho))
+        if self._rng.random() < rho:
+            action = self._rng.choice(ALL_ACTIONS)
+            random_pick = True
+        else:
+            action = self.qtable.policy(state)
+            random_pick = False
+        self.action_stats.record(action, random_pick)
+        self._execute(action, state)
+
+    def _execute(self, action: QAction, state: int) -> None:
+        if action is QAction.QBACKOFF:
+            self._pending = _PendingAction(_PendingKind.BACKOFF, action, state, self._counter)
+            return
+        frame = self.queue.peek()
+        if frame is None:  # defensive: queue drained between check and execution
+            self._pending = _PendingAction(_PendingKind.BACKOFF, QAction.QBACKOFF, state, self._counter)
+            return
+        if action is QAction.QCCA:
+            if self._cca():
+                self._pending = _PendingAction(
+                    _PendingKind.TRANSMISSION, action, state, self._counter, frame=frame
+                )
+                delay = self.phy.cca_duration + self.phy.turnaround_time
+                self.sim.schedule(delay, self._transmit_pending, self._pending)
+            else:
+                self._pending = _PendingAction(
+                    _PendingKind.CCA_FAILED, action, state, self._counter
+                )
+            return
+        # QSend: transmit immediately, without assessing the channel.
+        if self.radio.transmitting:
+            # The radio is busy (e.g. finishing an ACK); defer to the next subslot.
+            self._pending = _PendingAction(
+                _PendingKind.BACKOFF, QAction.QBACKOFF, state, self._counter
+            )
+            return
+        self._pending = _PendingAction(
+            _PendingKind.TRANSMISSION, action, state, self._counter, frame=frame
+        )
+        self._begin_transmission(frame)
+
+    def _transmit_pending(self, pending: _PendingAction) -> None:
+        if self._pending is not pending or pending.frame is None:
+            return
+        if self.radio.transmitting:
+            return
+        self._begin_transmission(pending.frame)
+
+    # ------------------------------------------------------- cautious startup
+    def _begin_startup_observation(self) -> None:
+        self._pending = _PendingAction(
+            _PendingKind.STARTUP, QAction.QBACKOFF, self._subslot, self._counter
+        )
+        self.startup.tick()
+
+    # ------------------------------------------------------------- evaluation
+    def _evaluate_boundary_action(self, pending: _PendingAction) -> None:
+        next_state = self._subslot
+        if pending.kind is _PendingKind.BACKOFF:
+            reward = self.rewards.backoff(pending.overheard)
+            self.qtable.update(pending.state, QAction.QBACKOFF, reward, next_state)
+        elif pending.kind is _PendingKind.CCA_FAILED:
+            reward = self.rewards.cca(cca_success=False)
+            self.qtable.update(pending.state, QAction.QCCA, reward, next_state)
+        elif pending.kind is _PendingKind.STARTUP:
+            reward = self.rewards.backoff(pending.overheard)
+            self.qtable.update(pending.state, QAction.QBACKOFF, reward, next_state)
+            if pending.overheard:
+                # Bias the table against subslots already used by other nodes.
+                self.qtable.update(
+                    pending.state, QAction.QCCA, self.startup.cca_punishment, next_state
+                )
+                self.qtable.update(
+                    pending.state, QAction.QSEND, self.startup.send_punishment, next_state
+                )
+
+    def _transaction_complete(self, frame: Frame, result: TransactionResult) -> None:
+        pending = self._pending
+        if pending is None or pending.kind is not _PendingKind.TRANSMISSION:
+            # A transaction that QMA is not aware of (should not happen); ignore.
+            return
+        success = result is TransactionResult.SUCCESS
+        if pending.action is QAction.QSEND:
+            reward = self.rewards.send(success)
+        else:
+            reward = self.rewards.cca(cca_success=True, tx_success=success)
+        next_state = self._subslot
+        self.qtable.update(pending.state, pending.action, reward, next_state)
+        self._pending = None
+
+        if success:
+            self._finish_frame(frame, success=True)
+            return
+        frame.retries += 1
+        if frame.retries > self.config.max_frame_retries:
+            self.stats.dropped_retries += 1
+            self._finish_frame(frame, success=False)
+        # Otherwise the frame stays at the head of the queue and will be
+        # retransmitted in a (learned) later subslot — QMA never drops a
+        # packet because of backoffs, only after max_frame_retries failures.
+
+    # -------------------------------------------------------------- overhearing
+    def _register_channel_activity(self, frame: Frame) -> None:
+        if self._pending is not None and self._pending.kind in (
+            _PendingKind.BACKOFF,
+            _PendingKind.STARTUP,
+        ):
+            self._pending.overheard = True
+        if frame.kind is not FrameKind.ACK:
+            self.neighbours.observe(frame.src, frame.queue_level, self.sim.now)
+
+    def _on_overheard(self, frame: Frame) -> None:
+        self._register_channel_activity(frame)
+
+    def _on_frame_for_us(self, frame: Frame) -> None:
+        self._register_channel_activity(frame)
+
+    # -------------------------------------------------------------- inspection
+    def policy_snapshot(self) -> List[QAction]:
+        """Copy of the current policy (one action per subslot)."""
+        return self.qtable.policy_snapshot()
+
+    def transmission_subslots(self) -> List[int]:
+        """Subslots in which the current policy transmits (QCCA or QSend)."""
+        return self.qtable.transmission_subslots()
+
+    def cumulative_q_value(self) -> float:
+        """Current value of the Fig. 10 convergence metric."""
+        return self.qtable.cumulative_policy_value()

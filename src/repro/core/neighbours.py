@@ -1,0 +1,57 @@
+"""Tracking of neighbour queue levels for parameter-based exploration.
+
+Sect. 4.2 of the paper: "the current queue level of a neighbouring node is
+piggybacked into regular data messages".  Every QMA node keeps the most
+recently heard queue level per neighbour; the average over all known
+neighbours is subtracted from the local queue level before the exploration
+probability is looked up.
+
+Entries expire after a configurable time so that a neighbour that left the
+network (or stopped transmitting) does not suppress exploration forever.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+
+class NeighbourQueueTracker:
+    """Most recently observed queue level per neighbour, with ageing."""
+
+    def __init__(self, max_age: Optional[float] = 10.0) -> None:
+        if max_age is not None and max_age <= 0:
+            raise ValueError("max_age must be positive (or None for no ageing)")
+        self.max_age = max_age
+        self._levels: Dict[int, Tuple[float, int]] = {}
+
+    def observe(self, neighbour_id: int, queue_level: int, now: float) -> None:
+        """Record a piggybacked queue level heard from a neighbour."""
+        if queue_level < 0:
+            raise ValueError("queue_level must be non-negative")
+        self._levels[neighbour_id] = (now, queue_level)
+
+    def forget(self, neighbour_id: int) -> None:
+        self._levels.pop(neighbour_id, None)
+
+    def _expire(self, now: float) -> None:
+        if self.max_age is None:
+            return
+        cutoff = now - self.max_age
+        stale = [nid for nid, (t, _) in self._levels.items() if t < cutoff]
+        for nid in stale:
+            del self._levels[nid]
+
+    def average_level(self, now: float) -> float:
+        """Average queue level over all non-expired neighbours (0 if none known)."""
+        self._expire(now)
+        if not self._levels:
+            return 0.0
+        return sum(level for _, level in self._levels.values()) / len(self._levels)
+
+    def known_neighbours(self, now: float) -> Dict[int, int]:
+        """Mapping of neighbour id to its last reported queue level."""
+        self._expire(now)
+        return {nid: level for nid, (_, level) in self._levels.items()}
+
+    def __len__(self) -> int:
+        return len(self._levels)

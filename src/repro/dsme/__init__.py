@@ -1,0 +1,34 @@
+"""IEEE 802.15.4 DSME substrate.
+
+The paper's scalability study (Sect. 6.3) uses QMA as the channel-access
+scheme of the *contention access period* (CAP) of IEEE 802.15.4 DSME, where
+it carries the secondary traffic: the 3-way GTS (de)allocation handshake
+and routing broadcasts.  This package implements the parts of DSME that the
+evaluation depends on:
+
+* the superframe / multi-superframe timing and the CAP window
+  (:mod:`repro.dsme.superframe`),
+* guaranteed time slots and per-node allocation tables
+  (:mod:`repro.dsme.gts`),
+* the 3-way GTS (de)allocation handshake, demand-driven allocation and the
+  contention-free data transfer over allocated GTS
+  (:mod:`repro.dsme.node`),
+* the network-level orchestration and the secondary-traffic statistics
+  (:mod:`repro.dsme.network`).
+"""
+
+from repro.dsme.superframe import SuperframeConfig
+from repro.dsme.gts import GtsAllocationTable, GtsDirection, GtsSlot
+from repro.dsme.node import DsmeNode, DsmeNodeStats
+from repro.dsme.network import DsmeNetwork, SecondaryTrafficStats
+
+__all__ = [
+    "DsmeNetwork",
+    "DsmeNode",
+    "DsmeNodeStats",
+    "GtsAllocationTable",
+    "GtsDirection",
+    "GtsSlot",
+    "SecondaryTrafficStats",
+    "SuperframeConfig",
+]

@@ -1,0 +1,120 @@
+"""Guaranteed time slots (GTS) and per-node allocation tables.
+
+A GTS is identified by the superframe index within the multi-superframe,
+the CFP slot index and the channel offset.  Every node keeps a table of its
+own allocations (transmit or receive, with the peer node) plus a bitmap of
+slots known to be occupied in its neighbourhood — the information that the
+broadcast GTS-response / GTS-notify messages distribute and that duplicate
+allocation detection is based on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.dsme.superframe import SuperframeConfig
+
+
+class GtsDirection(Enum):
+    """Whether the owning node transmits or receives in an allocated GTS."""
+
+    TX = auto()
+    RX = auto()
+
+
+@dataclass(frozen=True)
+class GtsSlot:
+    """One GTS resource: (superframe within the multi-superframe, slot, channel)."""
+
+    superframe: int
+    slot: int
+    channel: int
+
+    def as_tuple(self) -> tuple:
+        return (self.superframe, self.slot, self.channel)
+
+
+def iter_all_slots(config: SuperframeConfig) -> Iterator[GtsSlot]:
+    """Enumerate every GTS resource of a multi-superframe in a fixed order."""
+    for superframe in range(config.superframes_per_multisuperframe):
+        for slot in range(config.cfp_slots):
+            for channel in range(config.num_channels):
+                yield GtsSlot(superframe, slot, channel)
+
+
+@dataclass
+class GtsAllocation:
+    """An allocated GTS with its direction and communication peer."""
+
+    slot: GtsSlot
+    direction: GtsDirection
+    peer: int
+
+
+class GtsAllocationTable:
+    """All GTS state a single node keeps."""
+
+    def __init__(self, config: SuperframeConfig) -> None:
+        self.config = config
+        self._allocations: Dict[GtsSlot, GtsAllocation] = {}
+        #: slots known (from overheard responses/notifies) to be used nearby
+        self._neighbourhood_busy: Set[GtsSlot] = set()
+
+    # ------------------------------------------------------------- allocation
+    def allocate(self, slot: GtsSlot, direction: GtsDirection, peer: int) -> None:
+        if slot in self._allocations:
+            raise ValueError(f"slot {slot} is already allocated locally")
+        self._allocations[slot] = GtsAllocation(slot, direction, peer)
+
+    def deallocate(self, slot: GtsSlot) -> Optional[GtsAllocation]:
+        return self._allocations.pop(slot, None)
+
+    def mark_neighbourhood_busy(self, slot: GtsSlot) -> None:
+        self._neighbourhood_busy.add(slot)
+
+    def mark_neighbourhood_free(self, slot: GtsSlot) -> None:
+        self._neighbourhood_busy.discard(slot)
+
+    # ------------------------------------------------------------------ query
+    def is_allocated(self, slot: GtsSlot) -> bool:
+        return slot in self._allocations
+
+    def is_usable(self, slot: GtsSlot) -> bool:
+        """True if the slot is neither allocated locally nor busy in the neighbourhood."""
+        return slot not in self._allocations and slot not in self._neighbourhood_busy
+
+    def find_free_slot(self) -> Optional[GtsSlot]:
+        """First free slot in the multi-superframe, or None if none is available."""
+        for slot in iter_all_slots(self.config):
+            if self.is_usable(slot):
+                return slot
+        return None
+
+    def allocations(self, direction: Optional[GtsDirection] = None) -> List[GtsAllocation]:
+        if direction is None:
+            return list(self._allocations.values())
+        return [a for a in self._allocations.values() if a.direction is direction]
+
+    def tx_slots(self, peer: Optional[int] = None) -> List[GtsSlot]:
+        """Allocated transmit slots (optionally restricted to one peer)."""
+        return [
+            a.slot
+            for a in self._allocations.values()
+            if a.direction is GtsDirection.TX and (peer is None or a.peer == peer)
+        ]
+
+    def rx_slots(self, peer: Optional[int] = None) -> List[GtsSlot]:
+        return [
+            a.slot
+            for a in self._allocations.values()
+            if a.direction is GtsDirection.RX and (peer is None or a.peer == peer)
+        ]
+
+    @property
+    def num_allocated(self) -> int:
+        return len(self._allocations)
+
+    def __contains__(self, slot: GtsSlot) -> bool:
+        return slot in self._allocations

@@ -1,0 +1,335 @@
+"""Per-node DSME behaviour: GTS demand, the 3-way handshake and CFP data transfer.
+
+Every node keeps a queue of primary-traffic data packets that may only be
+transmitted during allocated GTS.  When the queue grows beyond the capacity
+of the currently allocated slots the node starts a 3-way handshake with its
+routing parent (GTS-request → GTS-response → GTS-notify) over the
+contention-based CAP; when the queue has been empty for a while it
+deallocates slots again with the same handshake.  Fluctuating primary
+traffic therefore produces exactly the bursty secondary CAP traffic the
+paper studies.
+
+The contention-free data transfer itself is modelled as always successful
+(GTS are exclusive per construction and use separate channels); the
+reliability bottleneck — and the subject of Figs. 21/22 — is the CAP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, TYPE_CHECKING
+from collections import deque
+
+from repro.dsme.gts import GtsAllocationTable, GtsDirection, GtsSlot
+from repro.dsme.superframe import SuperframeConfig
+from repro.net.node import DeliveryRecord
+from repro.phy.frames import BROADCAST, Frame, FrameKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Node
+    from repro.sim.engine import Simulator
+
+#: Signature of the function used to hand a data frame to a peer over a GTS.
+CfpDelivery = Callable[[int, Frame], None]
+
+
+@dataclass
+class DsmeNodeStats:
+    """Secondary-traffic and GTS statistics of a single node."""
+
+    requests_sent: int = 0
+    requests_delivered: int = 0
+    responses_sent: int = 0
+    responses_received: int = 0
+    notifies_sent: int = 0
+    notifies_received: int = 0
+    handshakes_started: int = 0
+    handshakes_completed: int = 0
+    handshakes_failed: int = 0
+    allocations: int = 0
+    deallocations: int = 0
+    data_enqueued: int = 0
+    data_dropped_queue_full: int = 0
+    data_sent_in_gts: int = 0
+
+
+class DsmeNode:
+    """DSME state machine of a single node, layered on top of a network node."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node: "Node",
+        config: Optional[SuperframeConfig] = None,
+        data_queue_capacity: int = 8,
+        deallocate_after_idle_multisuperframes: int = 4,
+        handshake_timeout_multisuperframes: int = 30,
+    ) -> None:
+        self.sim = sim
+        self.node = node
+        self.node_id = node.node_id
+        self.config = config if config is not None else SuperframeConfig()
+        self.data_queue_capacity = data_queue_capacity
+        self.deallocate_after_idle = deallocate_after_idle_multisuperframes
+        self.gts = GtsAllocationTable(self.config)
+        self.stats = DsmeNodeStats()
+        self.data_queue: Deque[Frame] = deque()
+        self.cfp_delivery: Optional[CfpDelivery] = None
+        self._pending_handshake: Optional[Dict] = None
+        self._pending_grants: Dict[int, Dict] = {}
+        self._handshake_counter = 0
+        self._idle_multisuperframes = 0
+        self._retry_delay = self.config.multisuperframe_duration
+        self._handshake_timeout = (
+            handshake_timeout_multisuperframes * self.config.multisuperframe_duration
+        )
+
+        node.register_handler(FrameKind.GTS_REQUEST, self._on_gts_request)
+        node.register_handler(FrameKind.GTS_RESPONSE, self._on_gts_response)
+        node.register_handler(FrameKind.GTS_NOTIFY, self._on_gts_notify)
+        node.mac.sent_callback = self._on_mac_sent
+
+    # ------------------------------------------------------------ primary data
+    def generate_data(self, payload_bytes: Optional[int] = None) -> None:
+        """Generate one primary-traffic data packet destined to the sink."""
+        if self.node.is_sink or self.node.parent is None:
+            return
+        frame = Frame(
+            kind=FrameKind.DATA,
+            src=self.node_id,
+            dst=self.node.parent,
+            final_dst=self.node.sink_id,
+            created_at=self.sim.now,
+            payload_bytes=payload_bytes,
+        )
+        self.node.packets_generated += 1
+        self._enqueue_data(frame)
+
+    def _enqueue_data(self, frame: Frame) -> None:
+        if len(self.data_queue) >= self.data_queue_capacity:
+            self.stats.data_dropped_queue_full += 1
+            return
+        self.data_queue.append(frame)
+        self.stats.data_enqueued += 1
+        self._idle_multisuperframes = 0
+        self._check_demand()
+
+    # ----------------------------------------------------------- GTS demand
+    @property
+    def allocated_tx_capacity(self) -> int:
+        """Packets per multi-superframe the node can send with its current GTS."""
+        return len(self.gts.tx_slots(self.node.parent))
+
+    def _check_demand(self) -> None:
+        """Start an allocation handshake if the queue exceeds the GTS capacity."""
+        if self.node.parent is None or self._pending_handshake is not None:
+            return
+        if len(self.data_queue) > self.allocated_tx_capacity:
+            slot = self.gts.find_free_slot()
+            if slot is not None:
+                self._start_handshake("allocate", slot)
+
+    def maybe_deallocate(self) -> None:
+        """Give a GTS back after the queue has been idle for a while."""
+        if self._pending_handshake is not None or self.node.parent is None:
+            return
+        if self.data_queue or self.allocated_tx_capacity == 0:
+            return
+        if self._idle_multisuperframes < self.deallocate_after_idle:
+            return
+        slot = self.gts.tx_slots(self.node.parent)[0]
+        self._start_handshake("deallocate", slot)
+
+    # ------------------------------------------------------------- handshake
+    def _start_handshake(self, op: str, slot: GtsSlot) -> None:
+        self._handshake_counter += 1
+        handshake_id = self._handshake_counter
+        self._pending_handshake = {
+            "id": handshake_id,
+            "op": op,
+            "slot": slot,
+            "peer": self.node.parent,
+        }
+        self.stats.handshakes_started += 1
+        self.stats.requests_sent += 1
+        request = Frame(
+            kind=FrameKind.GTS_REQUEST,
+            src=self.node_id,
+            dst=self.node.parent,
+            created_at=self.sim.now,
+            meta={"op": op, "slot": slot.as_tuple(), "requester": self.node_id},
+        )
+        self.node.send_frame(request)
+        # If the GTS-response never arrives (it is a broadcast and may be
+        # lost), the handshake is abandoned after a timeout and retried later.
+        self.sim.schedule(self._handshake_timeout, self._on_handshake_timeout, handshake_id)
+
+    def _on_handshake_timeout(self, handshake_id: int) -> None:
+        pending = self._pending_handshake
+        if pending is None or pending.get("id") != handshake_id:
+            return
+        self._pending_handshake = None
+        self.stats.handshakes_failed += 1
+        self._check_demand()
+
+    def _on_mac_sent(self, frame: Frame, success: bool) -> None:
+        if frame.kind is not FrameKind.GTS_REQUEST:
+            return
+        if success:
+            self.stats.requests_delivered += 1
+            return
+        # The request never reached the parent: the handshake failed.
+        pending = self._pending_handshake
+        if pending is not None:
+            self.stats.handshakes_failed += 1
+            self._pending_handshake = None
+            self.sim.schedule(self._retry_delay, self._check_demand)
+
+    def _on_gts_request(self, frame: Frame) -> None:
+        """We are the responder (routing parent) of a handshake.
+
+        The slot is only *reserved* when the response is sent; the allocation
+        is committed once the requester's GTS-notify arrives (the purpose of
+        the third handshake message).  Stale reservations are pruned when a
+        new request from the same requester arrives.
+        """
+        op = frame.meta.get("op", "allocate")
+        requester = frame.meta.get("requester", frame.src)
+        slot = GtsSlot(*frame.meta["slot"])
+        status = "granted"
+        if op == "allocate":
+            reserved_elsewhere = any(
+                grant["slot"] == slot for grant in self._pending_grants.values()
+            )
+            if not self.gts.is_usable(slot) or reserved_elsewhere:
+                alternative = self.gts.find_free_slot()
+                if alternative is None:
+                    status = "denied"
+                else:
+                    slot = alternative
+            if status == "granted":
+                self._pending_grants[requester] = {"slot": slot, "op": op}
+        else:  # deallocate
+            self._pending_grants[requester] = {"slot": slot, "op": op}
+        self.stats.responses_sent += 1
+        response = Frame(
+            kind=FrameKind.GTS_RESPONSE,
+            src=self.node_id,
+            dst=BROADCAST,
+            created_at=self.sim.now,
+            meta={
+                "op": op,
+                "slot": slot.as_tuple(),
+                "requester": requester,
+                "responder": self.node_id,
+                "status": status,
+            },
+        )
+        self.node.send_frame(response)
+
+    def _on_gts_response(self, frame: Frame) -> None:
+        meta = frame.meta
+        slot = GtsSlot(*meta["slot"])
+        if meta.get("requester") == self.node_id and self._pending_handshake is not None:
+            self.stats.responses_received += 1
+            pending = self._pending_handshake
+            self._pending_handshake = None
+            if meta.get("status") == "granted":
+                if pending["op"] == "allocate":
+                    if not self.gts.is_allocated(slot):
+                        self.gts.allocate(slot, GtsDirection.TX, frame.src)
+                    self.stats.allocations += 1
+                else:
+                    if self.gts.deallocate(pending["slot"]) is not None:
+                        self.stats.deallocations += 1
+                self.stats.handshakes_completed += 1
+                self.stats.notifies_sent += 1
+                notify = Frame(
+                    kind=FrameKind.GTS_NOTIFY,
+                    src=self.node_id,
+                    dst=BROADCAST,
+                    created_at=self.sim.now,
+                    meta=dict(meta, notifier=self.node_id),
+                )
+                self.node.send_frame(notify)
+            else:
+                self.stats.handshakes_failed += 1
+            self._check_demand()
+            return
+        # Overheard response of somebody else's handshake: update the bitmap.
+        self._update_neighbourhood(meta, slot)
+
+    def _on_gts_notify(self, frame: Frame) -> None:
+        meta = frame.meta
+        slot = GtsSlot(*meta["slot"])
+        if meta.get("responder") == self.node_id:
+            self.stats.notifies_received += 1
+            self._commit_grant(frame.src, slot, meta.get("op", "allocate"))
+            return
+        self._update_neighbourhood(meta, slot)
+
+    def _commit_grant(self, requester: int, slot: GtsSlot, op: str) -> None:
+        """Finalise a reservation once the requester's GTS-notify arrived."""
+        self._pending_grants.pop(requester, None)
+        if op == "allocate":
+            if not self.gts.is_allocated(slot):
+                self.gts.allocate(slot, GtsDirection.RX, requester)
+            self.stats.allocations += 1
+        else:
+            if self.gts.deallocate(slot) is not None:
+                self.stats.deallocations += 1
+
+    def _update_neighbourhood(self, meta: Dict, slot: GtsSlot) -> None:
+        if meta.get("status", "granted") != "granted":
+            return
+        if meta.get("op") == "allocate":
+            if not self.gts.is_allocated(slot):
+                self.gts.mark_neighbourhood_busy(slot)
+        else:
+            self.gts.mark_neighbourhood_free(slot)
+
+    # ---------------------------------------------------------------- CFP data
+    def on_cfp(self, superframe_in_multisuperframe: int) -> None:
+        """Serve the allocated TX slots of the given superframe (one packet per GTS)."""
+        for allocation in self.gts.allocations(GtsDirection.TX):
+            if allocation.slot.superframe != superframe_in_multisuperframe:
+                continue
+            if not self.data_queue:
+                break
+            frame = self.data_queue.popleft()
+            self.stats.data_sent_in_gts += 1
+            if self.cfp_delivery is not None:
+                self.cfp_delivery(allocation.peer, frame)
+
+    def on_multisuperframe_end(self) -> None:
+        """Book-keeping at the end of every multi-superframe."""
+        if self.data_queue:
+            self._idle_multisuperframes = 0
+            self._check_demand()
+        else:
+            self._idle_multisuperframes += 1
+            self.maybe_deallocate()
+
+    def receive_cfp_data(self, frame: Frame) -> None:
+        """A data frame arrived over one of our RX GTS."""
+        if self.node.is_sink or frame.final_dst == self.node_id:
+            self.node.deliveries.append(
+                DeliveryRecord(
+                    origin=frame.origin,
+                    created_at=frame.created_at,
+                    received_at=self.sim.now,
+                    hops=frame.hops + 1,
+                )
+            )
+            return
+        if self.node.parent is None:
+            self.node.packets_dropped_no_route += 1
+            return
+        self.node.packets_forwarded += 1
+        self._enqueue_data(frame.next_hop_copy(self.node_id, self.node.parent))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"DsmeNode({self.node_id}, queue={len(self.data_queue)}, "
+            f"gts={self.gts.num_allocated})"
+        )

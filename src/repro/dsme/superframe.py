@@ -1,0 +1,105 @@
+"""DSME superframe and multi-superframe timing (Appendix A of the paper).
+
+A superframe consists of 16 equally long time slots: one beacon slot, 8 CAP
+slots and 7 CFP slots.  With the 2.4 GHz PHY a superframe of order ``SO``
+lasts ``960 * 2^SO`` symbols of 16 us.  The paper subdivides the 8 CAP slots
+into 54 subslots for QMA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mac.gate import WindowedGate
+
+
+@dataclass(frozen=True)
+class SuperframeConfig:
+    """Timing structure of DSME superframes."""
+
+    superframe_order: int = 3
+    symbol_time_s: float = 16e-6
+    base_superframe_symbols: int = 960
+    num_slots: int = 16
+    beacon_slots: int = 1
+    cap_slots: int = 8
+    cfp_slots: int = 7
+    cap_subslots: int = 54
+    num_channels: int = 4
+    superframes_per_multisuperframe: int = 2
+
+    def __post_init__(self) -> None:
+        if self.superframe_order < 0:
+            raise ValueError("superframe_order must be non-negative")
+        if self.beacon_slots + self.cap_slots + self.cfp_slots != self.num_slots:
+            raise ValueError("beacon + CAP + CFP slots must equal num_slots")
+        if self.cap_subslots <= 0 or self.num_channels <= 0:
+            raise ValueError("cap_subslots and num_channels must be positive")
+        if self.superframes_per_multisuperframe <= 0:
+            raise ValueError("superframes_per_multisuperframe must be positive")
+
+    # ----------------------------------------------------------------- timing
+    @property
+    def superframe_duration(self) -> float:
+        """Duration of one superframe in seconds."""
+        return self.base_superframe_symbols * (2 ** self.superframe_order) * self.symbol_time_s
+
+    @property
+    def slot_duration(self) -> float:
+        """Duration of one of the 16 superframe slots."""
+        return self.superframe_duration / self.num_slots
+
+    @property
+    def beacon_duration(self) -> float:
+        return self.beacon_slots * self.slot_duration
+
+    @property
+    def cap_duration(self) -> float:
+        """Duration of the contention access period."""
+        return self.cap_slots * self.slot_duration
+
+    @property
+    def cfp_duration(self) -> float:
+        """Duration of the contention free period."""
+        return self.cfp_slots * self.slot_duration
+
+    @property
+    def cap_offset(self) -> float:
+        """Start of the CAP relative to the superframe start (after the beacon)."""
+        return self.beacon_duration
+
+    @property
+    def subslot_duration(self) -> float:
+        """Duration of one QMA subslot (CAP duration / number of subslots)."""
+        return self.cap_duration / self.cap_subslots
+
+    @property
+    def multisuperframe_duration(self) -> float:
+        """Duration of one multi-superframe."""
+        return self.superframes_per_multisuperframe * self.superframe_duration
+
+    @property
+    def gts_per_superframe(self) -> int:
+        """Number of distinct GTS resources per superframe (slots x channels)."""
+        return self.cfp_slots * self.num_channels
+
+    @property
+    def gts_per_multisuperframe(self) -> int:
+        return self.gts_per_superframe * self.superframes_per_multisuperframe
+
+    # ------------------------------------------------------------------ gates
+    def cap_gate(self) -> WindowedGate:
+        """An activity gate that is open exactly during every superframe's CAP."""
+        return WindowedGate(
+            period=self.superframe_duration,
+            window=self.cap_duration,
+            offset=self.cap_offset,
+        )
+
+    def cfp_start(self, superframe_index: int) -> float:
+        """Absolute start time of the CFP of the given superframe."""
+        return (
+            superframe_index * self.superframe_duration
+            + self.beacon_duration
+            + self.cap_duration
+        )

@@ -1,0 +1,47 @@
+"""Experiment runners — one per figure/table of the paper's evaluation.
+
+Every runner builds its own simulator, network and traffic, runs the
+scenario for a configurable (default: paper-scale) workload and returns a
+small result object with the metrics the corresponding figure plots.  The
+benchmarks in ``benchmarks/`` call these runners with reduced workloads so
+that the whole suite regenerates every figure's data in minutes; the CLI
+(`qma-repro`) exposes the same runners with paper-scale defaults.
+"""
+
+from repro.experiments.base import (
+    MAC_KINDS,
+    make_mac_factory,
+    repeat_scalar,
+    summarize,
+)
+from repro.experiments.hidden_node import (
+    HiddenNodeResult,
+    run_convergence,
+    run_fluctuating,
+    run_hidden_node,
+    run_slot_utilisation,
+    sweep_hidden_node,
+)
+from repro.experiments.testbed import TestbedResult, run_star, run_tree
+from repro.experiments.scalability import ScalabilityResult, run_scalability, sweep_scalability
+from repro.experiments.handshake import handshake_expected_messages
+
+__all__ = [
+    "MAC_KINDS",
+    "HiddenNodeResult",
+    "ScalabilityResult",
+    "TestbedResult",
+    "handshake_expected_messages",
+    "make_mac_factory",
+    "repeat_scalar",
+    "run_convergence",
+    "run_fluctuating",
+    "run_hidden_node",
+    "run_scalability",
+    "run_slot_utilisation",
+    "run_star",
+    "run_tree",
+    "summarize",
+    "sweep_hidden_node",
+    "sweep_scalability",
+]

@@ -1,0 +1,79 @@
+"""Shared helpers for the experiment runners."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.analysis.stats import confidence_interval_95
+from repro.core.config import QmaConfig
+from repro.core.exploration import ExplorationStrategy
+from repro.core.mac import QmaMac
+from repro.core.rewards import RewardFunction
+from repro.mac.aloha import AlohaConfig, AlohaQ, SlottedAloha
+from repro.mac.csma import CsmaConfig, SlottedCsmaCa, UnslottedCsmaCa
+from repro.net.network import MacFactory
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mac.base import MacProtocol
+    from repro.phy.radio import Radio
+    from repro.sim.engine import Simulator
+
+#: Channel-access schemes available to every experiment.
+MAC_KINDS = ("qma", "slotted-csma", "unslotted-csma", "slotted-aloha", "aloha-q")
+
+
+def make_mac_factory(
+    kind: str,
+    qma_config: Optional[QmaConfig] = None,
+    csma_config: Optional[CsmaConfig] = None,
+    aloha_config: Optional[AlohaConfig] = None,
+    exploration: Optional[Callable[[], ExplorationStrategy]] = None,
+    rewards: Optional[RewardFunction] = None,
+    gate=None,
+) -> MacFactory:
+    """Build a :data:`~repro.net.network.MacFactory` for the given protocol name.
+
+    ``exploration`` is a zero-argument callable creating a fresh exploration
+    strategy per node (strategies are stateful and must not be shared).
+    """
+    if kind not in MAC_KINDS:
+        raise ValueError(f"unknown MAC kind {kind!r}; expected one of {MAC_KINDS}")
+
+    def factory(sim: "Simulator", radio: "Radio") -> "MacProtocol":
+        if kind == "qma":
+            return QmaMac(
+                sim,
+                radio,
+                config=qma_config,
+                exploration=exploration() if exploration is not None else None,
+                rewards=rewards,
+                gate=gate,
+            )
+        if kind == "slotted-csma":
+            return SlottedCsmaCa(sim, radio, config=csma_config, gate=gate)
+        if kind == "unslotted-csma":
+            return UnslottedCsmaCa(sim, radio, config=csma_config, gate=gate)
+        if kind == "slotted-aloha":
+            return SlottedAloha(sim, radio, config=aloha_config, gate=gate)
+        return AlohaQ(sim, radio, config=aloha_config, gate=gate)
+
+    return factory
+
+
+def repeat_scalar(
+    run: Callable[[int], float],
+    repetitions: int,
+    base_seed: int = 0,
+) -> Tuple[float, float, List[float]]:
+    """Run ``run(seed)`` for several seeds; return (mean, 95 % CI half-width, samples)."""
+    if repetitions <= 0:
+        raise ValueError("repetitions must be positive")
+    samples = [run(base_seed + i) for i in range(repetitions)]
+    mean, half_width = confidence_interval_95(samples)
+    return mean, half_width, samples
+
+
+def summarize(samples: Sequence[float]) -> Dict[str, float]:
+    """Mean and 95 % confidence half-width of a sample list as a dictionary."""
+    mean, half_width = confidence_interval_95(list(samples))
+    return {"mean": mean, "ci95": half_width, "n": float(len(samples))}

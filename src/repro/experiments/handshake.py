@@ -1,0 +1,23 @@
+"""Analytic handshake experiment (Appendix A.1, Fig. 26).
+
+Evaluates the absorbing Markov chain of the 3-way GTS handshake over a
+sweep of per-message success probabilities and returns the expected number
+of messages until a GTS is allocated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.analysis.markov import expected_handshake_messages
+
+#: Success probabilities used on the x-axis of Fig. 26.
+PAPER_PROBABILITIES = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+def handshake_expected_messages(
+    probabilities: Sequence[float] = PAPER_PROBABILITIES,
+    retries: int = 3,
+) -> Dict[float, float]:
+    """Expected messages per handshake for every probability in the sweep."""
+    return {p: expected_handshake_messages(p, retries) for p in probabilities}

@@ -1,0 +1,325 @@
+"""Hidden-node experiments (Sect. 6.1, Figs. 7-15 of the paper).
+
+Three nodes (A — B — C) where A and C are hidden from each other both send
+Poisson traffic with rate δ to the sink B.  Data generation starts after a
+warm-up period during which only low-rate management traffic is exchanged,
+as in the paper.  The runners report
+
+* packet delivery ratio (Fig. 7), average queue level (Fig. 8) and average
+  end-to-end delay (Fig. 9) for sweeps over δ and the channel-access scheme,
+* the cumulative-Q-value and exploration-probability time series
+  (Figs. 10-12), and
+* the subslot utilisation after the first exploration phase and for the
+  final policy (Figs. 13-15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.slots import SlotUtilisation, slot_utilisation
+from repro.core.actions import QAction
+from repro.core.config import QmaConfig
+from repro.core.mac import QmaMac
+from repro.experiments.base import make_mac_factory
+from repro.net.network import Network
+from repro.sim.engine import Simulator
+from repro.topology.hidden_node import NODE_A, NODE_B, NODE_C, hidden_node_topology
+from repro.traffic.generators import FluctuatingPoissonTraffic, PeriodicTraffic, PoissonTraffic
+
+#: Packet generation rates of Fig. 7-9.
+PAPER_DELTAS = (1, 2, 4, 6, 8, 10, 25, 50, 100)
+
+
+@dataclass
+class HiddenNodeResult:
+    """Metrics of one hidden-node run."""
+
+    mac: str
+    delta: float
+    pdr: float
+    average_queue_level: float
+    average_delay: float
+    packets_generated: int
+    packets_delivered: int
+    transmission_attempts: int
+    duration: float
+    q_histories: Dict[int, List[Tuple[float, float]]] = field(default_factory=dict)
+    rho_histories: Dict[int, List[Tuple[float, float]]] = field(default_factory=dict)
+    policies: Dict[int, List[QAction]] = field(default_factory=dict)
+
+
+def _default_qma_config() -> QmaConfig:
+    return QmaConfig()
+
+
+def run_hidden_node(
+    mac: str = "qma",
+    delta: float = 10.0,
+    packets_per_node: int = 1000,
+    warmup: float = 100.0,
+    management_period: float = 5.0,
+    drain_time: float = 5.0,
+    seed: int = 0,
+    qma_config: Optional[QmaConfig] = None,
+    max_duration: Optional[float] = None,
+    link_distance: float = 50.0,
+) -> HiddenNodeResult:
+    """Run one hidden-node scenario and return its metrics.
+
+    ``packets_per_node`` and ``warmup`` default to the paper values (1000
+    packets, 100 s); benchmarks pass smaller values.
+    """
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+    if packets_per_node <= 0:
+        raise ValueError("packets_per_node must be positive")
+
+    sim = Simulator(seed=seed)
+    topology = hidden_node_topology(link_distance=link_distance)
+    factory = make_mac_factory(mac, qma_config=qma_config or _default_qma_config())
+    network = Network(sim, topology, factory)
+
+    # Management traffic during the warm-up (association / beacon exchange).
+    management: List[PeriodicTraffic] = []
+    for node_id in (NODE_A, NODE_C):
+        node = network.node(node_id)
+        generator = PeriodicTraffic(
+            sim,
+            node.generate_packet,
+            period=management_period,
+            start_time=1.0,
+            jitter=management_period * 0.2,
+            rng_name=f"management-{node_id}",
+        )
+        node.attach_traffic(generator)
+        management.append(generator)
+
+    network.start()
+
+    # Primary traffic starts after the warm-up.
+    data_generators: List[PoissonTraffic] = []
+    for node_id in (NODE_A, NODE_C):
+        node = network.node(node_id)
+        generator = PoissonTraffic(
+            sim,
+            node.generate_packet,
+            rate=delta,
+            start_time=warmup,
+            max_packets=packets_per_node,
+            rng_name=f"data-{node_id}",
+        )
+        data_generators.append(generator)
+        sim.schedule_at(warmup, generator.start)
+        sim.schedule_at(warmup, management[0].stop if node_id == NODE_A else management[1].stop)
+
+    expected_duration = warmup + packets_per_node / delta + drain_time
+    end_time = min(expected_duration, max_duration) if max_duration else expected_duration
+    sim.run_until(end_time)
+
+    sources = (NODE_A, NODE_C)
+    result = HiddenNodeResult(
+        mac=mac,
+        delta=delta,
+        pdr=_data_pdr(network, sources, warmup),
+        average_queue_level=network.average_queue_level(sources),
+        average_delay=network.average_end_to_end_delay(),
+        packets_generated=sum(g.generated for g in data_generators),
+        packets_delivered=len(network.sink.deliveries),
+        transmission_attempts=network.total_transmission_attempts(sources),
+        duration=sim.now,
+    )
+    for node_id in sources:
+        node_mac = network.mac(node_id)
+        if isinstance(node_mac, QmaMac):
+            result.q_histories[node_id] = list(node_mac.q_history)
+            result.rho_histories[node_id] = list(node_mac.rho_history)
+            result.policies[node_id] = node_mac.policy_snapshot()
+    return result
+
+
+def _data_pdr(network: Network, sources: Sequence[int], warmup: float) -> float:
+    """PDR over data packets generated after the warm-up (management excluded)."""
+    delivered = sum(
+        1
+        for record in network.sink.deliveries
+        if record.origin in sources and record.created_at >= warmup
+    )
+    generated = sum(
+        network.node(node_id).packets_generated for node_id in sources
+    )
+    management = sum(
+        1
+        for record in network.sink.deliveries
+        if record.origin in sources and record.created_at < warmup
+    )
+    # Generated counts include management packets; remove the ones that were
+    # sent before the warm-up ended (delivered or not, their number equals the
+    # generator invocations, tracked through the traffic objects by callers
+    # that need exact numbers).  For the PDR we compare like with like:
+    data_generated = generated - _management_generated(network, sources, warmup)
+    if data_generated <= 0:
+        return 0.0
+    return min(1.0, delivered / data_generated)
+
+
+def _management_generated(network: Network, sources: Sequence[int], warmup: float) -> int:
+    total = 0
+    for node_id in sources:
+        node = network.node(node_id)
+        if node.traffic is not None:
+            total += node.traffic.generated
+    return total
+
+
+def sweep_hidden_node(
+    macs: Sequence[str] = ("qma", "slotted-csma", "unslotted-csma"),
+    deltas: Sequence[float] = PAPER_DELTAS,
+    packets_per_node: int = 1000,
+    repetitions: int = 15,
+    warmup: float = 100.0,
+    base_seed: int = 0,
+    **kwargs,
+) -> Dict[str, Dict[float, List[HiddenNodeResult]]]:
+    """Full sweep over MACs and packet rates (the data behind Figs. 7-9)."""
+    results: Dict[str, Dict[float, List[HiddenNodeResult]]] = {}
+    for mac in macs:
+        results[mac] = {}
+        for delta in deltas:
+            runs = [
+                run_hidden_node(
+                    mac=mac,
+                    delta=delta,
+                    packets_per_node=packets_per_node,
+                    warmup=warmup,
+                    seed=base_seed + rep,
+                    **kwargs,
+                )
+                for rep in range(repetitions)
+            ]
+            results[mac][delta] = runs
+    return results
+
+
+def run_convergence(
+    delta: float = 10.0,
+    duration: float = 450.0,
+    warmup: float = 100.0,
+    packets_per_node: int = 100_000,
+    seed: int = 0,
+    qma_config: Optional[QmaConfig] = None,
+) -> HiddenNodeResult:
+    """Convergence run for Fig. 10 / Fig. 11: unlimited traffic for a fixed duration."""
+    return run_hidden_node(
+        mac="qma",
+        delta=delta,
+        packets_per_node=packets_per_node,
+        warmup=warmup,
+        seed=seed,
+        qma_config=qma_config,
+        max_duration=duration,
+    )
+
+
+def run_fluctuating(
+    duration: float = 1500.0,
+    high_rate: float = 100.0,
+    low_rate: float = 10.0,
+    phase_duration: float = 100.0,
+    node_c_rate: float = 25.0,
+    node_c_join_time: float = 100.0,
+    seed: int = 0,
+    qma_config: Optional[QmaConfig] = None,
+) -> Dict[int, List[Tuple[float, float]]]:
+    """Fluctuating-traffic experiment of Fig. 12.
+
+    Node A alternates between ``low_rate`` and ``high_rate`` every
+    ``phase_duration`` seconds; node C joins after ``node_c_join_time`` with a
+    constant rate.  Returns the cumulative-Q-value history per node.
+    """
+    sim = Simulator(seed=seed)
+    topology = hidden_node_topology()
+    factory = make_mac_factory("qma", qma_config=qma_config or _default_qma_config())
+    network = Network(sim, topology, factory)
+
+    node_a = network.node(NODE_A)
+    traffic_a = FluctuatingPoissonTraffic(
+        sim,
+        node_a.generate_packet,
+        phases=[(low_rate, phase_duration), (high_rate, phase_duration)],
+        start_time=0.0,
+        rng_name="fluctuating-a",
+    )
+    node_a.attach_traffic(traffic_a)
+
+    node_c = network.node(NODE_C)
+    traffic_c = PoissonTraffic(
+        sim,
+        node_c.generate_packet,
+        rate=node_c_rate,
+        start_time=node_c_join_time,
+        rng_name="fluctuating-c",
+    )
+
+    network.start()
+    sim.schedule_at(node_c_join_time, traffic_c.start)
+    sim.run_until(duration)
+
+    histories: Dict[int, List[Tuple[float, float]]] = {}
+    for node_id in (NODE_A, NODE_C):
+        mac = network.mac(node_id)
+        if isinstance(mac, QmaMac):
+            histories[node_id] = list(mac.q_history)
+    return histories
+
+
+def run_slot_utilisation(
+    delta: float = 10.0,
+    snapshot_time: float = 150.0,
+    duration: float = 400.0,
+    warmup: float = 100.0,
+    seed: int = 0,
+    qma_config: Optional[QmaConfig] = None,
+) -> Tuple[SlotUtilisation, SlotUtilisation]:
+    """Subslot utilisation after the first exploration phase and for the final policy.
+
+    Returns ``(snapshot, final)`` — the data behind Figs. 13-15.
+    """
+    sim = Simulator(seed=seed)
+    topology = hidden_node_topology()
+    factory = make_mac_factory("qma", qma_config=qma_config or _default_qma_config())
+    network = Network(sim, topology, factory)
+
+    for node_id in (NODE_A, NODE_C):
+        node = network.node(node_id)
+        generator = PoissonTraffic(
+            sim,
+            node.generate_packet,
+            rate=delta,
+            start_time=warmup,
+            rng_name=f"slots-{node_id}",
+        )
+        node.attach_traffic(generator)
+
+    network.start()
+
+    snapshot_policies: Dict[int, List[QAction]] = {}
+
+    def take_snapshot() -> None:
+        for node_id in (NODE_A, NODE_C):
+            mac = network.mac(node_id)
+            if isinstance(mac, QmaMac):
+                snapshot_policies[node_id] = mac.policy_snapshot()
+
+    sim.schedule_at(snapshot_time, take_snapshot)
+    sim.run_until(duration)
+
+    final_policies = {
+        node_id: network.mac(node_id).policy_snapshot()
+        for node_id in (NODE_A, NODE_C)
+        if isinstance(network.mac(node_id), QmaMac)
+    }
+    if not snapshot_policies:
+        snapshot_policies = final_policies
+    return slot_utilisation(snapshot_policies), slot_utilisation(final_policies)

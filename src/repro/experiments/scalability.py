@@ -1,0 +1,118 @@
+"""Scalability experiments with DSME secondary traffic (Sect. 6.3, Figs. 21-22).
+
+A concentric data-collection topology with 7, 19, 43 or 91 nodes routes
+fluctuating primary traffic towards the central sink over GTS.  The GTS
+(de)allocation handshakes plus periodic routing broadcasts form the
+secondary traffic carried by the contention access period, whose channel
+access is either QMA or (slotted / unslotted) CSMA/CA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.dsme.network import DsmeNetwork, SecondaryTrafficStats
+from repro.dsme.superframe import SuperframeConfig
+from repro.sim.engine import Simulator
+from repro.topology.concentric import concentric_topology
+from repro.traffic.generators import FluctuatingPoissonTraffic
+
+#: Ring counts of the paper, corresponding to 7 / 19 / 43 / 91 nodes.
+PAPER_RINGS = (1, 2, 3, 4)
+
+
+@dataclass
+class ScalabilityResult:
+    """Metrics of one scalability run."""
+
+    mac: str
+    rings: int
+    num_nodes: int
+    secondary: SecondaryTrafficStats
+    secondary_pdr: float
+    gts_request_success: float
+    allocation_rate: float
+    primary_pdr: float
+    duration: float
+
+
+def run_scalability(
+    mac: str = "qma",
+    rings: int = 2,
+    duration: float = 300.0,
+    warmup: float = 200.0,
+    low_rate: float = 1.0,
+    high_rate: float = 10.0,
+    phase_duration: float = 5.0,
+    seed: int = 0,
+    config: Optional[SuperframeConfig] = None,
+    route_discovery_period: Optional[float] = 2.0,
+) -> ScalabilityResult:
+    """Run one DSME scalability scenario.
+
+    The paper uses a warm-up of 200 s for network formation and alternating
+    per-node rates of δ = 1 and δ = 10 packets/s every 5 s; ``duration`` is the
+    total simulated time including the warm-up.
+    """
+    if rings < 1:
+        raise ValueError("rings must be at least 1")
+    if duration <= warmup:
+        raise ValueError("duration must exceed the warm-up time")
+
+    sim = Simulator(seed=seed)
+    topology = concentric_topology(rings)
+    superframe_config = config if config is not None else SuperframeConfig()
+    dsme = DsmeNetwork(
+        sim,
+        topology,
+        cap_mac=mac,
+        config=superframe_config,
+        route_discovery_period=route_discovery_period,
+    )
+
+    for node_id, dsme_node in dsme.sources().items():
+        traffic = FluctuatingPoissonTraffic(
+            sim,
+            dsme_node.generate_data,
+            phases=[(low_rate, phase_duration), (high_rate, phase_duration)],
+            start_time=warmup,
+            rng_name=f"scalability-{node_id}",
+        )
+        sim.schedule_at(warmup, traffic.start)
+
+    dsme.start()
+    sim.run_until(duration)
+
+    secondary = dsme.secondary_traffic_stats()
+    observation = duration - warmup
+    return ScalabilityResult(
+        mac=mac,
+        rings=rings,
+        num_nodes=topology.num_nodes,
+        secondary=secondary,
+        secondary_pdr=secondary.pdr,
+        gts_request_success=secondary.gts_request_success_ratio,
+        allocation_rate=secondary.allocation_rate(observation),
+        primary_pdr=dsme.primary_traffic_pdr(),
+        duration=sim.now,
+    )
+
+
+def sweep_scalability(
+    macs: Sequence[str] = ("qma", "slotted-csma", "unslotted-csma"),
+    rings: Sequence[int] = PAPER_RINGS,
+    repetitions: int = 1,
+    base_seed: int = 0,
+    **kwargs,
+) -> Dict[str, Dict[int, list]]:
+    """Sweep over MACs and ring counts (the data behind Figs. 21-22)."""
+    results: Dict[str, Dict[int, list]] = {}
+    for mac in macs:
+        results[mac] = {}
+        for ring_count in rings:
+            results[mac][ring_count] = [
+                run_scalability(mac=mac, rings=ring_count, seed=base_seed + rep, **kwargs)
+                for rep in range(repetitions)
+            ]
+    return results

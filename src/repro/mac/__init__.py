@@ -1,0 +1,36 @@
+"""MAC-layer substrates: queues, the abstract MAC interface and baselines.
+
+The baselines implemented here are the comparison points of the paper's
+evaluation:
+
+* :class:`~repro.mac.csma.UnslottedCsmaCa` — IEEE 802.15.4 unslotted CSMA/CA,
+* :class:`~repro.mac.csma.SlottedCsmaCa` — IEEE 802.15.4 slotted CSMA/CA
+  (two CCAs on backoff-period boundaries),
+* :class:`~repro.mac.aloha.SlottedAloha` and
+  :class:`~repro.mac.aloha.AlohaQ` — the frame/slot reinforcement-learning
+  baseline family (ALOHA-Q) referenced in the related-work comparison.
+
+QMA itself lives in :mod:`repro.core`.
+"""
+
+from repro.mac.base import MacProtocol, MacStats, TransactionResult
+from repro.mac.gate import ActivityGate, AlwaysActiveGate, WindowedGate
+from repro.mac.queue import PacketQueue
+from repro.mac.csma import CsmaConfig, SlottedCsmaCa, UnslottedCsmaCa
+from repro.mac.aloha import AlohaConfig, AlohaQ, SlottedAloha
+
+__all__ = [
+    "ActivityGate",
+    "AlohaConfig",
+    "AlohaQ",
+    "AlwaysActiveGate",
+    "CsmaConfig",
+    "MacProtocol",
+    "MacStats",
+    "PacketQueue",
+    "SlottedAloha",
+    "SlottedCsmaCa",
+    "TransactionResult",
+    "UnslottedCsmaCa",
+    "WindowedGate",
+]

@@ -1,0 +1,123 @@
+"""A bounded drop-tail packet queue with time-weighted occupancy statistics.
+
+The paper evaluates the average queue level (Fig. 8) and drives QMA's
+parameter-based exploration from the instantaneous queue level, so the
+queue keeps a time-weighted occupancy integral in addition to simple
+counters.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, Optional, TYPE_CHECKING
+
+from repro.phy.frames import Frame
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+
+class PacketQueue:
+    """Bounded FIFO queue of frames.
+
+    Parameters
+    ----------
+    sim:
+        Simulator used for time-weighted statistics.
+    capacity:
+        Maximum number of queued frames; the paper uses 8.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 8) -> None:
+        if capacity <= 0:
+            raise ValueError("queue capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self._frames: Deque[Frame] = deque()
+        # statistics
+        self.enqueued = 0
+        self.dropped_full = 0
+        self.dequeued = 0
+        self._last_change = sim.now
+        self._level_time_integral = 0.0
+        self._observation_start = sim.now
+
+    # ------------------------------------------------------------------ api
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def __iter__(self) -> Iterator[Frame]:
+        return iter(self._frames)
+
+    @property
+    def level(self) -> int:
+        """Current number of queued frames."""
+        return len(self._frames)
+
+    @property
+    def full(self) -> bool:
+        return len(self._frames) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._frames
+
+    def push(self, frame: Frame) -> bool:
+        """Enqueue a frame.  Returns False (and counts a drop) if the queue is full."""
+        self._accumulate()
+        if self.full:
+            self.dropped_full += 1
+            return False
+        self._frames.append(frame)
+        self.enqueued += 1
+        return True
+
+    def push_front(self, frame: Frame) -> bool:
+        """Re-insert a frame at the head of the queue (e.g. after a failed CCA)."""
+        self._accumulate()
+        if self.full:
+            self.dropped_full += 1
+            return False
+        self._frames.appendleft(frame)
+        self.enqueued += 1
+        return True
+
+    def peek(self) -> Optional[Frame]:
+        """The head-of-line frame without removing it, or None if empty."""
+        return self._frames[0] if self._frames else None
+
+    def pop(self) -> Optional[Frame]:
+        """Remove and return the head-of-line frame, or None if empty."""
+        if not self._frames:
+            return None
+        self._accumulate()
+        self.dequeued += 1
+        return self._frames.popleft()
+
+    def clear(self) -> None:
+        self._accumulate()
+        self._frames.clear()
+
+    # ------------------------------------------------------------ statistics
+    def _accumulate(self) -> None:
+        now = self.sim.now
+        self._level_time_integral += self.level * (now - self._last_change)
+        self._last_change = now
+
+    def average_level(self) -> float:
+        """Time-weighted average occupancy since creation (or last reset)."""
+        self._accumulate()
+        elapsed = self.sim.now - self._observation_start
+        if elapsed <= 0.0:
+            return float(self.level)
+        return self._level_time_integral / elapsed
+
+    def reset_statistics(self) -> None:
+        """Restart the averaging window (used to exclude warm-up phases)."""
+        self._accumulate()
+        self._level_time_integral = 0.0
+        self._observation_start = self.sim.now
+        self._last_change = self.sim.now
+        self.enqueued = 0
+        self.dropped_full = 0
+        self.dequeued = 0

@@ -1,0 +1,14 @@
+"""Network layer: nodes, routing towards a sink and the network builder.
+
+The network layer wires topologies, radios, MAC protocols and traffic
+generators together.  Data packets are routed hop-by-hop along the
+topology's routing tree towards the sink; the sink records every delivery
+with its end-to-end delay, which yields the PDR and delay figures of the
+evaluation.
+"""
+
+from repro.net.node import DeliveryRecord, Node
+from repro.net.routing import RouteDiscoveryBeacon
+from repro.net.network import Network
+
+__all__ = ["DeliveryRecord", "Network", "Node", "RouteDiscoveryBeacon"]

@@ -1,0 +1,33 @@
+"""Physical layer: frames, radios, the wireless channel and propagation.
+
+This package replaces the OMNeT++ / openDSME radio substrate of the paper.
+It models an IEEE 802.15.4-style 2.4 GHz O-QPSK PHY (250 kbit/s, 16 us
+symbols), half-duplex transceivers with clear channel assessment, and a
+collision model in which a frame is lost at a receiver whenever another
+frame from a transmitter *within that receiver's range* overlaps it in time.
+The hidden-terminal behaviour studied in the paper follows directly from
+this model: a CCA only senses transmitters in range of the sensing node.
+"""
+
+from repro.phy.frames import BROADCAST, Frame, FrameKind
+from repro.phy.params import PhyParameters
+from repro.phy.propagation import (
+    LogDistancePathLoss,
+    PropagationModel,
+    UnitDiskPropagation,
+)
+from repro.phy.channel import WirelessChannel
+from repro.phy.radio import Radio, RadioState
+
+__all__ = [
+    "BROADCAST",
+    "Frame",
+    "FrameKind",
+    "LogDistancePathLoss",
+    "PhyParameters",
+    "PropagationModel",
+    "Radio",
+    "RadioState",
+    "UnitDiskPropagation",
+    "WirelessChannel",
+]

@@ -1,0 +1,195 @@
+"""The shared wireless channel and its collision model.
+
+The channel keeps track of every transmission that is currently on the air.
+A frame is delivered to a receiver if and only if
+
+* the receiver is within range of the sender,
+* no other transmission from a node within range of *that receiver*
+  overlaps the frame in time (no capture effect),
+* the receiver is not itself transmitting during the frame, and
+* the per-link error process (if configured) does not drop the frame.
+
+Because interference is evaluated per receiver, hidden terminals behave as
+in the paper: two senders that cannot hear each other will individually pass
+their CCA and still collide at their common receiver.
+
+Frames are delivered to every in-range radio, not only the addressed one;
+the MAC layer decides what to do with overheard frames.  QMA relies on this
+to reward ``QBackoff`` when a foreign DATA or ACK frame is overheard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, TYPE_CHECKING
+
+from repro.phy.frames import Frame
+from repro.phy.params import PhyParameters
+from repro.phy.propagation import PropagationModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checking
+    from repro.phy.radio import Radio
+    from repro.sim.engine import Simulator
+
+
+@dataclass
+class ActiveTransmission:
+    """Book-keeping for a frame that is currently on the air."""
+
+    sender_id: int
+    frame: Frame
+    start: float
+    end: float
+    corrupted_for: Set[int] = field(default_factory=set)
+
+
+class WirelessChannel:
+    """A broadcast medium with per-receiver interference.
+
+    Parameters
+    ----------
+    sim:
+        The simulation engine.
+    phy:
+        PHY timing parameters (shared by all radios on the channel).
+    """
+
+    def __init__(self, sim: "Simulator", phy: Optional[PhyParameters] = None) -> None:
+        self.sim = sim
+        self.phy = phy if phy is not None else PhyParameters()
+        self._radios: Dict[int, "Radio"] = {}
+        self._neighbours: Dict[int, Set[int]] = {}
+        self._link_error: Dict[tuple, float] = {}
+        #: transmissions currently arriving at each radio (keyed by radio id)
+        self._arriving: Dict[int, List[ActiveTransmission]] = {}
+        self._rng = sim.rng.stream("channel")
+        # statistics
+        self.transmissions_started = 0
+        self.frames_delivered = 0
+        self.frames_corrupted = 0
+        self.frames_lost_link_error = 0
+
+    # --------------------------------------------------------------- wiring
+    def register(self, radio: "Radio") -> None:
+        """Attach a radio to the channel."""
+        if radio.node_id in self._radios:
+            raise ValueError(f"radio id {radio.node_id} already registered")
+        self._radios[radio.node_id] = radio
+        self._neighbours.setdefault(radio.node_id, set())
+        self._arriving.setdefault(radio.node_id, [])
+
+    def radios(self) -> Iterable["Radio"]:
+        return self._radios.values()
+
+    def radio(self, node_id: int) -> "Radio":
+        return self._radios[node_id]
+
+    def connect(self, a: int, b: int, bidirectional: bool = True) -> None:
+        """Declare that node ``b`` can hear transmissions of node ``a``."""
+        if a == b:
+            raise ValueError("a node cannot be its own neighbour")
+        self._neighbours.setdefault(a, set()).add(b)
+        if bidirectional:
+            self._neighbours.setdefault(b, set()).add(a)
+
+    def disconnect(self, a: int, b: int, bidirectional: bool = True) -> None:
+        """Remove a previously declared link."""
+        self._neighbours.get(a, set()).discard(b)
+        if bidirectional:
+            self._neighbours.get(b, set()).discard(a)
+
+    def build_links_from_positions(self, model: PropagationModel) -> None:
+        """Derive connectivity from radio positions using a propagation model."""
+        ids = list(self._radios)
+        for i, a in enumerate(ids):
+            for b in ids[i + 1:]:
+                pos_a = self._radios[a].position
+                pos_b = self._radios[b].position
+                if pos_a is None or pos_b is None:
+                    raise ValueError("all radios need positions to derive links")
+                if model.in_range(pos_a, pos_b):
+                    self.connect(a, b, bidirectional=False)
+                if model.in_range(pos_b, pos_a):
+                    self.connect(b, a, bidirectional=False)
+
+    def set_link_error_rate(self, a: int, b: int, per: float, bidirectional: bool = True) -> None:
+        """Set the packet error rate of the link from ``a`` to ``b``."""
+        if not 0.0 <= per <= 1.0:
+            raise ValueError("packet error rate must lie in [0, 1]")
+        self._link_error[(a, b)] = per
+        if bidirectional:
+            self._link_error[(b, a)] = per
+
+    def neighbours(self, node_id: int) -> Set[int]:
+        """Node ids that can hear transmissions of ``node_id``."""
+        return set(self._neighbours.get(node_id, set()))
+
+    def hears(self, receiver: int, sender: int) -> bool:
+        """True if ``receiver`` is within range of ``sender``."""
+        return receiver in self._neighbours.get(sender, set())
+
+    # ------------------------------------------------------------- carrier
+    def is_busy_for(self, node_id: int) -> bool:
+        """Channel state as seen by a CCA performed at ``node_id``.
+
+        The channel is busy if any transmission from a node within range of
+        ``node_id`` is currently on the air, or if ``node_id`` itself is
+        transmitting.
+        """
+        radio = self._radios[node_id]
+        if radio.transmitting:
+            return True
+        return bool(self._arriving.get(node_id))
+
+    # --------------------------------------------------------- transmission
+    def begin_transmission(self, sender: "Radio", frame: Frame, duration: float) -> None:
+        """Start a transmission of ``frame`` by ``sender`` lasting ``duration`` seconds."""
+        now = self.sim.now
+        tx = ActiveTransmission(sender.node_id, frame, now, now + duration)
+        self.transmissions_started += 1
+        for receiver_id in self._neighbours.get(sender.node_id, set()):
+            receiver = self._radios[receiver_id]
+            arriving = self._arriving[receiver_id]
+            if arriving:
+                # Overlap with everything currently arriving at this receiver.
+                tx.corrupted_for.add(receiver_id)
+                for other in arriving:
+                    other.corrupted_for.add(receiver_id)
+            if receiver.transmitting:
+                # Half-duplex: a transmitting radio cannot receive.
+                tx.corrupted_for.add(receiver_id)
+            arriving.append(tx)
+        self.sim.schedule(duration, self._end_transmission, tx)
+
+    def notify_transmit_start(self, node_id: int) -> None:
+        """Called by a radio when it switches to transmit mode.
+
+        Any frame that is currently being received by this radio is lost
+        (half-duplex operation).
+        """
+        for tx in self._arriving.get(node_id, []):
+            tx.corrupted_for.add(node_id)
+
+    def _end_transmission(self, tx: ActiveTransmission) -> None:
+        sender = self._radios[tx.sender_id]
+        for receiver_id in self._neighbours.get(tx.sender_id, set()):
+            arriving = self._arriving[receiver_id]
+            if tx in arriving:
+                arriving.remove(tx)
+            receiver = self._radios[receiver_id]
+            if receiver_id in tx.corrupted_for:
+                self.frames_corrupted += 1
+                receiver.notify_corrupted_frame(tx.frame)
+                continue
+            if receiver.transmitting:
+                # Receiver started transmitting exactly at the boundary.
+                self.frames_corrupted += 1
+                receiver.notify_corrupted_frame(tx.frame)
+                continue
+            per = self._link_error.get((tx.sender_id, receiver_id), 0.0)
+            if per > 0.0 and self._rng.random() < per:
+                self.frames_lost_link_error += 1
+                continue
+            self.frames_delivered += 1
+            receiver.deliver(tx.frame)
+        sender.transmission_finished(tx.frame)

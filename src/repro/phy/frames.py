@@ -1,0 +1,162 @@
+"""Frame definitions shared by all MAC protocols and the DSME substrate.
+
+A :class:`Frame` is a MAC-layer protocol data unit.  Frames carry both the
+link-layer addressing (``src`` / ``dst`` for the current hop) and the
+network-layer addressing (``origin`` / ``final_dst``) so that multi-hop
+scenarios (tree and concentric topologies) can be expressed without a
+separate network-layer header object.
+
+The ``queue_level`` field implements the piggybacking described in
+Sect. 4.2 of the paper: QMA's parameter-based exploration needs the average
+queue level of the neighbouring nodes, which is carried in regular data
+messages.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from enum import Enum, auto
+from typing import Any, Dict, Optional
+
+#: Link-layer broadcast address.
+BROADCAST = -1
+
+_frame_ids = itertools.count(1)
+
+
+class FrameKind(Enum):
+    """The kinds of frames exchanged in the reproduction."""
+
+    DATA = auto()
+    ACK = auto()
+    BEACON = auto()
+    GTS_REQUEST = auto()
+    GTS_RESPONSE = auto()
+    GTS_NOTIFY = auto()
+    ROUTE_DISCOVERY = auto()
+
+    @property
+    def is_gts_management(self) -> bool:
+        """True for the three messages of the DSME GTS handshake."""
+        return self in (
+            FrameKind.GTS_REQUEST,
+            FrameKind.GTS_RESPONSE,
+            FrameKind.GTS_NOTIFY,
+        )
+
+
+#: Default MAC payload sizes in bytes, loosely following IEEE 802.15.4 /
+#: openDSME frame formats.  Sizes only influence frame air-time.
+DEFAULT_FRAME_SIZES: Dict[FrameKind, int] = {
+    FrameKind.DATA: 75,
+    FrameKind.ACK: 5,
+    FrameKind.BEACON: 30,
+    FrameKind.GTS_REQUEST: 20,
+    FrameKind.GTS_RESPONSE: 22,
+    FrameKind.GTS_NOTIFY: 20,
+    FrameKind.ROUTE_DISCOVERY: 24,
+}
+
+
+@dataclass
+class Frame:
+    """A MAC-layer frame.
+
+    Parameters
+    ----------
+    kind:
+        The frame type.
+    src / dst:
+        Link-layer source and destination of the current hop.  ``dst`` may be
+        :data:`BROADCAST`.
+    origin / final_dst:
+        End-to-end source and destination; default to ``src`` / ``dst``.
+    payload_bytes:
+        MAC payload size used to compute the frame's air time.
+    created_at:
+        Simulation time at which the upper layer generated the frame
+        (used for end-to-end delay).
+    seq:
+        Per-frame unique identifier.
+    queue_level:
+        Queue occupancy of the sender at transmission time (piggybacked for
+        QMA's parameter-based exploration).
+    priority:
+        Frames with ``priority=True`` may use QMA's ``QSend`` action without
+        a preceding CCA.
+    meta:
+        Free-form metadata used by higher layers (e.g. GTS handshake ids).
+    """
+
+    kind: FrameKind
+    src: int
+    dst: int
+    origin: Optional[int] = None
+    final_dst: Optional[int] = None
+    payload_bytes: Optional[int] = None
+    created_at: float = 0.0
+    seq: int = field(default_factory=lambda: next(_frame_ids))
+    queue_level: int = 0
+    priority: bool = False
+    retries: int = 0
+    hops: int = 0
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.origin is None:
+            self.origin = self.src
+        if self.final_dst is None:
+            self.final_dst = self.dst
+        if self.payload_bytes is None:
+            self.payload_bytes = DEFAULT_FRAME_SIZES[self.kind]
+        if self.payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+
+    # ------------------------------------------------------------------ api
+    @property
+    def is_broadcast(self) -> bool:
+        """True if the frame is link-layer broadcast (never acknowledged)."""
+        return self.dst == BROADCAST
+
+    @property
+    def requires_ack(self) -> bool:
+        """Unicast non-ACK frames are acknowledged."""
+        return not self.is_broadcast and self.kind is not FrameKind.ACK
+
+    def next_hop_copy(self, src: int, dst: int) -> "Frame":
+        """Copy the frame for forwarding to the next hop.
+
+        The end-to-end fields (``origin``, ``final_dst``, ``created_at``) are
+        preserved while the link-layer addressing is rewritten and the hop
+        counter incremented.
+        """
+        return replace(
+            self,
+            src=src,
+            dst=dst,
+            retries=0,
+            hops=self.hops + 1,
+            seq=next(_frame_ids),
+            meta=dict(self.meta),
+        )
+
+    def make_ack(self, src: int) -> "Frame":
+        """Build the acknowledgement frame for this frame."""
+        if self.is_broadcast:
+            raise ValueError("broadcast frames are not acknowledged")
+        return Frame(
+            kind=FrameKind.ACK,
+            src=src,
+            dst=self.src,
+            created_at=self.created_at,
+            meta={"acked_seq": self.seq},
+        )
+
+    def acknowledges(self, frame: "Frame") -> bool:
+        """True if this ACK acknowledges the given frame."""
+        return self.kind is FrameKind.ACK and self.meta.get("acked_seq") == frame.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        dst = "BCAST" if self.is_broadcast else self.dst
+        return f"Frame({self.kind.name} #{self.seq} {self.src}->{dst})"

@@ -1,0 +1,75 @@
+"""PHY and MAC timing parameters of IEEE 802.15.4 (2.4 GHz O-QPSK).
+
+All timing constants follow the 2.4 GHz PHY used by the paper's testbed
+(M3 Open Nodes with AT86RF231 transceivers) and by openDSME:
+
+* 250 kbit/s data rate, 16 us symbol period;
+* ``aUnitBackoffPeriod`` = 20 symbols (320 us);
+* ``aTurnaroundTime`` = 12 symbols (192 us);
+* CCA duration = 8 symbols (128 us);
+* PHY preamble + SFD + length field = 6 bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.phy.frames import Frame, FrameKind
+
+
+@dataclass(frozen=True)
+class PhyParameters:
+    """Timing parameters of the physical layer."""
+
+    bitrate_bps: float = 250_000.0
+    symbol_time_s: float = 16e-6
+    phy_overhead_bytes: int = 6
+    mac_header_bytes: int = 11
+    cca_symbols: int = 8
+    turnaround_symbols: int = 12
+    unit_backoff_symbols: int = 20
+    ack_wait_symbols: int = 54  # macAckWaitDuration for the 2.4 GHz PHY
+
+    # ------------------------------------------------------------ durations
+    @property
+    def cca_duration(self) -> float:
+        """Duration of a single clear channel assessment in seconds."""
+        return self.cca_symbols * self.symbol_time_s
+
+    @property
+    def turnaround_time(self) -> float:
+        """RX/TX turnaround time in seconds."""
+        return self.turnaround_symbols * self.symbol_time_s
+
+    @property
+    def unit_backoff_period(self) -> float:
+        """``aUnitBackoffPeriod`` in seconds."""
+        return self.unit_backoff_symbols * self.symbol_time_s
+
+    @property
+    def ack_wait_duration(self) -> float:
+        """Time a transmitter waits for an acknowledgement, in seconds."""
+        return self.ack_wait_symbols * self.symbol_time_s
+
+    def frame_airtime(self, frame: Frame) -> float:
+        """Air time of a frame in seconds, including PHY and MAC overhead."""
+        if frame.kind is FrameKind.ACK:
+            total_bytes = self.phy_overhead_bytes + 5
+        else:
+            total_bytes = self.phy_overhead_bytes + self.mac_header_bytes + frame.payload_bytes
+        return total_bytes * 8.0 / self.bitrate_bps
+
+    def ack_airtime(self) -> float:
+        """Air time of an acknowledgement frame in seconds."""
+        return (self.phy_overhead_bytes + 5) * 8.0 / self.bitrate_bps
+
+    def transaction_time(self, frame: Frame) -> float:
+        """Worst-case duration of a complete unicast transaction.
+
+        Frame air time + turnaround + ACK wait.  Used by MAC layers to decide
+        how long a transmission occupies the medium from the sender's point
+        of view.
+        """
+        if frame.requires_ack:
+            return self.frame_airtime(frame) + self.turnaround_time + self.ack_wait_duration
+        return self.frame_airtime(frame)

@@ -1,0 +1,105 @@
+"""Propagation models deciding which nodes can hear each other.
+
+Two models are provided:
+
+* :class:`UnitDiskPropagation` — nodes hear each other iff their distance is
+  below a configurable communication range.  Used for the hidden-node and
+  concentric scenarios, where the paper only specifies connectivity.
+* :class:`LogDistancePathLoss` — a log-distance path-loss model combined
+  with a transmit power and a receiver sensitivity.  This reproduces the
+  topology-construction procedure of Kauer & Turau used for the FIT IoT-LAB
+  experiments (transmit power -9 dBm / 3 dBm, sensitivity -72 dBm / -90 dBm).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Sequence, Tuple
+
+Position = Tuple[float, float]
+
+
+def distance(a: Sequence[float], b: Sequence[float]) -> float:
+    """Euclidean distance between two positions (2-D or 3-D)."""
+    if len(a) != len(b):
+        raise ValueError("positions must have the same dimensionality")
+    return math.sqrt(sum((x - y) ** 2 for x, y in zip(a, b)))
+
+
+class PropagationModel(ABC):
+    """Decides link existence (and quality) between node positions."""
+
+    @abstractmethod
+    def in_range(self, a: Position, b: Position) -> bool:
+        """True if a transmission from ``a`` can be sensed/received at ``b``."""
+
+    def link_quality(self, a: Position, b: Position) -> float:
+        """A value in [0, 1] describing link quality; 0 if out of range."""
+        return 1.0 if self.in_range(a, b) else 0.0
+
+
+class UnitDiskPropagation(PropagationModel):
+    """Binary connectivity based on a fixed communication range."""
+
+    def __init__(self, communication_range: float) -> None:
+        if communication_range <= 0:
+            raise ValueError("communication_range must be positive")
+        self.communication_range = communication_range
+
+    def in_range(self, a: Position, b: Position) -> bool:
+        return distance(a, b) <= self.communication_range
+
+    def link_quality(self, a: Position, b: Position) -> float:
+        if not self.in_range(a, b):
+            return 0.0
+        d = distance(a, b)
+        return max(0.0, 1.0 - 0.5 * d / self.communication_range)
+
+
+class LogDistancePathLoss(PropagationModel):
+    """Log-distance path loss with a sensitivity threshold.
+
+    Received power is ``tx_power_dbm - pl0_db - 10 * n * log10(d / d0)``;
+    a node is in range if the received power exceeds ``sensitivity_dbm``.
+    """
+
+    def __init__(
+        self,
+        tx_power_dbm: float = 0.0,
+        sensitivity_dbm: float = -90.0,
+        path_loss_exponent: float = 2.6,
+        reference_loss_db: float = 40.0,
+        reference_distance_m: float = 1.0,
+    ) -> None:
+        if path_loss_exponent <= 0:
+            raise ValueError("path_loss_exponent must be positive")
+        if reference_distance_m <= 0:
+            raise ValueError("reference_distance_m must be positive")
+        self.tx_power_dbm = tx_power_dbm
+        self.sensitivity_dbm = sensitivity_dbm
+        self.path_loss_exponent = path_loss_exponent
+        self.reference_loss_db = reference_loss_db
+        self.reference_distance_m = reference_distance_m
+
+    def received_power_dbm(self, a: Position, b: Position) -> float:
+        """Received power at ``b`` for a transmission from ``a``."""
+        d = max(distance(a, b), self.reference_distance_m)
+        path_loss = self.reference_loss_db + 10.0 * self.path_loss_exponent * math.log10(
+            d / self.reference_distance_m
+        )
+        return self.tx_power_dbm - path_loss
+
+    def in_range(self, a: Position, b: Position) -> bool:
+        return self.received_power_dbm(a, b) >= self.sensitivity_dbm
+
+    def link_quality(self, a: Position, b: Position) -> float:
+        margin = self.received_power_dbm(a, b) - self.sensitivity_dbm
+        if margin < 0:
+            return 0.0
+        return min(1.0, margin / 20.0)
+
+    def max_range(self) -> float:
+        """Distance at which the received power equals the sensitivity."""
+        budget = self.tx_power_dbm - self.sensitivity_dbm - self.reference_loss_db
+        return self.reference_distance_m * 10.0 ** (budget / (10.0 * self.path_loss_exponent))

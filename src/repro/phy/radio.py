@@ -1,0 +1,133 @@
+"""Half-duplex transceiver model.
+
+A :class:`Radio` belongs to exactly one node and is attached to a
+:class:`~repro.phy.channel.WirelessChannel`.  The MAC layer drives it with
+:meth:`transmit` and :meth:`cca` and receives frames through the
+``frame_listener`` callback.  Every frame that arrives uncorrupted is
+delivered, including frames addressed to other nodes — overhearing is part
+of QMA's reward function.
+"""
+
+from __future__ import annotations
+
+from enum import Enum, auto
+from typing import Callable, Optional, Sequence, TYPE_CHECKING
+
+from repro.phy.frames import Frame
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checking
+    from repro.phy.channel import WirelessChannel
+    from repro.sim.engine import Simulator
+
+FrameListener = Callable[[Frame], None]
+TxCompleteListener = Callable[[Frame], None]
+
+
+class RadioState(Enum):
+    """Coarse transceiver state (receive/idle listening vs. transmitting)."""
+
+    IDLE = auto()
+    TRANSMITTING = auto()
+
+
+class RadioError(RuntimeError):
+    """Raised for invalid radio operations (e.g. transmitting while busy)."""
+
+
+class Radio:
+    """A node's transceiver.
+
+    Parameters
+    ----------
+    sim:
+        Simulation engine.
+    channel:
+        The wireless channel this radio is attached to.
+    node_id:
+        Identifier of the owning node; must be unique per channel.
+    position:
+        Optional 2-D position, required when links are derived from a
+        propagation model.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        channel: "WirelessChannel",
+        node_id: int,
+        position: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.sim = sim
+        self.channel = channel
+        self.node_id = node_id
+        self.position = tuple(position) if position is not None else None
+        self.state = RadioState.IDLE
+        self.frame_listener: Optional[FrameListener] = None
+        self.tx_complete_listener: Optional[TxCompleteListener] = None
+        self.corrupted_listener: Optional[FrameListener] = None
+        self._current_frame: Optional[Frame] = None
+        # statistics
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.frames_corrupted = 0
+        self.cca_count = 0
+        self.cca_busy_count = 0
+        self.tx_airtime = 0.0
+        channel.register(self)
+
+    # ------------------------------------------------------------------ api
+    @property
+    def transmitting(self) -> bool:
+        return self.state is RadioState.TRANSMITTING
+
+    def cca(self) -> bool:
+        """Perform a clear channel assessment.
+
+        Returns True if the channel is *clear* (idle) as seen by this radio.
+        """
+        self.cca_count += 1
+        busy = self.channel.is_busy_for(self.node_id)
+        if busy:
+            self.cca_busy_count += 1
+        return not busy
+
+    def transmit(self, frame: Frame, duration: Optional[float] = None) -> float:
+        """Transmit a frame; returns the frame's air time in seconds.
+
+        The radio must be idle.  ``duration`` overrides the air time computed
+        from the PHY parameters (used in tests).
+        """
+        if self.transmitting:
+            raise RadioError(f"radio {self.node_id} is already transmitting")
+        airtime = duration if duration is not None else self.channel.phy.frame_airtime(frame)
+        self.state = RadioState.TRANSMITTING
+        self._current_frame = frame
+        self.frames_sent += 1
+        self.tx_airtime += airtime
+        self.channel.notify_transmit_start(self.node_id)
+        self.channel.begin_transmission(self, frame, airtime)
+        return airtime
+
+    # ---------------------------------------------------------- channel API
+    def deliver(self, frame: Frame) -> None:
+        """Called by the channel when a frame arrives uncorrupted."""
+        self.frames_received += 1
+        if self.frame_listener is not None:
+            self.frame_listener(frame)
+
+    def notify_corrupted_frame(self, frame: Frame) -> None:
+        """Called by the channel when a frame addressed at (or overheard by)
+        this radio was destroyed by interference."""
+        self.frames_corrupted += 1
+        if self.corrupted_listener is not None:
+            self.corrupted_listener(frame)
+
+    def transmission_finished(self, frame: Frame) -> None:
+        """Called by the channel when this radio's transmission ends."""
+        self.state = RadioState.IDLE
+        self._current_frame = None
+        if self.tx_complete_listener is not None:
+            self.tx_complete_listener(frame)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Radio(id={self.node_id}, state={self.state.name})"

@@ -1,0 +1,198 @@
+"""The discrete-event simulation engine.
+
+The engine is intentionally small: a binary heap of :class:`Event` objects,
+a simulation clock and a handful of run-control methods.  Determinism is a
+hard requirement for reproducing the paper's figures, therefore
+
+* events scheduled for the same time are executed in scheduling order
+  (a monotonically increasing sequence number breaks ties), and
+* all randomness is drawn from named streams managed by
+  :class:`repro.sim.rng.RngRegistry`, seeded from a single master seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from typing import Any, Callable, List, Optional
+
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecorder
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulation engine."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are returned by :meth:`Simulator.schedule` and
+    :meth:`Simulator.schedule_at` and can be cancelled as long as they have
+    not fired yet.  Cancellation is lazy: the event stays on the heap but is
+    skipped when popped.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "kwargs", "cancelled", "fired")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.kwargs = kwargs
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Cancelling a fired event is a no-op."""
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is scheduled and neither fired nor cancelled."""
+        return not self.cancelled and not self.fired
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = "cancelled" if self.cancelled else ("fired" if self.fired else "pending")
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"Event(t={self.time:.6f}, seq={self.seq}, {name}, {state})"
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for all random streams obtained through :attr:`rng`.
+    trace:
+        When True, a :class:`TraceRecorder` collects trace records emitted by
+        components via :meth:`record`.
+    """
+
+    def __init__(self, seed: int = 0, trace: bool = False) -> None:
+        self._now = 0.0
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        self.rng = RngRegistry(seed)
+        self.tracer: Optional[TraceRecorder] = TraceRecorder() if trace else None
+        self.events_executed = 0
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------- scheduling
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any, **kwargs: Any) -> Event:
+        """Schedule ``callback(*args, **kwargs)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args, **kwargs)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any, **kwargs: Any) -> Event:
+        """Schedule ``callback`` at an absolute simulation time."""
+        if math.isnan(time) or math.isinf(time):
+            raise SimulationError(f"invalid event time: {time}")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past (time={time}, now={self._now})"
+            )
+        event = Event(time, next(self._seq), callback, args, kwargs)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event."""
+        event.cancel()
+
+    # ------------------------------------------------------------------- run
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns True if an event was executed, False if the queue is empty.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.fired = True
+            self.events_executed += 1
+            event.callback(*event.args, **event.kwargs)
+            return True
+        return False
+
+    def run_until(self, end_time: float) -> None:
+        """Run events until the clock reaches ``end_time``.
+
+        The clock is advanced to exactly ``end_time`` when the run finishes,
+        even if the last event fired earlier.
+        """
+        if end_time < self._now:
+            raise SimulationError(
+                f"end_time {end_time} lies in the past (now={self._now})"
+            )
+        self._running = True
+        self._stopped = False
+        try:
+            while self._queue and not self._stopped:
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if head.time > end_time:
+                    break
+                self.step()
+        finally:
+            self._running = False
+        if not self._stopped:
+            self._now = max(self._now, end_time)
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Run until the event queue is exhausted (or ``max_events`` fired)."""
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while not self._stopped:
+                if max_events is not None and executed >= max_events:
+                    break
+                if not self.step():
+                    break
+                executed += 1
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` / :meth:`run_until` after the current event."""
+        self._stopped = True
+
+    # ----------------------------------------------------------------- trace
+    def record(self, category: str, **fields: Any) -> None:
+        """Emit a trace record if tracing is enabled."""
+        if self.tracer is not None:
+            self.tracer.record(self._now, category, fields)
+
+    # ----------------------------------------------------------------- misc
+    def pending_events(self) -> int:
+        """Number of events still scheduled (including lazily cancelled ones)."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Simulator(now={self._now:.6f}, pending={self.pending_events()})"

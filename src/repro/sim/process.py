@@ -1,0 +1,79 @@
+"""Periodic processes on top of the event engine.
+
+A :class:`PeriodicProcess` re-schedules itself with a (possibly varying)
+period.  It is the building block for subslot ticks, superframe beacons and
+periodic routing broadcasts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+from repro.sim.engine import Event, SimulationError, Simulator
+
+PeriodSpec = Union[float, Callable[[], float]]
+
+
+class PeriodicProcess:
+    """Invoke a callback periodically.
+
+    Parameters
+    ----------
+    sim:
+        The simulator to schedule on.
+    period:
+        Either a fixed period in seconds or a zero-argument callable returning
+        the next period (used, e.g., for Poisson traffic generation).
+    callback:
+        Called once per period with no arguments.
+    start_delay:
+        Delay before the first invocation; defaults to one period.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: PeriodSpec,
+        callback: Callable[[], None],
+        start_delay: Optional[float] = None,
+    ) -> None:
+        self.sim = sim
+        self._period = period
+        self.callback = callback
+        self.start_delay = start_delay
+        self._event: Optional[Event] = None
+        self._running = False
+        self.invocations = 0
+
+    def _next_period(self) -> float:
+        period = self._period() if callable(self._period) else self._period
+        if period < 0:
+            raise SimulationError(f"negative period: {period}")
+        return period
+
+    def start(self) -> None:
+        """Start the process.  Starting an already running process is an error."""
+        if self._running:
+            raise SimulationError("process already running")
+        self._running = True
+        delay = self.start_delay if self.start_delay is not None else self._next_period()
+        self._event = self.sim.schedule(delay, self._fire)
+
+    def stop(self) -> None:
+        """Stop the process; the pending invocation (if any) is cancelled."""
+        self._running = False
+        if self._event is not None and self._event.pending:
+            self._event.cancel()
+        self._event = None
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self.invocations += 1
+        self.callback()
+        if self._running:
+            self._event = self.sim.schedule(self._next_period(), self._fire)

@@ -1,0 +1,63 @@
+"""Lightweight trace recording for debugging and analysis.
+
+Components call :meth:`repro.sim.Simulator.record` with a category and a set
+of keyword fields.  Records are kept in memory and can be filtered by
+category; experiments use them to extract e.g. per-frame reception times or
+Q-table snapshots without coupling the protocol code to the analysis code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass
+class TraceRecord:
+    """A single trace entry."""
+
+    time: float
+    category: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+
+class TraceRecorder:
+    """In-memory collection of :class:`TraceRecord` objects."""
+
+    def __init__(self, max_records: Optional[int] = None) -> None:
+        self.records: List[TraceRecord] = []
+        self.max_records = max_records
+        self.dropped = 0
+
+    def record(self, time: float, category: str, fields: Dict[str, Any]) -> None:
+        if self.max_records is not None and len(self.records) >= self.max_records:
+            self.dropped += 1
+            return
+        self.records.append(TraceRecord(time, category, dict(fields)))
+
+    def by_category(self, category: str) -> List[TraceRecord]:
+        """All records with the given category, in chronological order."""
+        return [r for r in self.records if r.category == category]
+
+    def categories(self) -> List[str]:
+        seen: List[str] = []
+        for record in self.records:
+            if record.category not in seen:
+                seen.append(record.category)
+        return seen
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.dropped = 0
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,31 @@
+"""Topologies used in the paper's evaluation.
+
+* :func:`hidden_node_topology` — the three-node hidden-terminal scenario of
+  Sect. 6.1 (Fig. 6);
+* :func:`iot_lab_tree_topology` — the 10-node, depth-4 routing tree of the
+  FIT IoT-LAB experiments (Fig. 16);
+* :func:`iot_lab_star_topology` — the dense 17-node star (Fig. 17);
+* :func:`concentric_topology` — the data-collection topology with 1-4 rings
+  around a central sink, i.e. 7 / 19 / 43 / 91 nodes (Fig. 20);
+* :func:`random_topology` — uniformly random node placement, used by tests
+  and the ALOHA-Q related-work example;
+* :class:`Topology` plus the Kauer-style helpers for deriving connectivity
+  from positions, transmit power and sensitivity.
+"""
+
+from repro.topology.base import Topology, build_routing_tree
+from repro.topology.hidden_node import hidden_node_topology
+from repro.topology.iotlab import iot_lab_star_topology, iot_lab_tree_topology
+from repro.topology.concentric import concentric_node_count, concentric_topology
+from repro.topology.random_topo import random_topology
+
+__all__ = [
+    "Topology",
+    "build_routing_tree",
+    "concentric_node_count",
+    "concentric_topology",
+    "hidden_node_topology",
+    "iot_lab_star_topology",
+    "iot_lab_tree_topology",
+    "random_topology",
+]

@@ -1,0 +1,56 @@
+"""The concentric data-collection topology of the scalability study (Sect. 6.3).
+
+A central sink is surrounded by 1 to 4 rings of nodes; ring ``r`` contains
+``6 * 2^(r-1)`` nodes, giving the node counts 7, 19, 43 and 91 evaluated in
+Fig. 21 / Fig. 22 of the paper.  Nodes route their data towards the sink
+along a minimum-hop tree; nodes of the same or adjacent rings that are
+geometrically close are within communication range, producing the multiple
+hidden-node constellations the paper mentions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+from repro.phy.propagation import UnitDiskPropagation
+from repro.topology.base import Topology
+
+#: The sink is always node 0.
+SINK = 0
+
+
+def concentric_node_count(rings: int) -> int:
+    """Total number of nodes for a given number of rings (7, 19, 43, 91)."""
+    if rings < 0:
+        raise ValueError("rings must be non-negative")
+    return 1 + sum(6 * 2 ** (r - 1) for r in range(1, rings + 1))
+
+
+def concentric_topology(rings: int, ring_spacing: float = 40.0) -> Topology:
+    """Build the concentric topology with the given number of rings.
+
+    ``ring_spacing`` is the radial distance between consecutive rings; the
+    communication range is chosen as ``1.3 * ring_spacing`` so that nodes
+    reach the adjacent ring and their closest neighbours on the same ring
+    but not nodes on the far side of the topology.
+    """
+    if rings < 1:
+        raise ValueError("at least one ring is required")
+    if ring_spacing <= 0:
+        raise ValueError("ring_spacing must be positive")
+
+    positions: Dict[int, Tuple[float, float]] = {SINK: (0.0, 0.0)}
+    node_id = 1
+    for ring in range(1, rings + 1):
+        count = 6 * 2 ** (ring - 1)
+        radius = ring * ring_spacing
+        for index in range(count):
+            angle = 2.0 * math.pi * index / count + (math.pi / count if ring % 2 == 0 else 0.0)
+            positions[node_id] = (radius * math.cos(angle), radius * math.sin(angle))
+            node_id += 1
+
+    topology = Topology(positions=positions, sink=SINK, name=f"concentric-{rings}-rings")
+    topology.derive_links(UnitDiskPropagation(1.3 * ring_spacing))
+    topology.build_routing_tree(SINK)
+    return topology

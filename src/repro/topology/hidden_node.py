@@ -1,0 +1,41 @@
+"""The hidden-node topology of Sect. 6.1 (Fig. 6).
+
+Three nodes on a line: A and C are both within range of the central sink B
+but out of range of each other.  A CCA performed at A (or C) therefore only
+fails while B is transmitting an ACK; data transmissions of the opposite
+node are invisible, which is exactly the hidden-terminal situation QMA is
+shown to solve without RTS/CTS.
+"""
+
+from __future__ import annotations
+
+from repro.topology.base import Topology
+
+#: Conventional node identifiers for the scenario.
+NODE_A = 0
+NODE_B = 1  # the sink
+NODE_C = 2
+
+
+def hidden_node_topology(link_distance: float = 50.0) -> Topology:
+    """Build the three-node hidden-terminal topology.
+
+    ``link_distance`` is the A-B (and B-C) distance; A and C are twice as far
+    apart and therefore hidden from each other when the communication range
+    is chosen between ``link_distance`` and ``2 * link_distance``.
+    """
+    if link_distance <= 0:
+        raise ValueError("link_distance must be positive")
+    topology = Topology(
+        positions={
+            NODE_A: (0.0, 0.0),
+            NODE_B: (link_distance, 0.0),
+            NODE_C: (2.0 * link_distance, 0.0),
+        },
+        sink=NODE_B,
+        name="hidden-node",
+    )
+    topology.add_link(NODE_A, NODE_B)
+    topology.add_link(NODE_B, NODE_C)
+    topology.build_routing_tree(NODE_B)
+    return topology

@@ -1,0 +1,47 @@
+"""Random topologies, used by tests and the ALOHA-Q data-collection example.
+
+The related-work baselines (ALOHA-Q / ALOHA-QIR) were evaluated on randomly
+deployed data-collection networks; :func:`random_topology` reproduces such a
+deployment: nodes are placed uniformly at random inside a square area, the
+sink sits at the centre and connectivity is derived from a unit-disk range.
+The generator retries until the network is connected.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Tuple
+
+from repro.phy.propagation import UnitDiskPropagation
+from repro.topology.base import Topology
+
+
+def random_topology(
+    num_nodes: int,
+    area_size: float = 100.0,
+    communication_range: float = 35.0,
+    seed: int = 0,
+    max_attempts: int = 100,
+) -> Topology:
+    """Place ``num_nodes`` nodes uniformly at random; node 0 is the central sink."""
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be at least 1")
+    if area_size <= 0 or communication_range <= 0:
+        raise ValueError("area_size and communication_range must be positive")
+    rng = random.Random(seed)
+    model = UnitDiskPropagation(communication_range)
+    for _ in range(max_attempts):
+        positions: Dict[int, Tuple[float, float]] = {0: (area_size / 2.0, area_size / 2.0)}
+        for node in range(1, num_nodes):
+            positions[node] = (rng.uniform(0, area_size), rng.uniform(0, area_size))
+        topology = Topology(positions=positions, sink=0, name=f"random-{num_nodes}")
+        topology.derive_links(model)
+        try:
+            topology.build_routing_tree(0)
+        except ValueError:
+            continue  # disconnected; try a new placement
+        return topology
+    raise RuntimeError(
+        "could not generate a connected random topology; "
+        "increase communication_range or max_attempts"
+    )

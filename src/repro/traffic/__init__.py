@@ -1,0 +1,23 @@
+"""Traffic generators.
+
+The paper's evaluation uses Poisson packet generation with a fixed mean
+rate δ (Sect. 6.1 / 6.2), alternating rates (the fluctuating-traffic
+experiment of Fig. 12 and the scalability study of Sect. 6.3) and periodic
+management traffic.  All generators produce packets by invoking a callback
+at generation times and can cap the total number of generated packets
+(the paper generates 1000 data packets per source).
+"""
+
+from repro.traffic.generators import (
+    FluctuatingPoissonTraffic,
+    PeriodicTraffic,
+    PoissonTraffic,
+    TrafficGenerator,
+)
+
+__all__ = [
+    "FluctuatingPoissonTraffic",
+    "PeriodicTraffic",
+    "PoissonTraffic",
+    "TrafficGenerator",
+]

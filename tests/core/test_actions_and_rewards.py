@@ -1,0 +1,93 @@
+"""Unit tests for QMA's action set and reward functions (Table 4, Eq. 6-8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.actions import ALL_ACTIONS, QAction
+from repro.core.rewards import (
+    DEFAULT_REWARDS,
+    RewardFunction,
+    format_reward_table,
+    global_reward,
+    local_reward,
+    reward_table,
+)
+
+B, C, S = QAction.QBACKOFF, QAction.QCCA, QAction.QSEND
+
+
+class TestActions:
+    def test_short_names_round_trip(self):
+        for action in ALL_ACTIONS:
+            assert QAction.from_short_name(action.short_name) is action
+
+    def test_unknown_short_name_rejected(self):
+        with pytest.raises(ValueError):
+            QAction.from_short_name("X")
+
+    def test_action_order_is_stable(self):
+        assert ALL_ACTIONS == (B, C, S)
+
+
+class TestLocalRewards:
+    def test_eq6_backoff(self):
+        assert DEFAULT_REWARDS.backoff(overheard=True) == 2
+        assert DEFAULT_REWARDS.backoff(overheard=False) == 0
+
+    def test_eq7_cca(self):
+        assert DEFAULT_REWARDS.cca(cca_success=True, tx_success=True) == 3
+        assert DEFAULT_REWARDS.cca(cca_success=True, tx_success=False) == -2
+        assert DEFAULT_REWARDS.cca(cca_success=False) == 1
+
+    def test_eq8_send(self):
+        assert DEFAULT_REWARDS.send(tx_success=True) == 4
+        assert DEFAULT_REWARDS.send(tx_success=False) == -3
+
+
+class TestTable4:
+    """Every consistent row of Table 4 in the paper."""
+
+    @pytest.mark.parametrize(
+        "actions, locals_, total",
+        [
+            ((B, S, B), [2, 4, 2], 8),
+            ((B, C, B), [2, 3, 2], 7),
+            ((C, S, C), [1, 4, 1], 6),
+            ((B, B, B), [0, 0, 0], 0),
+            ((C, B, C), [-2, 0, -2], -4),
+            ((S, B, S), [-3, 0, -3], -6),
+            ((C, C, C), [-2, -2, -2], -6),
+            ((S, C, S), [-3, 1, -3], -5),
+            ((S, S, S), [-3, -3, -3], -9),
+        ],
+    )
+    def test_row(self, actions, locals_, total):
+        assert [local_reward(actions, i) for i in range(3)] == locals_
+        assert global_reward(actions) == total
+
+    def test_global_reward_orders_success_above_failure(self):
+        successes = [(B, S, B), (B, C, B), (C, S, C)]
+        failures = [(C, B, C), (S, B, S), (C, C, C), (S, C, S), (S, S, S)]
+        min_success = min(global_reward(a) for a in successes)
+        max_failure = max(global_reward(a) for a in failures)
+        assert min_success > 0 > max_failure
+
+    def test_reward_table_enumerates_all_combinations(self):
+        table = reward_table(3)
+        assert len(table) == 27
+        table2 = reward_table(2)
+        assert len(table2) == 9
+
+    def test_agent_index_out_of_range(self):
+        with pytest.raises(IndexError):
+            local_reward((B, B), 5)
+
+    def test_format_reward_table_mentions_all_rows(self):
+        text = format_reward_table(2)
+        assert "B S" in text and "S S" in text
+        assert len(text.splitlines()) == 1 + 9
+
+    def test_custom_reward_function_propagates(self):
+        rewards = RewardFunction(send_tx_success=8.0)
+        assert local_reward((B, S, B), 1, rewards) == 8.0

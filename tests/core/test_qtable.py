@@ -1,0 +1,145 @@
+"""Unit tests for the Q-table: Eq. 5 (value update) and Eq. 3 (policy update)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.actions import QAction
+from repro.core.qtable import QTable
+
+B, C, S = QAction.QBACKOFF, QAction.QCCA, QAction.QSEND
+
+
+def make_table(**kwargs):
+    defaults = dict(num_states=4, learning_rate=1.0, discount_factor=1.0, penalty=2.0, q_init=-10.0)
+    defaults.update(kwargs)
+    return QTable(**defaults)
+
+
+class TestInitialisation:
+    def test_initial_values_and_policy(self):
+        table = make_table()
+        for state in range(4):
+            assert table.policy(state) is B
+            for action in (B, C, S):
+                assert table.value(state, action) == -10.0
+        assert table.cumulative_policy_value() == -40.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            QTable(num_states=0)
+        with pytest.raises(ValueError):
+            QTable(num_states=4, learning_rate=0.0)
+        with pytest.raises(ValueError):
+            QTable(num_states=4, discount_factor=1.5)
+        with pytest.raises(ValueError):
+            QTable(num_states=4, penalty=-1.0)
+
+
+class TestEq5Update:
+    def test_positive_reward_raises_value(self):
+        table = make_table()
+        result = table.update(0, S, reward=4.0, next_state=1)
+        # alpha=1, gamma=1: candidate = 4 + max_a Q(1, a) = 4 - 10 = -6.
+        assert result.new_value == -6.0
+        assert table.value(0, S) == -6.0
+
+    def test_penalty_limits_decrease(self):
+        """A large punishment only decreases the stored value by xi (Eq. 5)."""
+        table = make_table()
+        table.update(2, S, reward=-3.0, next_state=3)
+        # candidate = -3 - 10 = -13 but the value only drops by xi = 2.
+        assert table.value(2, S) == -12.0
+
+    def test_stable_optimum_is_restored_after_penalty(self):
+        """The penalty only affects fluctuating Q-values (Sect. 3.1.1)."""
+        table = make_table(learning_rate=0.5, discount_factor=0.0)
+        for _ in range(10):
+            table.update(0, S, reward=4.0, next_state=1)
+        stable = table.value(0, S)
+        table.update(0, S, reward=-3.0, next_state=1)   # one bad experience
+        assert table.value(0, S) == pytest.approx(stable - 2.0)
+        for _ in range(10):
+            table.update(0, S, reward=4.0, next_state=1)
+        assert table.value(0, S) == pytest.approx(stable, abs=0.1)
+
+    def test_learning_rate_halves_increment(self):
+        table = make_table(learning_rate=0.5, discount_factor=0.9)
+        table.update(0, C, reward=3.0, next_state=1)
+        expected = 0.5 * -10.0 + 0.5 * (3.0 + 0.9 * -10.0)
+        assert table.value(0, C) == pytest.approx(expected)
+
+    def test_invalid_states_rejected(self):
+        table = make_table()
+        with pytest.raises(IndexError):
+            table.update(7, B, 0.0, 0)
+        with pytest.raises(IndexError):
+            table.update(0, B, 0.0, 9)
+
+
+class TestEq3Policy:
+    def test_policy_switches_only_on_strictly_greater_value(self):
+        table = make_table()
+        table.update(0, B, reward=0.0, next_state=1)      # Q(0,B) = -10
+        table.update(0, S, reward=4.0, next_state=1)      # Q(0,S) = -6 > Q(0,B)
+        assert table.policy(0) is S
+
+    def test_policy_keeps_first_optimum_on_ties(self):
+        table = make_table()
+        table.set_value(0, B, 5.0)
+        table.set_policy(0, B)
+        # An update that reaches exactly the same value must not switch.
+        table.set_value(0, C, 5.0)
+        result = table.update(0, C, reward=5.0, next_state=1)
+        assert table.policy(0) is B
+        assert not result.policy_changed
+
+    def test_failed_transmission_does_not_change_policy(self):
+        """Reproduces the frame-1/subslot-3 situation of the paper's example."""
+        table = make_table()
+        table.update(2, S, reward=-3.0, next_state=3)
+        assert table.policy(2) is B
+
+    def test_updates_counter(self):
+        table = make_table()
+        table.update(0, B, 0.0, 1)
+        table.update(1, C, 1.0, 2)
+        assert table.updates == 2
+
+
+class TestMetrics:
+    def test_transmission_subslots_and_counts(self):
+        table = make_table()
+        table.set_policy(1, S)
+        table.set_policy(3, C)
+        assert table.transmission_subslots() == [1, 3]
+        counts = table.policy_counts()
+        assert counts[S] == 1 and counts[C] == 1 and counts[B] == 2
+
+    def test_cumulative_values(self):
+        table = make_table()
+        table.set_value(0, B, 1.0)
+        table.set_value(1, S, 7.0)
+        table.set_policy(1, S)
+        assert table.cumulative_policy_value() == 1.0 + 7.0 - 10.0 - 10.0
+        assert table.cumulative_max_value() >= table.cumulative_policy_value()
+
+    def test_memory_footprint_is_small(self):
+        """The paper targets embedded devices: 54 subslots x 3 actions."""
+        table = QTable(num_states=54)
+        assert table.memory_footprint_bytes(bytes_per_entry=4) <= 1024
+
+    def test_reset(self):
+        table = make_table()
+        table.update(0, S, 4.0, 1)
+        table.set_policy(2, C)
+        table.reset()
+        assert table.value(0, S) == -10.0
+        assert table.policy(2) is B
+        assert table.updates == 0
+
+    def test_as_rows_format(self):
+        table = make_table()
+        rows = table.as_rows()
+        assert len(rows) == 4
+        assert rows[0][4] == "B"

@@ -1,0 +1,112 @@
+"""Reproduction of the worked example of Sect. 5 (Fig. 5 of the paper).
+
+Three nodes, four subslots, α = 1, γ = 1, ξ = 2, Q-values initialised to
+-10 and the policy initialised to QBackoff.  The test replays the scripted
+action/reward sequence of frame 1 and checks the Q-values the paper states.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.actions import QAction
+from repro.core.qtable import QTable
+
+B, C, S = QAction.QBACKOFF, QAction.QCCA, QAction.QSEND
+
+
+def paper_table() -> QTable:
+    return QTable(num_states=4, learning_rate=1.0, discount_factor=1.0, penalty=2.0, q_init=-10.0)
+
+
+class TestFrame1Node1:
+    """Node n1 of the example: QSend (success) in subslot 0, QSend (collision) in subslot 2."""
+
+    def test_subslot0_success_gives_minus_6(self):
+        table = paper_table()
+        # Reward 4 (Eq. 8), next state's maximum is still -10.
+        table.update(0, S, reward=4.0, next_state=1)
+        assert table.value(0, S) == -6.0
+        assert table.policy(0) is S  # -6 > Q(0, QBackoff) = -10
+
+    def test_subslot2_collision_applies_penalty_only(self):
+        table = paper_table()
+        table.update(0, S, reward=4.0, next_state=1)
+        # Collision in subslot 2: candidate -3 - 10 = -13, but Q drops only by xi = 2.
+        table.update(2, S, reward=-3.0, next_state=3)
+        assert table.value(2, S) == -12.0
+        # Policy for subslot 2 stays QBackoff, as the paper notes.
+        assert table.policy(2) is B
+
+    def test_subslot3_backoff_uses_updated_next_state(self):
+        """Q(3, B) = 2 + max_a Q(0, a) = 2 - 6 = -4 after n1's subslot-0 success."""
+        table = paper_table()
+        table.update(0, S, reward=4.0, next_state=1)
+        table.update(3, B, reward=2.0, next_state=0)
+        assert table.value(3, B) == -4.0
+
+
+class TestFrame1Node2:
+    """Node n2: random QCCA in subslot 0 (CCA fails: reward 1), QSend collision in subslot 2."""
+
+    def test_failed_cca_gives_minus_9(self):
+        table = paper_table()
+        table.update(0, C, reward=1.0, next_state=1)
+        assert table.value(0, C) == -9.0
+
+    def test_qsend_success_in_subslot_3(self):
+        table = paper_table()
+        table.update(0, C, reward=1.0, next_state=1)
+        # Collision in subslot 2 first (penalty), then a successful QSend in subslot 3.
+        table.update(2, S, reward=-3.0, next_state=3)
+        table.update(3, S, reward=4.0, next_state=0)
+        # Q(3, S) = 4 + max_a Q(0, a) = 4 - 9 = -5 as shown in the paper.
+        assert table.value(3, S) == -5.0
+        assert table.policy(3) is S
+
+
+class TestFrame1Node3:
+    """Node n3 is in cautious startup: it only backs off and observes."""
+
+    def test_overhearing_rewards_backoff(self):
+        table = paper_table()
+        # Overhears n1's successful transmission in subslot 0: reward 2.
+        table.update(0, B, reward=2.0, next_state=1)
+        assert table.value(0, B) == -8.0
+        # Nothing overheard in subslots 1 and 2 (collision): reward 0.
+        table.update(1, B, reward=0.0, next_state=2)
+        table.update(2, B, reward=0.0, next_state=3)
+        assert table.value(1, B) == -10.0
+        assert table.value(2, B) == -10.0
+        # Overhears n2's transmission in subslot 3: Q(3, B) = 2 + Q(0, B) = -6.
+        table.update(3, B, reward=2.0, next_state=0)
+        assert table.value(3, B) == -6.0
+
+
+def test_three_agents_settle_on_distinct_transmission_subslots():
+    """After the example's three frames every node owns one transmission subslot."""
+    tables = {name: paper_table() for name in ("n1", "n2", "n3")}
+    # Frame 1 (as above).
+    tables["n1"].update(0, S, 4.0, 1)
+    tables["n2"].update(0, C, 1.0, 1)
+    tables["n1"].update(2, S, -3.0, 3)
+    tables["n2"].update(2, S, -3.0, 3)
+    tables["n2"].update(3, S, 4.0, 0)
+    tables["n3"].update(0, B, 2.0, 1)
+    tables["n3"].update(3, B, 2.0, 0)
+    # Frame 2: n3 randomly selects QCCA in subslot 1 and succeeds (reward 3).
+    tables["n3"].update(1, C, 3.0, 2)
+    assert tables["n3"].policy(1) is C
+
+    # Every node ends up transmitting (QSend or QCCA) in its own subslot.
+    assert tables["n1"].policy(0) is S
+    assert tables["n2"].policy(3) is S
+    assert tables["n3"].policy(1) is C
+    # The QSend subslots of the three nodes are pairwise distinct, i.e. the
+    # example converges to a collision-free transmission schedule.
+    send_slots = {
+        name: {m for m in range(4) if table.policy(m) is S}
+        for name, table in tables.items()
+    }
+    claimed = [slot for slots in send_slots.values() for slot in slots]
+    assert len(claimed) == len(set(claimed))

@@ -1,0 +1,104 @@
+"""Unit tests for the DSME superframe timing and the GTS allocation table."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dsme.gts import GtsAllocationTable, GtsDirection, GtsSlot, iter_all_slots
+from repro.dsme.superframe import SuperframeConfig
+
+
+class TestSuperframeConfig:
+    def test_standard_timing(self):
+        config = SuperframeConfig(superframe_order=3)
+        # 960 * 2^3 symbols of 16 us = 122.88 ms.
+        assert config.superframe_duration == pytest.approx(0.12288)
+        assert config.slot_duration == pytest.approx(0.12288 / 16)
+        assert config.cap_duration == pytest.approx(8 * 0.12288 / 16)
+        assert config.cfp_duration == pytest.approx(7 * 0.12288 / 16)
+        assert config.beacon_duration == pytest.approx(0.12288 / 16)
+
+    def test_subslot_duration_divides_cap_into_54(self):
+        config = SuperframeConfig()
+        assert config.subslot_duration * config.cap_subslots == pytest.approx(
+            config.cap_duration
+        )
+
+    def test_gts_counts(self):
+        config = SuperframeConfig(num_channels=4, superframes_per_multisuperframe=2)
+        assert config.gts_per_superframe == 7 * 4
+        assert config.gts_per_multisuperframe == 7 * 4 * 2
+
+    def test_cap_gate_window(self):
+        config = SuperframeConfig()
+        gate = config.cap_gate()
+        # Start of the CAP of the first superframe (just after the beacon).
+        assert gate.active(config.cap_offset + 1e-6)
+        # Inside the CFP.
+        assert not gate.active(config.cap_offset + config.cap_duration + 1e-3)
+        # Second superframe's CAP.
+        assert gate.active(config.superframe_duration + config.cap_offset + 1e-6)
+
+    def test_cfp_start(self):
+        config = SuperframeConfig()
+        assert config.cfp_start(0) == pytest.approx(config.beacon_duration + config.cap_duration)
+        assert config.cfp_start(2) == pytest.approx(
+            2 * config.superframe_duration + config.beacon_duration + config.cap_duration
+        )
+
+    def test_invalid_structure_rejected(self):
+        with pytest.raises(ValueError):
+            SuperframeConfig(cap_slots=9)  # beacon + cap + cfp != 16
+        with pytest.raises(ValueError):
+            SuperframeConfig(cap_subslots=0)
+
+
+class TestGtsAllocationTable:
+    def make(self):
+        return GtsAllocationTable(SuperframeConfig(num_channels=2, superframes_per_multisuperframe=1))
+
+    def test_allocate_and_query(self):
+        table = self.make()
+        slot = GtsSlot(0, 0, 0)
+        table.allocate(slot, GtsDirection.TX, peer=5)
+        assert table.is_allocated(slot)
+        assert table.tx_slots(5) == [slot]
+        assert table.rx_slots() == []
+        assert table.num_allocated == 1
+        with pytest.raises(ValueError):
+            table.allocate(slot, GtsDirection.RX, peer=6)
+
+    def test_find_free_slot_skips_allocated_and_busy(self):
+        table = self.make()
+        first = table.find_free_slot()
+        table.allocate(first, GtsDirection.TX, peer=1)
+        second = table.find_free_slot()
+        assert second != first
+        table.mark_neighbourhood_busy(second)
+        third = table.find_free_slot()
+        assert third not in (first, second)
+
+    def test_all_slots_exhaustible(self):
+        config = SuperframeConfig(num_channels=1, superframes_per_multisuperframe=1)
+        table = GtsAllocationTable(config)
+        slots = list(iter_all_slots(config))
+        assert len(slots) == config.cfp_slots
+        for slot in slots:
+            table.allocate(slot, GtsDirection.TX, peer=0)
+        assert table.find_free_slot() is None
+
+    def test_deallocate(self):
+        table = self.make()
+        slot = GtsSlot(0, 1, 0)
+        table.allocate(slot, GtsDirection.RX, peer=2)
+        assert table.deallocate(slot) is not None
+        assert not table.is_allocated(slot)
+        assert table.deallocate(slot) is None
+
+    def test_neighbourhood_marks_can_be_cleared(self):
+        table = self.make()
+        slot = GtsSlot(0, 3, 1)
+        table.mark_neighbourhood_busy(slot)
+        assert not table.is_usable(slot)
+        table.mark_neighbourhood_free(slot)
+        assert table.is_usable(slot)

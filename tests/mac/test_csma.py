@@ -1,0 +1,171 @@
+"""Unit and behaviour tests for the CSMA/CA baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mac.csma import CsmaConfig, SlottedCsmaCa, UnslottedCsmaCa
+from repro.phy.channel import WirelessChannel
+from repro.phy.frames import BROADCAST, Frame, FrameKind
+from repro.phy.radio import Radio
+from repro.sim.engine import Simulator
+
+
+def build_pair(sim, mac_cls=UnslottedCsmaCa, config=None):
+    """Two nodes in range of each other running the given CSMA variant."""
+    channel = WirelessChannel(sim)
+    radio_a = Radio(sim, channel, 0)
+    radio_b = Radio(sim, channel, 1)
+    channel.connect(0, 1)
+    mac_a = mac_cls(sim, radio_a, config=config)
+    mac_b = mac_cls(sim, radio_b, config=config)
+    mac_a.start()
+    mac_b.start()
+    return mac_a, mac_b, channel
+
+
+@pytest.mark.parametrize("mac_cls", [UnslottedCsmaCa, SlottedCsmaCa])
+def test_unicast_delivery_with_ack(mac_cls):
+    sim = Simulator(seed=1)
+    mac_a, mac_b, _ = build_pair(sim, mac_cls)
+    received = []
+    mac_b.receive_callback = received.append
+    outcomes = []
+    mac_a.sent_callback = lambda frame, ok: outcomes.append(ok)
+    frame = Frame(FrameKind.DATA, src=0, dst=1)
+    assert mac_a.send(frame)
+    sim.run_until(1.0)
+    assert [f.seq for f in received] == [frame.seq]
+    assert outcomes == [True]
+    assert mac_a.stats.tx_success == 1
+    assert mac_b.stats.acks_sent == 1
+    assert mac_a.queue.empty
+
+
+@pytest.mark.parametrize("mac_cls", [UnslottedCsmaCa, SlottedCsmaCa])
+def test_broadcast_has_no_ack_and_completes(mac_cls):
+    sim = Simulator(seed=1)
+    mac_a, mac_b, _ = build_pair(sim, mac_cls)
+    received = []
+    mac_b.receive_callback = received.append
+    frame = Frame(FrameKind.ROUTE_DISCOVERY, src=0, dst=BROADCAST)
+    mac_a.send(frame)
+    sim.run_until(1.0)
+    assert len(received) == 1
+    assert mac_a.stats.broadcasts_sent == 1
+    assert mac_b.stats.acks_sent == 0
+
+
+def test_retransmission_until_drop_when_receiver_unreachable():
+    sim = Simulator(seed=1)
+    channel = WirelessChannel(sim)
+    radio_a = Radio(sim, channel, 0)
+    Radio(sim, channel, 1)
+    # No link: node 1 never receives, so node 0 never gets an ACK.
+    config = CsmaConfig(max_frame_retries=2)
+    mac_a = UnslottedCsmaCa(sim, radio_a, config=config)
+    mac_a.start()
+    outcomes = []
+    mac_a.sent_callback = lambda frame, ok: outcomes.append(ok)
+    frame = Frame(FrameKind.DATA, src=0, dst=1)
+    mac_a.send(frame)
+    sim.run_until(5.0)
+    assert outcomes == [False]
+    assert mac_a.stats.dropped_retries == 1
+    # initial attempt + max_frame_retries retransmissions
+    assert mac_a.stats.tx_attempts == config.max_frame_retries + 1
+    assert mac_a.queue.empty
+
+
+def test_queue_serves_multiple_frames_in_order():
+    sim = Simulator(seed=1)
+    mac_a, mac_b, _ = build_pair(sim)
+    received = []
+    mac_b.receive_callback = lambda f: received.append(f.meta["index"])
+    for index in range(5):
+        mac_a.send(Frame(FrameKind.DATA, src=0, dst=1, meta={"index": index}))
+    sim.run_until(2.0)
+    assert received == [0, 1, 2, 3, 4]
+
+
+def test_queue_overflow_drops_packets():
+    sim = Simulator(seed=1)
+    config = CsmaConfig(queue_capacity=2)
+    mac_a, mac_b, _ = build_pair(sim, config=config)
+    for _ in range(5):
+        mac_a.send(Frame(FrameKind.DATA, src=0, dst=1))
+    assert mac_a.stats.queue_drops >= 2
+
+
+def test_cca_defers_to_ongoing_transmission():
+    """A third node transmitting keeps the CSMA sender in backoff (busy CCAs)."""
+    sim = Simulator(seed=3)
+    channel = WirelessChannel(sim)
+    radio_a = Radio(sim, channel, 0)
+    radio_b = Radio(sim, channel, 1)
+    radio_x = Radio(sim, channel, 2)
+    channel.connect(0, 1)
+    channel.connect(0, 2)
+    channel.connect(1, 2)
+    mac_a = UnslottedCsmaCa(sim, radio_a, config=CsmaConfig())
+    mac_b = UnslottedCsmaCa(sim, radio_b)
+    mac_a.start()
+    mac_b.start()
+    received = []
+    mac_b.receive_callback = received.append
+    # Node 2 occupies the channel with a long foreign transmission.
+    blocker = Frame(FrameKind.DATA, src=2, dst=1, payload_bytes=110)
+    radio_x.transmit(blocker, duration=0.05)
+    mac_a.send(Frame(FrameKind.DATA, src=0, dst=1))
+    sim.run_until(1.0)
+    assert mac_a.stats.cca_busy >= 1
+    # The attempt finished: either the frame was delivered after the channel
+    # became free again, or the standard dropped it as a channel-access
+    # failure after macMaxCSMABackoffs busy CCAs.  Either way the frame has
+    # left the queue and its outcome was recorded.
+    delivered = any(f.src == 0 for f in received)
+    assert delivered or mac_a.stats.dropped_channel_access == 1
+    assert mac_a.queue.empty
+
+
+def test_hidden_node_collisions_reduce_csma_reliability():
+    """Both hidden senders transmitting simultaneously lose frames at the sink."""
+    sim = Simulator(seed=5)
+    channel = WirelessChannel(sim)
+    radio_a = Radio(sim, channel, 0)
+    radio_b = Radio(sim, channel, 1)
+    radio_c = Radio(sim, channel, 2)
+    channel.connect(0, 1)
+    channel.connect(1, 2)
+    macs = [UnslottedCsmaCa(sim, r) for r in (radio_a, radio_b, radio_c)]
+    for mac in macs:
+        mac.start()
+    received = []
+    macs[1].receive_callback = received.append
+    num_frames = 30
+    for i in range(num_frames):
+        send_time = i * 0.01
+        sim.schedule(send_time, macs[0].send, Frame(FrameKind.DATA, src=0, dst=1))
+        sim.schedule(send_time, macs[2].send, Frame(FrameKind.DATA, src=2, dst=1))
+    sim.run_until(20.0)
+    # With synchronised hidden senders some frames must be lost despite retries.
+    assert len(received) < 2 * num_frames
+
+
+def test_slotted_csma_aligns_cca_to_backoff_boundaries():
+    sim = Simulator(seed=2)
+    mac_a, mac_b, _ = build_pair(sim, SlottedCsmaCa)
+    received = []
+    mac_b.receive_callback = received.append
+    mac_a.send(Frame(FrameKind.DATA, src=0, dst=1))
+    sim.run_until(1.0)
+    assert len(received) == 1
+    # Slotted CSMA performs CW=2 CCAs per transmission.
+    assert mac_a.stats.cca_performed >= 2
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ValueError):
+        CsmaConfig(mac_min_be=6, mac_max_be=5)
+    with pytest.raises(ValueError):
+        CsmaConfig(max_csma_backoffs=-1)

@@ -1,0 +1,102 @@
+"""Unit tests for the packet queue and the activity gates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mac.gate import AlwaysActiveGate, WindowedGate
+from repro.mac.queue import PacketQueue
+from repro.phy.frames import Frame, FrameKind
+from repro.sim.engine import Simulator
+
+
+def make_frame(seq_src=0):
+    return Frame(FrameKind.DATA, src=seq_src, dst=1)
+
+
+class TestPacketQueue:
+    def test_fifo_order(self, sim):
+        queue = PacketQueue(sim, capacity=8)
+        frames = [make_frame() for _ in range(3)]
+        for frame in frames:
+            assert queue.push(frame)
+        assert queue.pop() is frames[0]
+        assert queue.pop() is frames[1]
+        assert queue.peek() is frames[2]
+        assert queue.level == 1
+
+    def test_capacity_enforced_and_drops_counted(self, sim):
+        queue = PacketQueue(sim, capacity=2)
+        assert queue.push(make_frame())
+        assert queue.push(make_frame())
+        assert not queue.push(make_frame())
+        assert queue.dropped_full == 1
+        assert queue.full
+
+    def test_pop_empty_returns_none(self, sim):
+        queue = PacketQueue(sim, capacity=2)
+        assert queue.pop() is None
+        assert queue.peek() is None
+        assert queue.empty
+
+    def test_push_front(self, sim):
+        queue = PacketQueue(sim, capacity=8)
+        first, second = make_frame(), make_frame()
+        queue.push(first)
+        queue.push_front(second)
+        assert queue.pop() is second
+
+    def test_time_weighted_average_level(self):
+        sim = Simulator()
+        queue = PacketQueue(sim, capacity=8)
+        frame = make_frame()
+        sim.schedule(0.0, queue.push, frame)
+        sim.schedule(4.0, queue.pop)
+        sim.run_until(10.0)
+        # Occupied with one packet for 4 of 10 seconds.
+        assert queue.average_level() == pytest.approx(0.4, abs=0.01)
+
+    def test_reset_statistics_restarts_window(self):
+        sim = Simulator()
+        queue = PacketQueue(sim, capacity=8)
+        queue.push(make_frame())
+        sim.run_until(10.0)
+        queue.reset_statistics()
+        sim.run_until(20.0)
+        assert queue.average_level() == pytest.approx(1.0, abs=0.01)
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(ValueError):
+            PacketQueue(sim, capacity=0)
+
+
+class TestGates:
+    def test_always_active(self):
+        gate = AlwaysActiveGate()
+        assert gate.active(0.0) and gate.active(1e9)
+        assert gate.next_active_time(5.0) == 5.0
+
+    def test_windowed_gate_activity(self):
+        gate = WindowedGate(period=10.0, window=4.0, offset=1.0)
+        assert not gate.active(0.5)       # before the first window
+        assert gate.active(1.0)
+        assert gate.active(4.9)
+        assert not gate.active(5.5)
+        assert gate.active(11.0)          # second period
+
+    def test_windowed_gate_next_active_time(self):
+        gate = WindowedGate(period=10.0, window=4.0, offset=1.0)
+        assert gate.next_active_time(0.0) == 1.0
+        assert gate.next_active_time(2.0) == 2.0
+        assert gate.next_active_time(6.0) == pytest.approx(11.0)
+
+    def test_windowed_gate_remaining_time(self):
+        gate = WindowedGate(period=10.0, window=4.0)
+        assert gate.remaining_active_time(1.0) == pytest.approx(3.0)
+        assert gate.remaining_active_time(5.0) == 0.0
+
+    def test_invalid_windows_rejected(self):
+        with pytest.raises(ValueError):
+            WindowedGate(period=1.0, window=2.0)
+        with pytest.raises(ValueError):
+            WindowedGate(period=0.0, window=0.0)

@@ -1,0 +1,184 @@
+"""Tests for nodes, routing beacons, the network builder and traffic generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.base import make_mac_factory
+from repro.net.network import Network
+from repro.net.routing import RouteDiscoveryBeacon
+from repro.phy.frames import FrameKind
+from repro.sim.engine import Simulator
+from repro.topology.hidden_node import NODE_A, NODE_B, NODE_C, hidden_node_topology
+from repro.topology.iotlab import iot_lab_tree_topology
+from repro.traffic.generators import (
+    FluctuatingPoissonTraffic,
+    PeriodicTraffic,
+    PoissonTraffic,
+)
+
+
+def build_network(topology=None, mac="unslotted-csma", seed=1):
+    sim = Simulator(seed=seed)
+    topo = topology if topology is not None else hidden_node_topology()
+    network = Network(sim, topo, make_mac_factory(mac))
+    return sim, network
+
+
+class TestNodeAndNetwork:
+    def test_single_hop_delivery_and_delay(self):
+        sim, network = build_network()
+        network.start()
+        node_a = network.node(NODE_A)
+        for k in range(10):
+            sim.schedule(0.1 * k, node_a.generate_packet)
+        sim.run_until(5.0)
+        assert network.packets_delivered() == 10
+        assert network.packet_delivery_ratio() == pytest.approx(1.0)
+        delays = [record.delay for record in network.sink.deliveries]
+        assert all(delay > 0 for delay in delays)
+        assert network.average_end_to_end_delay() == pytest.approx(
+            sum(delays) / len(delays)
+        )
+
+    def test_sink_does_not_generate(self):
+        sim, network = build_network()
+        assert network.node(NODE_B).generate_packet() is None
+        assert network.packets_generated() == 0
+
+    def test_multi_hop_forwarding_in_tree(self):
+        sim, network = build_network(topology=iot_lab_tree_topology())
+        network.start()
+        leaf = network.node(64)           # depth-4 leaf: 64 -> 41 -> 18 -> 28
+        for k in range(5):
+            sim.schedule(0.2 * k, leaf.generate_packet)
+        sim.run_until(10.0)
+        assert network.sink.delivered_from(64) == 5
+        assert all(record.hops >= 3 for record in network.sink.deliveries)
+        # The intermediate nodes forwarded the packets.
+        assert network.node(41).packets_forwarded == 5
+        assert network.node(18).packets_forwarded == 5
+
+    def test_per_node_pdr(self):
+        sim, network = build_network()
+        network.start()
+        for node_id in (NODE_A, NODE_C):
+            node = network.node(node_id)
+            for k in range(4):
+                sim.schedule(0.3 * k + 0.05 * node_id, node.generate_packet)
+        sim.run_until(5.0)
+        per_node = network.per_node_pdr()
+        assert set(per_node) == {NODE_A, NODE_C}
+        assert all(0.0 <= pdr <= 1.0 for pdr in per_node.values())
+
+    def test_handler_registration_redirects_frames(self):
+        sim, network = build_network()
+        network.start()
+        sink = network.node(NODE_B)
+        seen = []
+        sink.register_handler(FrameKind.GTS_REQUEST, seen.append)
+        from repro.phy.frames import Frame
+
+        network.node(NODE_A).send_frame(
+            Frame(FrameKind.GTS_REQUEST, src=NODE_A, dst=NODE_B)
+        )
+        sim.run_until(2.0)
+        assert len(seen) == 1
+        # Handled frames are not recorded as data deliveries.
+        assert sink.deliveries == []
+
+    def test_transmission_attempt_counter(self):
+        sim, network = build_network()
+        network.start()
+        node_a = network.node(NODE_A)
+        for _ in range(3):
+            node_a.generate_packet()
+        sim.run_until(2.0)
+        assert network.total_transmission_attempts([NODE_A]) >= 3
+
+
+class TestRouteDiscoveryBeacon:
+    def test_periodic_broadcasts(self):
+        sim, network = build_network()
+        network.start()
+        beacon = RouteDiscoveryBeacon(sim, network.node(NODE_A), period=1.0, jitter=0.0)
+        beacon.start()
+        overheard = []
+        network.mac(NODE_B).receive_callback = overheard.append
+        sim.run_until(5.5)
+        assert beacon.broadcasts_sent == 5
+        assert sum(1 for f in overheard if f.kind is FrameKind.ROUTE_DISCOVERY) == 5
+
+    def test_invalid_period(self):
+        sim, network = build_network()
+        with pytest.raises(ValueError):
+            RouteDiscoveryBeacon(sim, network.node(NODE_A), period=0.0)
+
+
+class TestTrafficGenerators:
+    def test_poisson_rate_and_cap(self):
+        sim = Simulator(seed=3)
+        count = []
+        traffic = PoissonTraffic(sim, lambda: count.append(sim.now), rate=50.0, max_packets=200)
+        traffic.start()
+        sim.run_until(100.0)
+        assert len(count) == 200
+        assert traffic.exhausted
+        # 200 packets at 50 packets/s take about 4 seconds.
+        assert count[-1] == pytest.approx(4.0, rel=0.5)
+
+    def test_poisson_mean_rate(self):
+        sim = Simulator(seed=4)
+        count = []
+        PoissonTraffic(sim, lambda: count.append(1), rate=100.0).start()
+        sim.run_until(20.0)
+        assert len(count) == pytest.approx(2000, rel=0.15)
+
+    def test_periodic_traffic(self):
+        sim = Simulator(seed=5)
+        times = []
+        PeriodicTraffic(sim, lambda: times.append(sim.now), period=2.0).start()
+        sim.run_until(9.0)
+        assert times == [2.0, 4.0, 6.0, 8.0]
+
+    def test_start_time_delays_generation(self):
+        sim = Simulator(seed=6)
+        times = []
+        PoissonTraffic(sim, lambda: times.append(sim.now), rate=100.0, start_time=5.0).start()
+        sim.run_until(6.0)
+        assert all(t >= 5.0 for t in times)
+        assert times
+
+    def test_fluctuating_rates(self):
+        sim = Simulator(seed=7)
+        times = []
+        traffic = FluctuatingPoissonTraffic(
+            sim, lambda: times.append(sim.now), phases=[(5.0, 10.0), (100.0, 10.0)]
+        )
+        traffic.start()
+        sim.run_until(20.0)
+        low_phase = [t for t in times if t < 10.0]
+        high_phase = [t for t in times if t >= 10.0]
+        assert len(high_phase) > 5 * len(low_phase)
+        assert traffic.current_rate(5.0) == 5.0
+        assert traffic.current_rate(15.0) == 100.0
+        assert traffic.current_rate(25.0) == 5.0
+
+    def test_stop_prevents_further_generation(self):
+        sim = Simulator(seed=8)
+        count = []
+        traffic = PoissonTraffic(sim, lambda: count.append(1), rate=100.0)
+        traffic.start()
+        sim.schedule(1.0, traffic.stop)
+        sim.run_until(5.0)
+        generated_at_stop = len(count)
+        assert generated_at_stop == pytest.approx(100, rel=0.3)
+
+    def test_invalid_arguments(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            PoissonTraffic(sim, lambda: None, rate=0.0)
+        with pytest.raises(ValueError):
+            PeriodicTraffic(sim, lambda: None, period=1.0, jitter=2.0)
+        with pytest.raises(ValueError):
+            FluctuatingPoissonTraffic(sim, lambda: None, phases=[])

@@ -1,0 +1,163 @@
+"""Unit tests for the wireless channel collision model and the radio."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.phy.channel import WirelessChannel
+from repro.phy.frames import BROADCAST, Frame, FrameKind
+from repro.phy.radio import Radio, RadioError
+from repro.sim.engine import Simulator
+
+
+def make_frame(src, dst, payload=20):
+    return Frame(FrameKind.DATA, src=src, dst=dst, payload_bytes=payload)
+
+
+class Collector:
+    """Records frames delivered to a radio."""
+
+    def __init__(self, radio: Radio) -> None:
+        self.frames = []
+        self.corrupted = []
+        radio.frame_listener = self.frames.append
+        radio.corrupted_listener = self.corrupted.append
+
+
+def test_single_transmission_is_delivered_to_all_neighbours(sim, channel):
+    a = Radio(sim, channel, 0)
+    b = Radio(sim, channel, 1)
+    c = Radio(sim, channel, 2)
+    channel.connect(0, 1)
+    channel.connect(0, 2)
+    rx_b, rx_c = Collector(b), Collector(c)
+    a.transmit(make_frame(0, 1))
+    sim.run_until(1.0)
+    assert len(rx_b.frames) == 1
+    assert len(rx_c.frames) == 1  # overheard by c as well
+    assert a.frames_sent == 1
+
+
+def test_concurrent_transmissions_collide_at_common_receiver(sim, channel, line_radios):
+    a, b, c = line_radios
+    rx_b = Collector(b)
+    a.transmit(make_frame(0, 1))
+    c.transmit(make_frame(2, 1))
+    sim.run_until(1.0)
+    assert rx_b.frames == []
+    assert len(rx_b.corrupted) == 2
+    assert channel.frames_corrupted >= 2
+
+
+def test_hidden_nodes_do_not_interfere_at_each_other(sim, channel, line_radios):
+    a, b, c = line_radios
+    rx_a = Collector(a)
+    rx_c = Collector(c)
+    # B transmits to A; C transmits at the same time but A cannot hear C.
+    b_frame = make_frame(1, 0)
+    b.transmit(b_frame)
+    c.transmit(make_frame(2, 1))
+    sim.run_until(1.0)
+    assert [f.seq for f in rx_a.frames] == [b_frame.seq]
+
+
+def test_staggered_overlap_also_collides(sim, channel, line_radios):
+    a, b, c = line_radios
+    rx_b = Collector(b)
+    a.transmit(make_frame(0, 1, payload=50))
+    # C starts while A's frame is still in the air.
+    sim.schedule(0.5e-3, c.transmit, make_frame(2, 1, payload=50))
+    sim.run_until(1.0)
+    assert rx_b.frames == []
+
+
+def test_non_overlapping_transmissions_both_succeed(sim, channel, line_radios):
+    a, b, c = line_radios
+    rx_b = Collector(b)
+    a.transmit(make_frame(0, 1, payload=10))
+    sim.schedule(0.1, c.transmit, make_frame(2, 1, payload=10))
+    sim.run_until(1.0)
+    assert len(rx_b.frames) == 2
+
+
+def test_transmitting_radio_cannot_receive(sim, channel):
+    a = Radio(sim, channel, 0)
+    b = Radio(sim, channel, 1)
+    channel.connect(0, 1)
+    rx_a = Collector(a)
+    a.transmit(make_frame(0, 1, payload=100))
+    b.transmit(make_frame(1, 0, payload=10))
+    sim.run_until(1.0)
+    assert rx_a.frames == []
+
+
+def test_cca_busy_only_for_in_range_transmitters(sim, channel, line_radios):
+    a, b, c = line_radios
+    c.transmit(make_frame(2, 1, payload=100))
+    # B hears C, A does not (hidden terminal).
+    assert not b.cca()
+    assert a.cca()
+    sim.run_until(1.0)
+    assert b.cca()  # channel idle again after the transmission ended
+
+
+def test_cca_busy_while_self_transmitting(sim, channel):
+    a = Radio(sim, channel, 0)
+    a.transmit(make_frame(0, BROADCAST))
+    assert not a.cca()
+
+
+def test_link_error_rate_drops_frames(sim, channel):
+    a = Radio(sim, channel, 0)
+    b = Radio(sim, channel, 1)
+    channel.connect(0, 1)
+    channel.set_link_error_rate(0, 1, 1.0)
+    rx_b = Collector(b)
+    a.transmit(make_frame(0, 1))
+    sim.run_until(1.0)
+    assert rx_b.frames == []
+    assert channel.frames_lost_link_error == 1
+
+
+def test_transmit_while_busy_raises(sim, channel):
+    a = Radio(sim, channel, 0)
+    a.transmit(make_frame(0, BROADCAST))
+    with pytest.raises(RadioError):
+        a.transmit(make_frame(0, BROADCAST))
+
+
+def test_duplicate_radio_id_rejected(sim, channel):
+    Radio(sim, channel, 0)
+    with pytest.raises(ValueError):
+        Radio(sim, channel, 0)
+
+
+def test_tx_complete_listener_called(sim, channel):
+    a = Radio(sim, channel, 0)
+    completed = []
+    a.tx_complete_listener = completed.append
+    frame = make_frame(0, BROADCAST)
+    airtime = a.transmit(frame)
+    assert a.transmitting
+    sim.run_until(airtime * 2)
+    assert completed == [frame]
+    assert not a.transmitting
+
+
+def test_build_links_from_positions(sim):
+    from repro.phy.propagation import UnitDiskPropagation
+
+    channel = WirelessChannel(sim)
+    Radio(sim, channel, 0, position=(0.0, 0.0))
+    Radio(sim, channel, 1, position=(5.0, 0.0))
+    Radio(sim, channel, 2, position=(100.0, 0.0))
+    channel.build_links_from_positions(UnitDiskPropagation(10.0))
+    assert channel.hears(1, 0) and channel.hears(0, 1)
+    assert not channel.hears(2, 0)
+
+
+def test_invalid_link_error_rate_rejected(sim, channel):
+    Radio(sim, channel, 0)
+    Radio(sim, channel, 1)
+    with pytest.raises(ValueError):
+        channel.set_link_error_rate(0, 1, 1.5)

@@ -1,0 +1,93 @@
+"""Unit tests for frame definitions and PHY parameters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.phy.frames import BROADCAST, DEFAULT_FRAME_SIZES, Frame, FrameKind
+from repro.phy.params import PhyParameters
+
+
+class TestFrame:
+    def test_defaults_fill_origin_and_final_destination(self):
+        frame = Frame(FrameKind.DATA, src=1, dst=2)
+        assert frame.origin == 1
+        assert frame.final_dst == 2
+        assert frame.payload_bytes == DEFAULT_FRAME_SIZES[FrameKind.DATA]
+
+    def test_broadcast_frames_do_not_require_ack(self):
+        frame = Frame(FrameKind.ROUTE_DISCOVERY, src=1, dst=BROADCAST)
+        assert frame.is_broadcast
+        assert not frame.requires_ack
+
+    def test_unicast_data_requires_ack_but_ack_does_not(self):
+        data = Frame(FrameKind.DATA, src=1, dst=2)
+        assert data.requires_ack
+        ack = data.make_ack(src=2)
+        assert ack.kind is FrameKind.ACK
+        assert not ack.requires_ack
+        assert ack.dst == 1
+        assert ack.acknowledges(data)
+
+    def test_ack_does_not_acknowledge_other_frames(self):
+        a = Frame(FrameKind.DATA, src=1, dst=2)
+        b = Frame(FrameKind.DATA, src=1, dst=2)
+        ack = a.make_ack(src=2)
+        assert not ack.acknowledges(b)
+
+    def test_broadcast_cannot_be_acknowledged(self):
+        frame = Frame(FrameKind.DATA, src=1, dst=BROADCAST)
+        with pytest.raises(ValueError):
+            frame.make_ack(src=2)
+
+    def test_next_hop_copy_preserves_end_to_end_fields(self):
+        frame = Frame(FrameKind.DATA, src=1, dst=2, final_dst=9, created_at=3.5)
+        copy = frame.next_hop_copy(src=2, dst=5)
+        assert copy.src == 2 and copy.dst == 5
+        assert copy.origin == 1 and copy.final_dst == 9
+        assert copy.created_at == 3.5
+        assert copy.hops == 1
+        assert copy.seq != frame.seq
+
+    def test_unique_sequence_numbers(self):
+        frames = [Frame(FrameKind.DATA, src=0, dst=1) for _ in range(10)]
+        assert len({f.seq for f in frames}) == 10
+
+    def test_gts_management_kinds(self):
+        assert FrameKind.GTS_REQUEST.is_gts_management
+        assert FrameKind.GTS_RESPONSE.is_gts_management
+        assert FrameKind.GTS_NOTIFY.is_gts_management
+        assert not FrameKind.DATA.is_gts_management
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            Frame(FrameKind.DATA, src=0, dst=1, payload_bytes=-1)
+
+
+class TestPhyParameters:
+    def test_standard_durations(self):
+        phy = PhyParameters()
+        assert phy.unit_backoff_period == pytest.approx(320e-6)
+        assert phy.turnaround_time == pytest.approx(192e-6)
+        assert phy.cca_duration == pytest.approx(128e-6)
+
+    def test_frame_airtime_scales_with_payload(self):
+        phy = PhyParameters()
+        small = Frame(FrameKind.DATA, src=0, dst=1, payload_bytes=10)
+        large = Frame(FrameKind.DATA, src=0, dst=1, payload_bytes=100)
+        assert phy.frame_airtime(large) > phy.frame_airtime(small)
+        # 10 byte payload + 11 byte MAC header + 6 byte PHY header = 27 bytes.
+        assert phy.frame_airtime(small) == pytest.approx(27 * 8 / 250_000)
+
+    def test_ack_airtime_is_fixed(self):
+        phy = PhyParameters()
+        ack = Frame(FrameKind.DATA, src=0, dst=1).make_ack(src=1)
+        assert phy.frame_airtime(ack) == pytest.approx(phy.ack_airtime())
+        assert phy.ack_airtime() == pytest.approx(11 * 8 / 250_000)
+
+    def test_transaction_time_includes_ack_wait_only_for_unicast(self):
+        phy = PhyParameters()
+        unicast = Frame(FrameKind.DATA, src=0, dst=1)
+        broadcast = Frame(FrameKind.DATA, src=0, dst=BROADCAST)
+        assert phy.transaction_time(unicast) > phy.frame_airtime(unicast)
+        assert phy.transaction_time(broadcast) == pytest.approx(phy.frame_airtime(broadcast))

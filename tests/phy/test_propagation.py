@@ -1,0 +1,60 @@
+"""Unit tests for the propagation models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.phy.propagation import LogDistancePathLoss, UnitDiskPropagation, distance
+
+
+def test_distance_euclidean():
+    assert distance((0.0, 0.0), (3.0, 4.0)) == pytest.approx(5.0)
+    with pytest.raises(ValueError):
+        distance((0.0, 0.0), (1.0, 2.0, 3.0))
+
+
+class TestUnitDisk:
+    def test_in_range_boundary(self):
+        model = UnitDiskPropagation(10.0)
+        assert model.in_range((0, 0), (10, 0))
+        assert not model.in_range((0, 0), (10.01, 0))
+
+    def test_link_quality_decreases_with_distance(self):
+        model = UnitDiskPropagation(10.0)
+        assert model.link_quality((0, 0), (1, 0)) > model.link_quality((0, 0), (9, 0))
+        assert model.link_quality((0, 0), (20, 0)) == 0.0
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            UnitDiskPropagation(0.0)
+
+
+class TestLogDistance:
+    def test_received_power_decreases_with_distance(self):
+        model = LogDistancePathLoss(tx_power_dbm=0.0, sensitivity_dbm=-90.0)
+        near = model.received_power_dbm((0, 0), (5, 0))
+        far = model.received_power_dbm((0, 0), (50, 0))
+        assert near > far
+
+    def test_in_range_matches_max_range(self):
+        model = LogDistancePathLoss(tx_power_dbm=0.0, sensitivity_dbm=-80.0)
+        max_range = model.max_range()
+        assert model.in_range((0, 0), (max_range * 0.99, 0))
+        assert not model.in_range((0, 0), (max_range * 1.01, 0))
+
+    def test_higher_tx_power_extends_range(self):
+        low = LogDistancePathLoss(tx_power_dbm=-9.0, sensitivity_dbm=-72.0)
+        high = LogDistancePathLoss(tx_power_dbm=3.0, sensitivity_dbm=-90.0)
+        assert high.max_range() > low.max_range()
+
+    def test_link_quality_bounds(self):
+        model = LogDistancePathLoss(tx_power_dbm=0.0, sensitivity_dbm=-90.0)
+        assert 0.0 <= model.link_quality((0, 0), (10, 0)) <= 1.0
+        far = (model.max_range() * 2, 0)
+        assert model.link_quality((0, 0), far) == 0.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            LogDistancePathLoss(path_loss_exponent=0.0)
+        with pytest.raises(ValueError):
+            LogDistancePathLoss(reference_distance_m=0.0)

@@ -1,0 +1,111 @@
+"""Unit tests for RNG streams, periodic processes and the trace recorder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.process import PeriodicProcess
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecorder
+
+
+class TestRngRegistry:
+    def test_streams_are_deterministic_given_master_seed(self):
+        a = RngRegistry(7).stream("mac")
+        b = RngRegistry(7).stream("mac")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_names_give_different_sequences(self):
+        registry = RngRegistry(7)
+        seq_a = [registry.stream("a").random() for _ in range(5)]
+        seq_b = [registry.stream("b").random() for _ in range(5)]
+        assert seq_a != seq_b
+
+    def test_different_master_seeds_give_different_sequences(self):
+        seq_a = [RngRegistry(1).stream("x").random() for _ in range(5)]
+        seq_b = [RngRegistry(2).stream("x").random() for _ in range(5)]
+        assert seq_a != seq_b
+
+    def test_stream_is_cached(self):
+        registry = RngRegistry(0)
+        assert registry.stream("x") is registry.stream("x")
+        assert "x" in registry
+        assert len(registry) == 1
+
+    def test_reseed_resets_streams(self):
+        registry = RngRegistry(1)
+        stream = registry.stream("x")
+        first = [stream.random() for _ in range(3)]
+        registry.reseed(1)
+        assert [stream.random() for _ in range(3)] == first
+
+
+class TestPeriodicProcess:
+    def test_fixed_period_fires_repeatedly(self):
+        sim = Simulator()
+        times = []
+        process = PeriodicProcess(sim, 1.0, lambda: times.append(sim.now))
+        process.start()
+        sim.run_until(5.5)
+        assert times == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert process.invocations == 5
+
+    def test_callable_period(self):
+        sim = Simulator()
+        times = []
+        periods = iter([1.0, 2.0, 3.0, 100.0])
+        process = PeriodicProcess(sim, lambda: next(periods), lambda: times.append(sim.now))
+        process.start()
+        sim.run_until(10.0)
+        assert times == [1.0, 3.0, 6.0]
+
+    def test_stop_cancels_future_invocations(self):
+        sim = Simulator()
+        times = []
+        process = PeriodicProcess(sim, 1.0, lambda: times.append(sim.now))
+        process.start()
+        sim.schedule(2.5, process.stop)
+        sim.run_until(10.0)
+        assert times == [1.0, 2.0]
+        assert not process.running
+
+    def test_double_start_raises(self):
+        sim = Simulator()
+        process = PeriodicProcess(sim, 1.0, lambda: None)
+        process.start()
+        with pytest.raises(SimulationError):
+            process.start()
+
+    def test_start_delay_overrides_first_period(self):
+        sim = Simulator()
+        times = []
+        process = PeriodicProcess(sim, 2.0, lambda: times.append(sim.now), start_delay=0.5)
+        process.start()
+        sim.run_until(5.0)
+        assert times == [0.5, 2.5, 4.5]
+
+
+class TestTraceRecorder:
+    def test_filter_by_category(self):
+        recorder = TraceRecorder()
+        recorder.record(1.0, "a", {"x": 1})
+        recorder.record(2.0, "b", {"x": 2})
+        recorder.record(3.0, "a", {"x": 3})
+        assert [r["x"] for r in recorder.by_category("a")] == [1, 3]
+        assert recorder.categories() == ["a", "b"]
+        assert len(recorder) == 3
+
+    def test_max_records_drops_excess(self):
+        recorder = TraceRecorder(max_records=2)
+        for i in range(5):
+            recorder.record(float(i), "c", {"i": i})
+        assert len(recorder) == 2
+        assert recorder.dropped == 3
+
+    def test_clear(self):
+        recorder = TraceRecorder()
+        recorder.record(0.0, "a", {})
+        recorder.clear()
+        assert len(recorder) == 0
+        assert recorder.get_default_missing() if hasattr(recorder, "get_default_missing") else True

@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_table4_command_prints_reward_table(capsys):
+    assert main(["table4"]) == 0
+    output = capsys.readouterr().out
+    assert "B S B" in output
+    assert "8" in output
+
+
+def test_fig26_command_prints_curve(capsys):
+    assert main(["fig26", "--probabilities", "0.5", "1.0"]) == 0
+    output = capsys.readouterr().out
+    assert "3.00" in output
+
+
+def test_fig7_command_small_run(capsys):
+    assert (
+        main(
+            [
+                "fig7",
+                "--macs",
+                "qma",
+                "--deltas",
+                "10",
+                "--packets",
+                "15",
+                "--warmup",
+                "5",
+                "--repetitions",
+                "1",
+            ]
+        )
+        == 0
+    )
+    output = capsys.readouterr().out
+    assert "qma" in output
+    assert "pdr" in output
+
+
+def test_parser_rejects_unknown_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["does-not-exist"])
+
+
+def test_parser_has_all_figure_commands():
+    parser = build_parser()
+    help_text = parser.format_help()
+    for command in ("table4", "fig7", "fig12", "slots", "testbed", "fig21", "fig26"):
+        assert command in help_text

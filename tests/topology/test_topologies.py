@@ -1,0 +1,159 @@
+"""Unit tests for topology construction and routing trees."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.phy.propagation import UnitDiskPropagation, distance
+from repro.topology.base import Topology, build_routing_tree
+from repro.topology.concentric import concentric_node_count, concentric_topology
+from repro.topology.hidden_node import NODE_A, NODE_B, NODE_C, hidden_node_topology
+from repro.topology.iotlab import (
+    STAR_CENTER,
+    STAR_LEAVES,
+    TREE_SINK,
+    iot_lab_star_topology,
+    iot_lab_tree_topology,
+)
+from repro.topology.random_topo import random_topology
+
+
+class TestTopologyBase:
+    def test_links_and_neighbours(self):
+        topo = Topology(positions={0: (0, 0), 1: (1, 0), 2: (2, 0)})
+        topo.add_link(0, 1)
+        topo.add_link(1, 2)
+        assert topo.connected(0, 1) and topo.connected(1, 0)
+        assert not topo.connected(0, 2)
+        assert topo.neighbours(1) == [0, 2]
+
+    def test_self_link_rejected(self):
+        topo = Topology(positions={0: (0, 0)})
+        with pytest.raises(ValueError):
+            topo.add_link(0, 0)
+
+    def test_derive_links_from_propagation(self):
+        topo = Topology(positions={0: (0, 0), 1: (5, 0), 2: (50, 0)})
+        topo.derive_links(UnitDiskPropagation(10.0))
+        assert topo.connected(0, 1)
+        assert not topo.connected(0, 2)
+
+    def test_routing_tree_minimum_hops(self):
+        positions = {0: (0, 0), 1: (1, 0), 2: (2, 0), 3: (3, 0)}
+        topo = Topology(positions=positions, sink=0)
+        for a, b in ((0, 1), (1, 2), (2, 3), (0, 2)):
+            topo.add_link(a, b)
+        parents = topo.build_routing_tree(0)
+        assert parents[1] == 0
+        assert parents[2] == 0          # direct link beats the two-hop path
+        assert parents[3] == 2
+        assert topo.hop_count(3) == 2
+        assert topo.depth() == 3
+
+    def test_disconnected_node_raises(self):
+        topo = Topology(positions={0: (0, 0), 1: (1, 0), 2: (100, 0)}, sink=0)
+        topo.add_link(0, 1)
+        with pytest.raises(ValueError):
+            topo.build_routing_tree(0)
+
+    def test_build_routing_tree_unknown_sink(self):
+        with pytest.raises(KeyError):
+            build_routing_tree({0: (0, 0)}, set(), sink=99)
+
+
+class TestHiddenNode:
+    def test_structure(self):
+        topo = hidden_node_topology()
+        assert topo.num_nodes == 3
+        assert topo.sink == NODE_B
+        assert topo.connected(NODE_A, NODE_B)
+        assert topo.connected(NODE_B, NODE_C)
+        assert not topo.connected(NODE_A, NODE_C)
+        assert topo.parent(NODE_A) == NODE_B
+        assert topo.parent(NODE_B) is None
+
+    def test_invalid_distance(self):
+        with pytest.raises(ValueError):
+            hidden_node_topology(link_distance=0.0)
+
+
+class TestIotLab:
+    def test_tree_has_ten_nodes_and_depth_four(self):
+        topo = iot_lab_tree_topology()
+        assert topo.num_nodes == 10
+        assert topo.sink == TREE_SINK
+        assert topo.depth() == 4
+        # Every non-sink node has a parent and all parents are nodes of the tree.
+        for node in topo.node_ids:
+            if node != TREE_SINK:
+                assert topo.parent(node) in topo.positions
+
+    def test_tree_siblings_are_connected(self):
+        topo = iot_lab_tree_topology()
+        assert topo.connected(18, 15)   # children of the sink
+        assert topo.connected(36, 41)   # children of node 18
+
+    def test_star_is_fully_connected(self):
+        topo = iot_lab_star_topology()
+        assert topo.num_nodes == 17
+        assert topo.sink == STAR_CENTER
+        ids = topo.node_ids
+        for i, a in enumerate(ids):
+            for b in ids[i + 1:]:
+                assert topo.connected(a, b)
+        assert set(STAR_LEAVES).issubset(set(ids))
+
+
+class TestConcentric:
+    @pytest.mark.parametrize("rings, expected", [(1, 7), (2, 19), (3, 43), (4, 91)])
+    def test_node_counts_match_paper(self, rings, expected):
+        assert concentric_node_count(rings) == expected
+        topo = concentric_topology(rings, ring_spacing=40.0)
+        assert topo.num_nodes == expected
+
+    def test_all_nodes_route_to_the_sink(self):
+        topo = concentric_topology(2)
+        for node in topo.node_ids:
+            if node != topo.sink:
+                assert topo.hop_count(node) >= 1
+
+    def test_outer_ring_nodes_are_multiple_hops_away(self):
+        topo = concentric_topology(3)
+        hop_counts = [topo.hop_count(n) for n in topo.node_ids if n != topo.sink]
+        assert max(hop_counts) >= 3
+
+    def test_hidden_nodes_exist(self):
+        """Nodes on opposite sides of the first ring cannot hear each other."""
+        topo = concentric_topology(1, ring_spacing=40.0)
+        ring_nodes = [n for n in topo.node_ids if n != topo.sink]
+        opposite_pairs = [
+            (a, b)
+            for a in ring_nodes
+            for b in ring_nodes
+            if a < b and distance(topo.position(a), topo.position(b)) > 60.0
+        ]
+        assert opposite_pairs
+        assert all(not topo.connected(a, b) for a, b in opposite_pairs)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            concentric_topology(0)
+        with pytest.raises(ValueError):
+            concentric_node_count(-1)
+
+
+class TestRandomTopology:
+    def test_connected_and_reproducible(self):
+        topo_a = random_topology(12, seed=3)
+        topo_b = random_topology(12, seed=3)
+        assert topo_a.positions == topo_b.positions
+        for node in topo_a.node_ids:
+            if node != topo_a.sink:
+                assert topo_a.hop_count(node) >= 1
+
+    def test_different_seeds_differ(self):
+        assert random_topology(10, seed=1).positions != random_topology(10, seed=2).positions
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            random_topology(0)
