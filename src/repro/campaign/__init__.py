@@ -1,0 +1,31 @@
+"""Campaign orchestration: declarative sweeps over scenarios, run in parallel.
+
+The paper's evaluation is built from sweeps over MAC kind x topology x
+traffic intensity x seed.  This package turns such sweeps into plain data
+(:class:`~repro.campaign.spec.Scenario` / :class:`~repro.campaign.spec.Sweep`),
+executes the cross-product over a ``multiprocessing`` worker pool
+(:class:`~repro.campaign.runner.CampaignRunner`), and collects structured
+:class:`~repro.campaign.records.RunRecord` results with JSON/CSV export and
+confidence-interval aggregation.
+
+Because every simulation draws all randomness from named streams seeded by
+a single master seed (see :mod:`repro.sim.rng`), each scenario is a pure
+function of its spec — results are bit-identical regardless of worker
+count or scheduling, which the campaign test suite asserts.
+"""
+
+from repro.campaign.records import CampaignResult, RunRecord, load_json
+from repro.campaign.runner import CampaignRunner, execute_scenario, map_seeds
+from repro.campaign.spec import EXPERIMENT_KINDS, Scenario, Sweep
+
+__all__ = [
+    "CampaignResult",
+    "CampaignRunner",
+    "EXPERIMENT_KINDS",
+    "RunRecord",
+    "Scenario",
+    "Sweep",
+    "execute_scenario",
+    "load_json",
+    "map_seeds",
+]

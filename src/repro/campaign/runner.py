@@ -1,0 +1,197 @@
+"""Campaign execution over a multiprocessing worker pool.
+
+Every scenario is an independent simulation seeded from its own master
+seed, so scenarios can run in any order on any number of workers and still
+produce bit-identical results — :class:`CampaignRunner` only has to keep
+the *record* order deterministic, which ``Pool.map`` over the sweep's
+deterministic expansion order guarantees.
+
+The worker entry point :func:`execute_scenario` is a module-level function
+(picklable) dispatching on the scenario's experiment family.
+"""
+
+from __future__ import annotations
+
+import functools
+import multiprocessing
+import os
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.campaign.records import CampaignResult, RunRecord
+from repro.campaign.spec import Scenario, Sweep
+from repro.experiments.hidden_node import HiddenNodeResult, run_hidden_node
+from repro.experiments.scalability import ScalabilityResult, run_scalability
+from repro.experiments.testbed import TestbedResult, run_star, run_tree
+
+
+def _hidden_node_metrics(result: HiddenNodeResult) -> Dict[str, float]:
+    return {
+        "pdr": result.pdr,
+        "average_queue_level": result.average_queue_level,
+        "average_delay": result.average_delay,
+        "packets_generated": float(result.packets_generated),
+        "packets_delivered": float(result.packets_delivered),
+        "transmission_attempts": float(result.transmission_attempts),
+        "sim_time": result.duration,
+    }
+
+
+def _testbed_metrics(result: TestbedResult) -> Dict[str, float]:
+    metrics = {
+        "overall_pdr": result.overall_pdr,
+        "packets_generated": float(result.packets_generated),
+        "packets_delivered": float(result.packets_delivered),
+        "transmission_attempts": float(result.transmission_attempts),
+        "sim_time": result.duration,
+    }
+    for node_id, pdr in sorted(result.per_node_pdr.items()):
+        metrics[f"pdr_node_{node_id}"] = pdr
+    return metrics
+
+
+def _scalability_metrics(result: ScalabilityResult) -> Dict[str, float]:
+    return {
+        "num_nodes": float(result.num_nodes),
+        "secondary_pdr": result.secondary_pdr,
+        "gts_request_success": result.gts_request_success,
+        "allocation_rate": result.allocation_rate,
+        "primary_pdr": result.primary_pdr,
+        "sim_time": result.duration,
+    }
+
+
+def _run_hidden_node(scenario: Scenario) -> Tuple[Dict[str, float], Any]:
+    result = run_hidden_node(mac=scenario.mac, seed=scenario.seed, **scenario.params)
+    return _hidden_node_metrics(result), result
+
+
+def _run_testbed_tree(scenario: Scenario) -> Tuple[Dict[str, float], Any]:
+    result = run_tree(mac=scenario.mac, seed=scenario.seed, **scenario.params)
+    return _testbed_metrics(result), result
+
+
+def _run_testbed_star(scenario: Scenario) -> Tuple[Dict[str, float], Any]:
+    result = run_star(mac=scenario.mac, seed=scenario.seed, **scenario.params)
+    return _testbed_metrics(result), result
+
+
+def _run_scalability(scenario: Scenario) -> Tuple[Dict[str, float], Any]:
+    result = run_scalability(mac=scenario.mac, seed=scenario.seed, **scenario.params)
+    return _scalability_metrics(result), result
+
+
+#: Experiment family -> adapter returning ``(metrics, raw result)``.
+_ADAPTERS: Dict[str, Callable[[Scenario], Tuple[Dict[str, float], Any]]] = {
+    "hidden-node": _run_hidden_node,
+    "testbed-tree": _run_testbed_tree,
+    "testbed-star": _run_testbed_star,
+    "scalability": _run_scalability,
+}
+
+#: Metric names each experiment family emits (testbed families additionally
+#: emit one dynamic ``pdr_node_<id>`` metric per source node).
+EXPERIMENT_METRICS: Dict[str, Tuple[str, ...]] = {
+    "hidden-node": (
+        "pdr",
+        "average_queue_level",
+        "average_delay",
+        "packets_generated",
+        "packets_delivered",
+        "transmission_attempts",
+        "sim_time",
+    ),
+    "testbed-tree": (
+        "overall_pdr",
+        "packets_generated",
+        "packets_delivered",
+        "transmission_attempts",
+        "sim_time",
+    ),
+    "testbed-star": (
+        "overall_pdr",
+        "packets_generated",
+        "packets_delivered",
+        "transmission_attempts",
+        "sim_time",
+    ),
+    "scalability": (
+        "num_nodes",
+        "secondary_pdr",
+        "gts_request_success",
+        "allocation_rate",
+        "primary_pdr",
+        "sim_time",
+    ),
+}
+
+
+def is_known_metric(experiment: str, metric: str) -> bool:
+    """Whether ``metric`` can occur in records of the given experiment family."""
+    if metric in EXPERIMENT_METRICS.get(experiment, ()):
+        return True
+    return experiment.startswith("testbed-") and metric.startswith("pdr_node_")
+
+
+def execute_scenario(scenario: Scenario, keep_raw: bool = False) -> RunRecord:
+    """Run one scenario and return its :class:`RunRecord`.
+
+    With ``keep_raw`` the record also carries the full experiment result
+    object (histories, per-node detail); the scalar metrics are identical
+    either way.
+    """
+    adapter = _ADAPTERS[scenario.experiment]
+    metrics, raw = adapter(scenario)
+    return RunRecord(scenario=scenario, metrics=metrics, raw=raw if keep_raw else None)
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Normalise a ``--jobs`` value: 0 or negative means one per CPU."""
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _pool_map(func: Callable[[Any], Any], items: Sequence[Any], jobs: int) -> List[Any]:
+    """Map ``func`` over ``items`` serially or over a pool; order is kept."""
+    jobs = resolve_jobs(jobs)
+    if jobs == 1 or len(items) <= 1:
+        return [func(item) for item in items]
+    with multiprocessing.Pool(processes=min(jobs, len(items))) as pool:
+        return pool.map(func, items, chunksize=1)
+
+
+def map_seeds(
+    run: Callable[[int], Any],
+    seeds: Sequence[int],
+    jobs: int = 1,
+) -> List[Any]:
+    """Run ``run(seed)`` for every seed, optionally over a worker pool.
+
+    With ``jobs == 1`` any callable works; with more workers ``run`` must be
+    picklable (a module-level function or :func:`functools.partial` of one).
+    Result order always matches ``seeds`` order.
+    """
+    return _pool_map(run, seeds, jobs)
+
+
+class CampaignRunner:
+    """Execute sweeps (or explicit scenario lists) over a worker pool.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-process count; ``1`` (the default) runs serially in-process,
+        ``0`` means one worker per CPU.
+    keep_raw:
+        Attach the full experiment result object to every record.
+    """
+
+    def __init__(self, jobs: int = 1, keep_raw: bool = False) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.keep_raw = keep_raw
+
+    def run(self, sweep: Union[Sweep, Iterable[Scenario]]) -> CampaignResult:
+        """Run every scenario of the sweep; records keep expansion order."""
+        scenarios = sweep.scenarios() if isinstance(sweep, Sweep) else list(sweep)
+        worker = functools.partial(execute_scenario, keep_raw=self.keep_raw)
+        return CampaignResult(records=_pool_map(worker, scenarios, self.jobs))

@@ -1,0 +1,150 @@
+"""Declarative scenario and sweep specifications.
+
+A :class:`Scenario` captures everything needed to run one simulation — the
+experiment family (which fixes the topology and traffic model), the
+channel-access scheme, the per-run parameters, and the master seed — as
+plain data, so it can be pickled to a worker process, serialised to JSON,
+and compared for equality in determinism tests.
+
+A :class:`Sweep` is the declarative form of the loops previously
+hand-rolled in ``cli.py`` and ``experiments/*``: a grid of swept axes, a
+set of fixed parameters, a list of MAC kinds and a seed list, expanded to
+the cross-product of scenarios in a deterministic order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Sequence, Tuple
+
+from repro.experiments.base import MAC_KINDS
+
+#: Experiment families runnable by the campaign layer.  Each fixes a
+#: topology and traffic model; see :mod:`repro.campaign.runner` for the
+#: mapping onto the experiment runners.
+EXPERIMENT_KINDS = ("hidden-node", "testbed-tree", "testbed-star", "scalability")
+
+
+@dataclass
+class Scenario:
+    """One fully specified simulation run.
+
+    ``params`` holds keyword arguments forwarded verbatim to the underlying
+    experiment runner (e.g. ``delta``/``packets_per_node``/``warmup`` for
+    ``hidden-node``, ``rings``/``duration`` for ``scalability``).
+    """
+
+    experiment: str
+    mac: str = "qma"
+    seed: int = 0
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.experiment not in EXPERIMENT_KINDS:
+            raise ValueError(
+                f"unknown experiment {self.experiment!r}; expected one of {EXPERIMENT_KINDS}"
+            )
+        if self.mac not in MAC_KINDS:
+            raise ValueError(f"unknown MAC kind {self.mac!r}; expected one of {MAC_KINDS}")
+
+    @property
+    def label(self) -> str:
+        """Compact human-readable identifier used in tables and logs."""
+        parts = [self.experiment, self.mac] + [
+            f"{key}={self.params[key]}" for key in sorted(self.params)
+        ]
+        parts.append(f"seed={self.seed}")
+        return " ".join(parts)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "experiment": self.experiment,
+            "mac": self.mac,
+            "seed": self.seed,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        return cls(
+            experiment=data["experiment"],
+            mac=data.get("mac", "qma"),
+            seed=int(data.get("seed", 0)),
+            params=dict(data.get("params", {})),
+        )
+
+
+@dataclass
+class Sweep:
+    """A cross-product of scenarios over MAC kinds, parameter axes and seeds.
+
+    ``grid`` maps parameter names to the values swept over; ``fixed`` maps
+    parameter names to constants shared by every scenario.  Expansion order
+    is deterministic: MAC kinds in the given order, then grid axes sorted by
+    name (values in the given order), then seeds — so two equal sweeps
+    always expand to the same scenario list.
+    """
+
+    experiment: str
+    macs: Sequence[str] = ("qma",)
+    grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    fixed: Mapping[str, Any] = field(default_factory=dict)
+    seeds: Sequence[int] = (0,)
+
+    def __post_init__(self) -> None:
+        if self.experiment not in EXPERIMENT_KINDS:
+            raise ValueError(
+                f"unknown experiment {self.experiment!r}; expected one of {EXPERIMENT_KINDS}"
+            )
+        if not self.macs:
+            raise ValueError("macs must not be empty")
+        for mac in self.macs:
+            if mac not in MAC_KINDS:
+                raise ValueError(f"unknown MAC kind {mac!r}; expected one of {MAC_KINDS}")
+        if not self.seeds:
+            raise ValueError("seeds must not be empty")
+        overlap = set(self.grid) & set(self.fixed)
+        if overlap:
+            raise ValueError(f"parameters swept and fixed at once: {sorted(overlap)}")
+        reserved = {"mac", "seed"} & (set(self.grid) | set(self.fixed))
+        if reserved:
+            raise ValueError(
+                f"reserved parameter names {sorted(reserved)}: use the macs/seeds "
+                "fields of the sweep instead"
+            )
+        for key, values in self.grid.items():
+            if not values:
+                raise ValueError(f"grid axis {key!r} has no values")
+
+    @property
+    def axes(self) -> Tuple[str, ...]:
+        """Names of the swept parameter axes, sorted for deterministic order."""
+        return tuple(sorted(self.grid))
+
+    @property
+    def size(self) -> int:
+        """Number of scenarios the sweep expands to."""
+        count = len(self.macs) * len(self.seeds)
+        for values in self.grid.values():
+            count *= len(values)
+        return count
+
+    def scenarios(self) -> List[Scenario]:
+        """Expand the sweep to its scenario list (deterministic order)."""
+        return list(self)
+
+    def __iter__(self) -> Iterator[Scenario]:
+        axis_names = self.axes
+        axis_values = [self.grid[name] for name in axis_names]
+        for mac in self.macs:
+            for combo in itertools.product(*axis_values):
+                params = dict(self.fixed)
+                params.update(zip(axis_names, combo))
+                for seed in self.seeds:
+                    yield Scenario(
+                        experiment=self.experiment, mac=mac, seed=seed, params=params.copy()
+                    )
+
+    def __len__(self) -> int:
+        return self.size

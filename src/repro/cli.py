@@ -1,10 +1,17 @@
 """Command-line interface: regenerate the data behind any figure of the paper.
 
+The figure commands and the generic ``sweep`` command run through the
+campaign layer (:mod:`repro.campaign`), so every sweep accepts ``--jobs N``
+to fan the MAC x parameter x seed cross-product out over a process pool;
+results are independent of the worker count.
+
 Examples::
 
     qma-repro table4
-    qma-repro fig7 --deltas 10 25 50 --packets 200 --repetitions 3
+    qma-repro fig7 --deltas 10 25 50 --packets 200 --repetitions 3 --jobs 4
     qma-repro fig21 --rings 1 2 --duration 230
+    qma-repro sweep hidden-node --grid delta=5,25 --set packets_per_node=200 \\
+        --seeds 5 --jobs 4 --csv out.csv
     qma-repro fig26
 """
 
@@ -12,14 +19,19 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
-from repro.analysis.stats import confidence_interval_95
+from repro.campaign.records import CampaignResult
+from repro.campaign.runner import (
+    EXPERIMENT_METRICS,
+    CampaignRunner,
+    is_known_metric,
+    resolve_jobs,
+)
+from repro.campaign.spec import EXPERIMENT_KINDS, Sweep
 from repro.core.rewards import format_reward_table
 from repro.experiments.handshake import PAPER_PROBABILITIES, handshake_expected_messages
-from repro.experiments.hidden_node import run_fluctuating, run_hidden_node, run_slot_utilisation
-from repro.experiments.scalability import run_scalability
-from repro.experiments.testbed import run_star, run_tree
+from repro.experiments.hidden_node import run_fluctuating, run_slot_utilisation
 
 
 def _print_table(header: List[str], rows: List[List[str]]) -> None:
@@ -31,32 +43,84 @@ def _print_table(header: List[str], rows: List[List[str]]) -> None:
         print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
 
 
+def _export(campaign: CampaignResult, args: argparse.Namespace) -> None:
+    """Write the per-run records behind a table to JSON/CSV when requested."""
+    if getattr(args, "json_path", None):
+        campaign.to_json(args.json_path)
+        print(f"wrote {len(campaign)} records to {args.json_path} (json)")
+    if getattr(args, "csv_path", None):
+        campaign.to_csv(args.csv_path)
+        print(f"wrote {len(campaign)} records to {args.csv_path} (csv)")
+
+
+def _add_campaign_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (0 = one per CPU)"
+    )
+    parser.add_argument(
+        "--json", dest="json_path", metavar="PATH", help="export per-run records as JSON"
+    )
+    parser.add_argument(
+        "--csv", dest="csv_path", metavar="PATH", help="export per-run records as CSV"
+    )
+
+
+def _parse_value(text: str) -> Any:
+    """Parse a grid/fixed parameter value: int, then float, then string."""
+    for parse in (int, float):
+        try:
+            return parse(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_assignments(pairs: List[str], split_values: bool) -> Dict[str, Any]:
+    parsed: Dict[str, Any] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key or not value:
+            raise SystemExit(f"expected KEY=VALUE, got {pair!r}")
+        if split_values:
+            parsed[key] = [_parse_value(item) for item in value.split(",") if item]
+        else:
+            parsed[key] = _parse_value(value)
+    return parsed
+
+
 def cmd_table4(args: argparse.Namespace) -> None:
     print(format_reward_table(num_agents=args.agents))
 
 
 def cmd_fig7(args: argparse.Namespace) -> None:
-    macs = args.macs
+    sweep = Sweep(
+        experiment="hidden-node",
+        macs=args.macs,
+        grid={"delta": args.deltas},
+        fixed={"packets_per_node": args.packets, "warmup": args.warmup},
+        seeds=list(range(args.repetitions)),
+    )
+    campaign = CampaignRunner(jobs=args.jobs).run(sweep)
+    by = ("delta", "mac")
+    pdr = campaign.aggregate("pdr", by=by)
+    queue = campaign.aggregate("average_queue_level", by=by)
+    delay = campaign.aggregate("average_delay", by=by)
     rows = []
     for delta in args.deltas:
-        for mac in macs:
-            samples = [
-                run_hidden_node(
-                    mac=mac,
-                    delta=delta,
-                    packets_per_node=args.packets,
-                    warmup=args.warmup,
-                    seed=seed,
-                )
-                for seed in range(args.repetitions)
-            ]
-            pdr, ci = confidence_interval_95([s.pdr for s in samples])
-            queue, _ = confidence_interval_95([s.average_queue_level for s in samples])
-            delay, _ = confidence_interval_95([s.average_delay for s in samples])
+        for mac in args.macs:
+            key = (delta, mac)
             rows.append(
-                [delta, mac, f"{pdr:.3f}", f"±{ci:.3f}", f"{queue:.2f}", f"{delay * 1000:.1f} ms"]
+                [
+                    delta,
+                    mac,
+                    f"{pdr[key]['mean']:.3f}",
+                    f"±{pdr[key]['ci95']:.3f}",
+                    f"{queue[key]['mean']:.2f}",
+                    f"{delay[key]['mean'] * 1000:.1f} ms",
+                ]
             )
     _print_table(["delta", "mac", "pdr", "ci95", "avg queue", "avg delay"], rows)
+    _export(campaign, args)
 
 
 def cmd_fig12(args: argparse.Namespace) -> None:
@@ -80,39 +144,105 @@ def cmd_slots(args: argparse.Namespace) -> None:
 
 
 def cmd_testbed(args: argparse.Namespace) -> None:
-    runner = run_tree if args.scenario == "tree" else run_star
+    sweep = Sweep(
+        experiment=f"testbed-{args.scenario}",
+        macs=args.macs,
+        fixed={"delta": args.delta, "packets_per_node": args.packets},
+        seeds=[args.seed],
+    )
+    campaign = CampaignRunner(jobs=args.jobs, keep_raw=True).run(sweep)
     rows = []
-    for mac in args.macs:
-        result = runner(
-            mac=mac, delta=args.delta, packets_per_node=args.packets, seed=args.seed
-        )
+    for record in campaign:
+        result = record.raw
         for node_id, pdr in sorted(result.per_node_pdr.items()):
-            rows.append([args.scenario, mac, node_id, f"{pdr:.3f}"])
-        rows.append([args.scenario, mac, "overall", f"{result.overall_pdr:.3f}"])
+            rows.append([args.scenario, record.scenario.mac, node_id, f"{pdr:.3f}"])
+        rows.append([args.scenario, record.scenario.mac, "overall", f"{result.overall_pdr:.3f}"])
     _print_table(["topology", "mac", "node", "pdr"], rows)
+    _export(campaign, args)
 
 
 def cmd_fig21(args: argparse.Namespace) -> None:
+    sweep = Sweep(
+        experiment="scalability",
+        macs=args.macs,
+        grid={"rings": args.rings},
+        fixed={"duration": args.duration, "warmup": args.warmup},
+        seeds=[args.seed],
+    )
+    campaign = CampaignRunner(jobs=args.jobs).run(sweep)
+    records = {
+        (record.scenario.params["rings"], record.scenario.mac): record for record in campaign
+    }
     rows = []
     for rings in args.rings:
         for mac in args.macs:
-            result = run_scalability(
-                mac=mac, rings=rings, duration=args.duration, warmup=args.warmup, seed=args.seed
-            )
+            metrics = records[(rings, mac)].metrics
             rows.append(
                 [
-                    result.num_nodes,
+                    int(metrics["num_nodes"]),
                     mac,
-                    f"{result.secondary_pdr:.3f}",
-                    f"{result.gts_request_success:.3f}",
-                    f"{result.allocation_rate:.2f}/s",
-                    f"{result.primary_pdr:.3f}",
+                    f"{metrics['secondary_pdr']:.3f}",
+                    f"{metrics['gts_request_success']:.3f}",
+                    f"{metrics['allocation_rate']:.2f}/s",
+                    f"{metrics['primary_pdr']:.3f}",
                 ]
             )
     _print_table(
         ["nodes", "mac", "secondary pdr", "gts-req success", "(de)alloc rate", "primary pdr"],
         rows,
     )
+    _export(campaign, args)
+
+
+def cmd_sweep(args: argparse.Namespace) -> None:
+    try:
+        sweep = Sweep(
+            experiment=args.experiment,
+            macs=args.macs,
+            grid=_parse_assignments(args.grid, split_values=True),
+            fixed=_parse_assignments(args.fixed, split_values=False),
+            seeds=[args.base_seed + i for i in range(args.seeds)],
+        )
+    except ValueError as exc:
+        raise SystemExit(f"qma-repro sweep: error: {exc}")
+    # Fail fast on metric-name typos before spending hours on the sweep.
+    for metric in args.metrics or ():
+        if not is_known_metric(args.experiment, metric):
+            raise SystemExit(
+                f"qma-repro sweep: error: unknown metric {metric!r} for "
+                f"{args.experiment}; available: "
+                f"{', '.join(EXPERIMENT_METRICS[args.experiment])}"
+            )
+
+    jobs = resolve_jobs(args.jobs)
+    print(f"running {sweep.size} scenarios ({args.experiment}) with jobs={jobs}")
+    try:
+        campaign = CampaignRunner(jobs=jobs).run(sweep)
+    except TypeError as exc:
+        # Unknown --grid/--set keys surface as unexpected-keyword errors from
+        # the experiment runner (possibly re-raised by the pool); anything
+        # else is a real bug whose traceback must be kept.
+        if "unexpected keyword argument" not in str(exc):
+            raise
+        raise SystemExit(f"qma-repro sweep: error: {exc}")
+
+    available = campaign.metric_names()
+    for metric in args.metrics or ():
+        if metric not in available:  # e.g. pdr_node_<id> for an absent node
+            raise SystemExit(
+                f"qma-repro sweep: error: metric {metric!r} not present in the "
+                f"results; available: {', '.join(available)}"
+            )
+    by = ("mac",) + sweep.axes
+    rows = []
+    for metric in args.metrics or available:
+        for key, stats in campaign.aggregate(metric, by=by).items():
+            rows.append(
+                list(key)
+                + [metric, f"{stats['mean']:.4f}", f"±{stats['ci95']:.4f}", int(stats["n"])]
+            )
+    _print_table(list(by) + ["metric", "mean", "ci95", "n"], rows)
+    _export(campaign, args)
 
 
 def cmd_fig26(args: argparse.Namespace) -> None:
@@ -138,6 +268,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--packets", type=int, default=1000)
     p.add_argument("--warmup", type=float, default=100.0)
     p.add_argument("--repetitions", type=int, default=3)
+    _add_campaign_options(p)
     p.set_defaults(func=cmd_fig7)
 
     p = sub.add_parser("fig12", help="fluctuating-traffic convergence (Fig. 12)")
@@ -156,6 +287,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--delta", type=float, default=10.0)
     p.add_argument("--packets", type=int, default=1000)
     p.add_argument("--seed", type=int, default=0)
+    _add_campaign_options(p)
     p.set_defaults(func=cmd_testbed)
 
     p = sub.add_parser("fig21", help="DSME secondary-traffic scalability (Figs. 21-22)")
@@ -164,7 +296,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration", type=float, default=300.0)
     p.add_argument("--warmup", type=float, default=200.0)
     p.add_argument("--seed", type=int, default=0)
+    _add_campaign_options(p)
     p.set_defaults(func=cmd_fig21)
+
+    p = sub.add_parser("sweep", help="run an arbitrary campaign grid in parallel")
+    p.add_argument("experiment", choices=EXPERIMENT_KINDS)
+    p.add_argument("--macs", nargs="+", default=["qma"])
+    p.add_argument(
+        "--grid",
+        action="append",
+        default=[],
+        metavar="KEY=V1,V2,...",
+        help="sweep a parameter over comma-separated values (repeatable)",
+    )
+    p.add_argument(
+        "--set",
+        dest="fixed",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="fix a parameter for every scenario (repeatable)",
+    )
+    p.add_argument("--seeds", type=int, default=1, help="number of seeds per grid point")
+    p.add_argument("--base-seed", type=int, default=0)
+    p.add_argument(
+        "--metrics", nargs="+", default=None, help="metrics to tabulate (default: all)"
+    )
+    _add_campaign_options(p)
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("fig26", help="expected handshake messages (Fig. 26)")
     p.add_argument("--probabilities", nargs="+", type=float, default=list(PAPER_PROBABILITIES))

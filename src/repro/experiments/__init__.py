@@ -22,7 +22,13 @@ from repro.experiments.hidden_node import (
     run_slot_utilisation,
     sweep_hidden_node,
 )
-from repro.experiments.testbed import TestbedResult, run_star, run_tree
+from repro.experiments.testbed import (
+    TestbedResult,
+    compare_energy_proxy,
+    run_star,
+    run_tree,
+    sweep_testbed,
+)
 from repro.experiments.scalability import ScalabilityResult, run_scalability, sweep_scalability
 from repro.experiments.handshake import handshake_expected_messages
 
@@ -31,6 +37,7 @@ __all__ = [
     "HiddenNodeResult",
     "ScalabilityResult",
     "TestbedResult",
+    "compare_energy_proxy",
     "handshake_expected_messages",
     "make_mac_factory",
     "repeat_scalar",
@@ -44,4 +51,5 @@ __all__ = [
     "summarize",
     "sweep_hidden_node",
     "sweep_scalability",
+    "sweep_testbed",
 ]

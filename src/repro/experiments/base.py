@@ -64,11 +64,20 @@ def repeat_scalar(
     run: Callable[[int], float],
     repetitions: int,
     base_seed: int = 0,
+    jobs: int = 1,
 ) -> Tuple[float, float, List[float]]:
-    """Run ``run(seed)`` for several seeds; return (mean, 95 % CI half-width, samples)."""
+    """Run ``run(seed)`` for several seeds; return (mean, 95 % CI half-width, samples).
+
+    With ``jobs > 1`` the seeds are fanned out over a process pool via the
+    campaign layer; ``run`` must then be picklable (a module-level function
+    or a :func:`functools.partial` of one).
+    """
     if repetitions <= 0:
         raise ValueError("repetitions must be positive")
-    samples = [run(base_seed + i) for i in range(repetitions)]
+    from repro.campaign.runner import map_seeds  # local import: campaign imports us
+
+    seeds = [base_seed + i for i in range(repetitions)]
+    samples = [float(value) for value in map_seeds(run, seeds, jobs=jobs)]
     mean, half_width = confidence_interval_95(samples)
     return mean, half_width, samples
 

@@ -180,25 +180,31 @@ def sweep_hidden_node(
     repetitions: int = 15,
     warmup: float = 100.0,
     base_seed: int = 0,
+    jobs: int = 1,
     **kwargs,
 ) -> Dict[str, Dict[float, List[HiddenNodeResult]]]:
-    """Full sweep over MACs and packet rates (the data behind Figs. 7-9)."""
+    """Full sweep over MACs and packet rates (the data behind Figs. 7-9).
+
+    Runs through the campaign layer; ``jobs`` fans the cross-product out
+    over a process pool (results are independent of the worker count).
+    """
+    from repro.campaign.runner import CampaignRunner  # local import: campaign imports us
+    from repro.campaign.spec import Sweep
+
+    sweep = Sweep(
+        experiment="hidden-node",
+        macs=macs,
+        grid={"delta": list(deltas)},
+        fixed={"packets_per_node": packets_per_node, "warmup": warmup, **kwargs},
+        seeds=[base_seed + rep for rep in range(repetitions)],
+    )
+    campaign = CampaignRunner(jobs=jobs, keep_raw=True).run(sweep)
+
     results: Dict[str, Dict[float, List[HiddenNodeResult]]] = {}
-    for mac in macs:
-        results[mac] = {}
-        for delta in deltas:
-            runs = [
-                run_hidden_node(
-                    mac=mac,
-                    delta=delta,
-                    packets_per_node=packets_per_node,
-                    warmup=warmup,
-                    seed=base_seed + rep,
-                    **kwargs,
-                )
-                for rep in range(repetitions)
-            ]
-            results[mac][delta] = runs
+    for record in campaign:
+        mac = record.scenario.mac
+        delta = record.scenario.params["delta"]
+        results.setdefault(mac, {}).setdefault(delta, []).append(record.raw)
     return results
 
 

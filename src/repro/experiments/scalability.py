@@ -104,15 +104,29 @@ def sweep_scalability(
     rings: Sequence[int] = PAPER_RINGS,
     repetitions: int = 1,
     base_seed: int = 0,
+    jobs: int = 1,
     **kwargs,
 ) -> Dict[str, Dict[int, list]]:
-    """Sweep over MACs and ring counts (the data behind Figs. 21-22)."""
+    """Sweep over MACs and ring counts (the data behind Figs. 21-22).
+
+    Runs through the campaign layer; ``jobs`` fans the cross-product out
+    over a process pool (results are independent of the worker count).
+    """
+    from repro.campaign.runner import CampaignRunner  # local import: campaign imports us
+    from repro.campaign.spec import Sweep
+
+    sweep = Sweep(
+        experiment="scalability",
+        macs=macs,
+        grid={"rings": list(rings)},
+        fixed=dict(kwargs),
+        seeds=[base_seed + rep for rep in range(repetitions)],
+    )
+    campaign = CampaignRunner(jobs=jobs, keep_raw=True).run(sweep)
+
     results: Dict[str, Dict[int, list]] = {}
-    for mac in macs:
-        results[mac] = {}
-        for ring_count in rings:
-            results[mac][ring_count] = [
-                run_scalability(mac=mac, rings=ring_count, seed=base_seed + rep, **kwargs)
-                for rep in range(repetitions)
-            ]
+    for record in campaign:
+        mac = record.scenario.mac
+        ring_count = record.scenario.params["rings"]
+        results.setdefault(mac, {}).setdefault(ring_count, []).append(record.raw)
     return results

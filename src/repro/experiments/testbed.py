@@ -164,9 +164,44 @@ def run_star(
     )
 
 
+def sweep_testbed(
+    scenario: str = "tree",
+    macs: Sequence[str] = ("qma", "unslotted-csma"),
+    seeds: Sequence[int] = (0,),
+    jobs: int = 1,
+    **kwargs,
+) -> Dict[str, List[TestbedResult]]:
+    """Run the tree or star verification for several MACs and seeds.
+
+    Runs through the campaign layer; ``jobs`` fans the cross-product out
+    over a process pool (results are independent of the worker count).
+    Returns ``{mac: [result per seed]}`` in seed order.
+    """
+    if scenario not in ("tree", "star"):
+        raise ValueError(f"scenario must be 'tree' or 'star', got {scenario!r}")
+    from repro.campaign.runner import CampaignRunner  # local import: campaign imports us
+    from repro.campaign.spec import Sweep
+
+    sweep = Sweep(
+        experiment=f"testbed-{scenario}",
+        macs=macs,
+        fixed=dict(kwargs),
+        seeds=list(seeds),
+    )
+    campaign = CampaignRunner(jobs=jobs, keep_raw=True).run(sweep)
+
+    results: Dict[str, List[TestbedResult]] = {}
+    for record in campaign:
+        results.setdefault(record.scenario.mac, []).append(record.raw)
+    return results
+
+
 def compare_energy_proxy(
     macs: Sequence[str] = ("qma", "unslotted-csma"),
+    seed: int = 0,
+    jobs: int = 1,
     **kwargs,
 ) -> Dict[str, int]:
     """Transmission-attempt counts per MAC (the Sect. 6.2.1 energy argument)."""
-    return {mac: run_star(mac=mac, **kwargs).transmission_attempts for mac in macs}
+    results = sweep_testbed(scenario="star", macs=macs, seeds=(seed,), jobs=jobs, **kwargs)
+    return {mac: runs[0].transmission_attempts for mac, runs in results.items()}

@@ -1,0 +1,119 @@
+"""Tests for RunRecord / CampaignResult export and aggregation."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.stats import confidence_interval_95
+from repro.campaign.records import CampaignResult, RunRecord, load_json
+from repro.campaign.spec import Scenario
+
+
+def _record(mac: str, seed: int, delta: float, pdr: float) -> RunRecord:
+    return RunRecord(
+        scenario=Scenario(
+            experiment="hidden-node", mac=mac, seed=seed, params={"delta": delta}
+        ),
+        metrics={"pdr": pdr},
+    )
+
+
+@pytest.fixture
+def campaign() -> CampaignResult:
+    return CampaignResult(
+        records=[
+            _record("qma", 0, 10.0, 0.9),
+            _record("qma", 1, 10.0, 1.0),
+            _record("unslotted-csma", 0, 10.0, 0.6),
+            _record("unslotted-csma", 1, 10.0, 0.8),
+        ]
+    )
+
+
+class TestRunRecord:
+    def test_value_resolves_metrics_scenario_and_params(self):
+        record = _record("qma", 3, 25.0, 0.75)
+        assert record.value("pdr") == 0.75
+        assert record.value("mac") == "qma"
+        assert record.value("seed") == 3
+        assert record.value("delta") == 25.0
+        assert record.value("experiment") == "hidden-node"
+        with pytest.raises(KeyError):
+            record.value("does-not-exist")
+
+    def test_row_flattens_scenario_and_metrics(self):
+        row = _record("qma", 0, 10.0, 0.9).row()
+        assert row == {
+            "experiment": "hidden-node",
+            "mac": "qma",
+            "seed": 0,
+            "delta": 10.0,
+            "pdr": 0.9,
+        }
+
+
+class TestExport:
+    def test_json_round_trip(self, campaign, tmp_path):
+        path = tmp_path / "records.json"
+        text = campaign.to_json(str(path))
+        assert json.loads(text)["records"]
+        loaded = load_json(str(path))
+        assert loaded.records == campaign.records
+
+    def test_csv_has_one_row_per_run(self, campaign, tmp_path):
+        path = tmp_path / "records.csv"
+        campaign.to_csv(str(path))
+        with open(path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 4
+        assert rows[0]["experiment"] == "hidden-node"
+        assert float(rows[1]["pdr"]) == 1.0
+        assert rows[0]["delta"] == "10.0"
+
+    def test_csv_columns_cover_params_and_metrics(self, campaign):
+        header = campaign.to_csv().splitlines()[0].split(",")
+        assert header[:3] == ["experiment", "mac", "seed"]
+        assert "delta" in header and "pdr" in header
+
+    def test_csv_header_never_duplicates_colliding_names(self):
+        record = RunRecord(
+            scenario=Scenario(experiment="scalability", params={"duration": 40.0}),
+            metrics={"duration": 40.0, "pdr": 1.0},
+        )
+        header = CampaignResult(records=[record]).to_csv().splitlines()[0].split(",")
+        assert header.count("duration") == 1
+
+    def test_builtin_adapters_avoid_param_metric_collisions(self):
+        from repro.campaign.runner import execute_scenario
+
+        record = execute_scenario(
+            Scenario(
+                experiment="scalability",
+                mac="unslotted-csma",
+                seed=1,
+                params={"rings": 1, "duration": 30.0, "warmup": 15.0},
+            )
+        )
+        assert not set(record.metrics) & set(record.scenario.params)
+        assert record.value("duration") == 30.0  # the parameter, not the sim clock
+        assert record.metrics["sim_time"] == 30.0
+
+
+class TestAggregate:
+    def test_groups_by_mac_and_matches_stats_helper(self, campaign):
+        stats = campaign.aggregate("pdr", by=("mac",))
+        mean, ci = confidence_interval_95([0.9, 1.0])
+        assert stats[("qma",)] == {"mean": mean, "ci95": ci, "n": 2.0}
+        assert stats[("unslotted-csma",)]["mean"] == pytest.approx(0.7)
+
+    def test_group_order_is_first_appearance(self, campaign):
+        keys = list(campaign.aggregate("pdr", by=("mac", "delta")))
+        assert keys == [("qma", 10.0), ("unslotted-csma", 10.0)]
+
+    def test_metric_and_param_name_unions(self, campaign):
+        assert campaign.metric_names() == ["pdr"]
+        assert campaign.param_names() == ["delta"]
+        assert len(campaign) == 4

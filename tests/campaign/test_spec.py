@@ -1,0 +1,82 @@
+"""Tests for the declarative Scenario / Sweep specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.spec import EXPERIMENT_KINDS, Scenario, Sweep
+
+
+class TestScenario:
+    def test_round_trips_through_dict(self):
+        scenario = Scenario(
+            experiment="hidden-node", mac="qma", seed=7, params={"delta": 25.0}
+        )
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+    def test_label_is_deterministic(self):
+        scenario = Scenario(
+            experiment="hidden-node", mac="qma", seed=3, params={"b": 2, "a": 1}
+        )
+        assert scenario.label == "hidden-node qma a=1 b=2 seed=3"
+
+    def test_rejects_unknown_experiment_and_mac(self):
+        with pytest.raises(ValueError):
+            Scenario(experiment="moon-bounce")
+        with pytest.raises(ValueError):
+            Scenario(experiment="hidden-node", mac="tdma")
+
+
+class TestSweep:
+    def test_expansion_is_the_full_cross_product(self):
+        sweep = Sweep(
+            experiment="hidden-node",
+            macs=("qma", "unslotted-csma"),
+            grid={"delta": [10, 25, 50]},
+            fixed={"packets_per_node": 100},
+            seeds=(0, 1),
+        )
+        scenarios = sweep.scenarios()
+        assert len(scenarios) == sweep.size == len(sweep) == 12
+        assert {s.mac for s in scenarios} == {"qma", "unslotted-csma"}
+        assert {s.params["delta"] for s in scenarios} == {10, 25, 50}
+        assert all(s.params["packets_per_node"] == 100 for s in scenarios)
+
+    def test_expansion_order_is_deterministic(self):
+        make = lambda: Sweep(
+            experiment="scalability",
+            macs=("qma", "slotted-csma"),
+            grid={"rings": [1, 2]},
+            seeds=(0, 1, 2),
+        )
+        assert make().scenarios() == make().scenarios()
+        first = make().scenarios()[0]
+        assert (first.mac, first.params["rings"], first.seed) == ("qma", 1, 0)
+
+    def test_axes_are_sorted(self):
+        sweep = Sweep(
+            experiment="hidden-node", grid={"warmup": [5.0], "delta": [10]}
+        )
+        assert sweep.axes == ("delta", "warmup")
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            Sweep(experiment="unknown")
+        with pytest.raises(ValueError):
+            Sweep(experiment="hidden-node", macs=())
+        with pytest.raises(ValueError):
+            Sweep(experiment="hidden-node", macs=("tdma",))
+        with pytest.raises(ValueError):
+            Sweep(experiment="hidden-node", seeds=())
+        with pytest.raises(ValueError):
+            Sweep(experiment="hidden-node", grid={"delta": [10]}, fixed={"delta": 25})
+        with pytest.raises(ValueError):
+            Sweep(experiment="hidden-node", grid={"delta": []})
+        with pytest.raises(ValueError, match="reserved"):
+            Sweep(experiment="hidden-node", fixed={"seed": 5})
+        with pytest.raises(ValueError, match="reserved"):
+            Sweep(experiment="hidden-node", grid={"mac": ["qma"]})
+
+    def test_every_experiment_kind_is_sweepable(self):
+        for experiment in EXPERIMENT_KINDS:
+            assert Sweep(experiment=experiment).size == 1

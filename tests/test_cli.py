@@ -44,6 +44,128 @@ def test_fig7_command_small_run(capsys):
     assert "pdr" in output
 
 
+def test_sweep_command_prints_aggregated_metrics(capsys):
+    assert (
+        main(
+            [
+                "sweep",
+                "hidden-node",
+                "--macs",
+                "qma",
+                "--grid",
+                "delta=10,25",
+                "--set",
+                "packets_per_node=15",
+                "--set",
+                "warmup=5",
+                "--seeds",
+                "2",
+                "--metrics",
+                "pdr",
+            ]
+        )
+        == 0
+    )
+    output = capsys.readouterr().out
+    assert "running 4 scenarios" in output
+    assert "pdr" in output
+    assert "qma" in output
+
+
+def test_sweep_command_exports_json_and_csv(tmp_path, capsys):
+    json_path = tmp_path / "records.json"
+    csv_path = tmp_path / "records.csv"
+    assert (
+        main(
+            [
+                "sweep",
+                "hidden-node",
+                "--macs",
+                "qma",
+                "--grid",
+                "delta=10",
+                "--set",
+                "packets_per_node=10",
+                "--set",
+                "warmup=5",
+                "--json",
+                str(json_path),
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        == 0
+    )
+    import csv as csv_module
+    import json as json_module
+
+    data = json_module.loads(json_path.read_text())
+    assert len(data["records"]) == 1
+    assert data["records"][0]["scenario"]["mac"] == "qma"
+    assert "pdr" in data["records"][0]["metrics"]
+    with open(csv_path, newline="") as handle:
+        rows = list(csv_module.DictReader(handle))
+    assert len(rows) == 1
+    assert 0.0 <= float(rows[0]["pdr"]) <= 1.0
+    output = capsys.readouterr().out
+    assert str(json_path) in output and str(csv_path) in output
+
+
+def test_sweep_command_parallel_jobs(capsys):
+    assert (
+        main(
+            [
+                "sweep",
+                "scalability",
+                "--macs",
+                "unslotted-csma",
+                "--grid",
+                "rings=1",
+                "--set",
+                "duration=40",
+                "--set",
+                "warmup=20",
+                "--jobs",
+                "2",
+                "--metrics",
+                "secondary_pdr",
+            ]
+        )
+        == 0
+    )
+    output = capsys.readouterr().out
+    assert "secondary_pdr" in output
+
+
+def test_sweep_command_rejects_malformed_grid():
+    with pytest.raises(SystemExit):
+        main(["sweep", "hidden-node", "--grid", "delta"])
+
+
+def test_fig7_accepts_jobs_flag(capsys):
+    assert (
+        main(
+            [
+                "fig7",
+                "--macs",
+                "qma",
+                "--deltas",
+                "10",
+                "--packets",
+                "10",
+                "--warmup",
+                "5",
+                "--repetitions",
+                "2",
+                "--jobs",
+                "2",
+            ]
+        )
+        == 0
+    )
+    assert "pdr" in capsys.readouterr().out
+
+
 def test_parser_rejects_unknown_command():
     parser = build_parser()
     with pytest.raises(SystemExit):
@@ -53,5 +175,5 @@ def test_parser_rejects_unknown_command():
 def test_parser_has_all_figure_commands():
     parser = build_parser()
     help_text = parser.format_help()
-    for command in ("table4", "fig7", "fig12", "slots", "testbed", "fig21", "fig26"):
+    for command in ("table4", "fig7", "fig12", "slots", "testbed", "fig21", "fig26", "sweep"):
         assert command in help_text

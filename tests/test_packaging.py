@@ -1,0 +1,45 @@
+"""Packaging smoke tests: entry points and project metadata."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _src_env() -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    return env
+
+
+def test_python_m_repro_cli_help_exits_zero():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "--help"],
+        capture_output=True,
+        text=True,
+        env=_src_env(),
+        timeout=60,
+    )
+    assert result.returncode == 0
+    assert "qma-repro" in result.stdout
+    assert "sweep" in result.stdout
+
+
+def test_pyproject_declares_console_entry_point():
+    pyproject = REPO_ROOT / "pyproject.toml"
+    assert pyproject.is_file()
+    text = pyproject.read_text(encoding="utf-8")
+    assert 'qma-repro = "repro.cli:main"' in text
+    try:
+        import tomllib
+    except ImportError:  # Python 3.10
+        return
+    data = tomllib.loads(text)
+    assert data["project"]["name"] == "qma-repro"
+    assert data["project"]["scripts"]["qma-repro"] == "repro.cli:main"
+    assert data["tool"]["setuptools"]["packages"]["find"]["where"] == ["src"]
