@@ -11,7 +11,6 @@ from conftest import HIDDEN_NODE_PACKETS, HIDDEN_NODE_WARMUP
 
 from repro.core.exploration import ConstantEpsilon, EpsilonGreedy, ParameterBasedExploration
 from repro.experiments.base import make_mac_factory
-from repro.experiments.hidden_node import run_hidden_node
 from repro.net.network import Network
 from repro.sim.engine import Simulator
 from repro.topology.hidden_node import NODE_A, NODE_C, hidden_node_topology

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from repro.core.config import QmaConfig
-from repro.core.mac import QmaMac
 from repro.experiments.base import make_mac_factory
 from repro.net.network import Network
 from repro.sim.engine import Simulator

@@ -6,11 +6,16 @@ The package provides
 * the QMA channel-access scheme itself (:mod:`repro.core`),
 * the substrates it is evaluated on: a discrete-event simulator
   (:mod:`repro.sim`), an IEEE 802.15.4-style PHY and channel
-  (:mod:`repro.phy`), CSMA/CA and ALOHA(-Q) baselines (:mod:`repro.mac`),
-  the DSME superframe / GTS machinery (:mod:`repro.dsme`), topologies,
-  traffic and the network layer (:mod:`repro.topology`, :mod:`repro.traffic`,
-  :mod:`repro.net`),
-* analysis utilities (:mod:`repro.analysis`), and
+  (:mod:`repro.phy`), CSMA/CA, ALOHA(-Q) and TDMA baselines
+  (:mod:`repro.mac`), the DSME superframe / GTS machinery
+  (:mod:`repro.dsme`), topologies, traffic and the network layer
+  (:mod:`repro.topology`, :mod:`repro.traffic`, :mod:`repro.net`),
+* name-resolved component registries for MAC protocols
+  (:mod:`repro.mac.registry`) and propagation models
+  (:mod:`repro.phy.registry`), plus the declarative scenario pipeline
+  assembling them (:mod:`repro.scenario`),
+* analysis utilities (:mod:`repro.analysis`), the parallel campaign layer
+  (:mod:`repro.campaign`), and
 * experiment runners reproducing every figure of the paper's evaluation
   (:mod:`repro.experiments`).
 
@@ -23,8 +28,10 @@ Quickstart::
 """
 
 from repro.core import QAction, QmaConfig, QmaMac, QTable
-from repro.mac import SlottedCsmaCa, UnslottedCsmaCa
+from repro.mac import SlottedCsmaCa, UnslottedCsmaCa, create_mac, mac_kinds, register_mac
 from repro.net import Network
+from repro.phy import create_propagation, propagation_kinds, register_propagation
+from repro.scenario import ScenarioBuilder, ScenarioConfig, build_scenario
 from repro.sim import Simulator
 
 __version__ = "1.0.0"
@@ -35,8 +42,17 @@ __all__ = [
     "QTable",
     "QmaConfig",
     "QmaMac",
+    "ScenarioBuilder",
+    "ScenarioConfig",
     "Simulator",
     "SlottedCsmaCa",
     "UnslottedCsmaCa",
     "__version__",
+    "build_scenario",
+    "create_mac",
+    "create_propagation",
+    "mac_kinds",
+    "propagation_kinds",
+    "register_mac",
+    "register_propagation",
 ]

@@ -13,13 +13,13 @@ import csv
 import io
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.analysis.stats import confidence_interval_95
 from repro.campaign.spec import Scenario
 
 #: Keys of :meth:`RunRecord.row` that name the scenario rather than a metric.
-_SCENARIO_COLUMNS = ("experiment", "mac", "seed")
+_SCENARIO_COLUMNS = ("experiment", "mac", "propagation", "seed")
 
 
 @dataclass
@@ -46,6 +46,8 @@ class RunRecord:
             return self.scenario.experiment
         if key == "mac":
             return self.scenario.mac
+        if key == "propagation":
+            return self.scenario.propagation
         if key == "seed":
             return self.scenario.seed
         if key in self.scenario.params:
@@ -57,6 +59,7 @@ class RunRecord:
         row: Dict[str, Any] = {
             "experiment": self.scenario.experiment,
             "mac": self.scenario.mac,
+            "propagation": self.scenario.propagation or "",
             "seed": self.scenario.seed,
         }
         row.update(self.scenario.params)

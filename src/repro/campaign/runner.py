@@ -15,7 +15,7 @@ from __future__ import annotations
 import functools
 import multiprocessing
 import os
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple, Union
 
 from repro.campaign.records import CampaignResult, RunRecord
 from repro.campaign.spec import Scenario, Sweep
@@ -61,22 +61,42 @@ def _scalability_metrics(result: ScalabilityResult) -> Dict[str, float]:
 
 
 def _run_hidden_node(scenario: Scenario) -> Tuple[Dict[str, float], Any]:
-    result = run_hidden_node(mac=scenario.mac, seed=scenario.seed, **scenario.params)
+    result = run_hidden_node(
+        mac=scenario.mac,
+        seed=scenario.seed,
+        propagation=scenario.propagation,
+        **scenario.params,
+    )
     return _hidden_node_metrics(result), result
 
 
 def _run_testbed_tree(scenario: Scenario) -> Tuple[Dict[str, float], Any]:
-    result = run_tree(mac=scenario.mac, seed=scenario.seed, **scenario.params)
+    result = run_tree(
+        mac=scenario.mac,
+        seed=scenario.seed,
+        propagation=scenario.propagation,
+        **scenario.params,
+    )
     return _testbed_metrics(result), result
 
 
 def _run_testbed_star(scenario: Scenario) -> Tuple[Dict[str, float], Any]:
-    result = run_star(mac=scenario.mac, seed=scenario.seed, **scenario.params)
+    result = run_star(
+        mac=scenario.mac,
+        seed=scenario.seed,
+        propagation=scenario.propagation,
+        **scenario.params,
+    )
     return _testbed_metrics(result), result
 
 
 def _run_scalability(scenario: Scenario) -> Tuple[Dict[str, float], Any]:
-    result = run_scalability(mac=scenario.mac, seed=scenario.seed, **scenario.params)
+    result = run_scalability(
+        mac=scenario.mac,
+        seed=scenario.seed,
+        propagation=scenario.propagation,
+        **scenario.params,
+    )
     return _scalability_metrics(result), result
 
 

@@ -2,28 +2,49 @@
 
 A :class:`Scenario` captures everything needed to run one simulation — the
 experiment family (which fixes the topology and traffic model), the
-channel-access scheme, the per-run parameters, and the master seed — as
-plain data, so it can be pickled to a worker process, serialised to JSON,
-and compared for equality in determinism tests.
+channel-access scheme, the propagation model, the per-run parameters, and
+the master seed — as plain data, so it can be pickled to a worker process,
+serialised to JSON, and compared for equality in determinism tests.
 
 A :class:`Sweep` is the declarative form of the loops previously
 hand-rolled in ``cli.py`` and ``experiments/*``: a grid of swept axes, a
-set of fixed parameters, a list of MAC kinds and a seed list, expanded to
-the cross-product of scenarios in a deterministic order.
+set of fixed parameters, a list of MAC kinds / propagation models and a
+seed list, expanded to the cross-product of scenarios in a deterministic
+order.  MAC and propagation names are validated against the registries
+(:mod:`repro.mac.registry`, :mod:`repro.phy.registry`), so a newly
+registered protocol or channel model is sweepable with zero campaign-layer
+changes.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Mapping, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
-from repro.experiments.base import MAC_KINDS
+from repro.mac.registry import MAC_REGISTRY, mac_kinds
+from repro.phy.registry import PROPAGATION_REGISTRY, propagation_kinds
 
 #: Experiment families runnable by the campaign layer.  Each fixes a
 #: topology and traffic model; see :mod:`repro.campaign.runner` for the
 #: mapping onto the experiment runners.
 EXPERIMENT_KINDS = ("hidden-node", "testbed-tree", "testbed-star", "scalability")
+
+#: Scenario fields that cannot double as sweep parameters.
+_RESERVED_PARAMS = ("mac", "seed", "propagation")
+
+
+def _check_mac(mac: str) -> None:
+    if mac not in MAC_REGISTRY:
+        raise ValueError(f"unknown MAC kind {mac!r}; expected one of {mac_kinds()}")
+
+
+def _check_propagation(propagation: Optional[str]) -> None:
+    if propagation is not None and propagation not in PROPAGATION_REGISTRY:
+        raise ValueError(
+            f"unknown propagation model {propagation!r}; expected one of "
+            f"{propagation_kinds()} (or None for the topology's explicit links)"
+        )
 
 
 @dataclass
@@ -33,27 +54,31 @@ class Scenario:
     ``params`` holds keyword arguments forwarded verbatim to the underlying
     experiment runner (e.g. ``delta``/``packets_per_node``/``warmup`` for
     ``hidden-node``, ``rings``/``duration`` for ``scalability``).
+    ``propagation`` optionally names a registered propagation model that
+    re-derives the topology's links; None keeps the explicit links.
     """
 
     experiment: str
     mac: str = "qma"
     seed: int = 0
     params: Dict[str, Any] = field(default_factory=dict)
+    propagation: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.experiment not in EXPERIMENT_KINDS:
             raise ValueError(
                 f"unknown experiment {self.experiment!r}; expected one of {EXPERIMENT_KINDS}"
             )
-        if self.mac not in MAC_KINDS:
-            raise ValueError(f"unknown MAC kind {self.mac!r}; expected one of {MAC_KINDS}")
+        _check_mac(self.mac)
+        _check_propagation(self.propagation)
 
     @property
     def label(self) -> str:
         """Compact human-readable identifier used in tables and logs."""
-        parts = [self.experiment, self.mac] + [
-            f"{key}={self.params[key]}" for key in sorted(self.params)
-        ]
+        parts = [self.experiment, self.mac]
+        if self.propagation is not None:
+            parts.append(f"propagation={self.propagation}")
+        parts += [f"{key}={self.params[key]}" for key in sorted(self.params)]
         parts.append(f"seed={self.seed}")
         return " ".join(parts)
 
@@ -63,6 +88,7 @@ class Scenario:
             "mac": self.mac,
             "seed": self.seed,
             "params": dict(self.params),
+            "propagation": self.propagation,
         }
 
     @classmethod
@@ -72,18 +98,20 @@ class Scenario:
             mac=data.get("mac", "qma"),
             seed=int(data.get("seed", 0)),
             params=dict(data.get("params", {})),
+            propagation=data.get("propagation"),
         )
 
 
 @dataclass
 class Sweep:
-    """A cross-product of scenarios over MAC kinds, parameter axes and seeds.
+    """A cross-product of scenarios over MACs, propagation models, axes and seeds.
 
     ``grid`` maps parameter names to the values swept over; ``fixed`` maps
     parameter names to constants shared by every scenario.  Expansion order
-    is deterministic: MAC kinds in the given order, then grid axes sorted by
-    name (values in the given order), then seeds — so two equal sweeps
-    always expand to the same scenario list.
+    is deterministic: MAC kinds in the given order, then propagation models
+    in the given order, then grid axes sorted by name (values in the given
+    order), then seeds — so two equal sweeps always expand to the same
+    scenario list.
     """
 
     experiment: str
@@ -91,6 +119,7 @@ class Sweep:
     grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
     fixed: Mapping[str, Any] = field(default_factory=dict)
     seeds: Sequence[int] = (0,)
+    propagations: Sequence[Optional[str]] = (None,)
 
     def __post_init__(self) -> None:
         if self.experiment not in EXPERIMENT_KINDS:
@@ -100,18 +129,21 @@ class Sweep:
         if not self.macs:
             raise ValueError("macs must not be empty")
         for mac in self.macs:
-            if mac not in MAC_KINDS:
-                raise ValueError(f"unknown MAC kind {mac!r}; expected one of {MAC_KINDS}")
+            _check_mac(mac)
+        if not self.propagations:
+            raise ValueError("propagations must not be empty")
+        for propagation in self.propagations:
+            _check_propagation(propagation)
         if not self.seeds:
             raise ValueError("seeds must not be empty")
         overlap = set(self.grid) & set(self.fixed)
         if overlap:
             raise ValueError(f"parameters swept and fixed at once: {sorted(overlap)}")
-        reserved = {"mac", "seed"} & (set(self.grid) | set(self.fixed))
+        reserved = set(_RESERVED_PARAMS) & (set(self.grid) | set(self.fixed))
         if reserved:
             raise ValueError(
-                f"reserved parameter names {sorted(reserved)}: use the macs/seeds "
-                "fields of the sweep instead"
+                f"reserved parameter names {sorted(reserved)}: use the "
+                "macs/seeds/propagations fields of the sweep instead"
             )
         for key, values in self.grid.items():
             if not values:
@@ -125,7 +157,7 @@ class Sweep:
     @property
     def size(self) -> int:
         """Number of scenarios the sweep expands to."""
-        count = len(self.macs) * len(self.seeds)
+        count = len(self.macs) * len(self.propagations) * len(self.seeds)
         for values in self.grid.values():
             count *= len(values)
         return count
@@ -138,13 +170,18 @@ class Sweep:
         axis_names = self.axes
         axis_values = [self.grid[name] for name in axis_names]
         for mac in self.macs:
-            for combo in itertools.product(*axis_values):
-                params = dict(self.fixed)
-                params.update(zip(axis_names, combo))
-                for seed in self.seeds:
-                    yield Scenario(
-                        experiment=self.experiment, mac=mac, seed=seed, params=params.copy()
-                    )
+            for propagation in self.propagations:
+                for combo in itertools.product(*axis_values):
+                    params = dict(self.fixed)
+                    params.update(zip(axis_names, combo))
+                    for seed in self.seeds:
+                        yield Scenario(
+                            experiment=self.experiment,
+                            mac=mac,
+                            seed=seed,
+                            params=params.copy(),
+                            propagation=propagation,
+                        )
 
     def __len__(self) -> int:
         return self.size

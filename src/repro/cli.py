@@ -32,6 +32,9 @@ from repro.campaign.spec import EXPERIMENT_KINDS, Sweep
 from repro.core.rewards import format_reward_table
 from repro.experiments.handshake import PAPER_PROBABILITIES, handshake_expected_messages
 from repro.experiments.hidden_node import run_fluctuating, run_slot_utilisation
+from repro.mac.registry import MAC_REGISTRY, mac_kinds
+from repro.phy.registry import PROPAGATION_REGISTRY, propagation_kinds
+from repro.scenario.builder import TOPOLOGY_REGISTRY, topology_kinds
 
 
 def _print_table(header: List[str], rows: List[List[str]]) -> None:
@@ -51,6 +54,15 @@ def _export(campaign: CampaignResult, args: argparse.Namespace) -> None:
     if getattr(args, "csv_path", None):
         campaign.to_csv(args.csv_path)
         print(f"wrote {len(campaign)} records to {args.csv_path} (csv)")
+
+
+def _add_propagation_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--propagation",
+        default=None,
+        help="registered propagation model deriving connectivity from node "
+        "positions (default: the topology's explicit links); see 'qma-repro list'",
+    )
 
 
 def _add_campaign_options(parser: argparse.ArgumentParser) -> None:
@@ -92,10 +104,42 @@ def cmd_table4(args: argparse.Namespace) -> None:
     print(format_reward_table(num_agents=args.agents))
 
 
+def _format_defaults(defaults: Dict[str, Any]) -> str:
+    if not defaults:
+        return "(no config)"
+    return ", ".join(
+        f"{key}={'<required>' if value is ... else value}"
+        for key, value in defaults.items()
+    )
+
+
+def cmd_list(args: argparse.Namespace) -> None:
+    """Print the registered MAC kinds, propagation models and topologies."""
+    print("MAC protocols (repro.mac.registry):")
+    for name in mac_kinds():
+        spec = MAC_REGISTRY.get(name)
+        config_name = spec.config_cls.__name__ if spec.config_cls else "-"
+        print(f"  {name:<16} {spec.protocol.__name__:<16} {spec.description}")
+        print(f"  {'':<16} {config_name}: {_format_defaults(spec.config_defaults())}")
+    print()
+    print("propagation models (repro.phy.registry):")
+    for name in propagation_kinds():
+        spec = PROPAGATION_REGISTRY.get(name)
+        print(f"  {name:<16} {spec.model.__name__:<24} {spec.description}")
+        print(f"  {'':<16} defaults: {_format_defaults(spec.config_defaults())}")
+    print()
+    print("topologies (repro.scenario.builder):")
+    for name in topology_kinds():
+        factory = TOPOLOGY_REGISTRY.get(name)
+        doc = (factory.__doc__ or "").strip().splitlines()
+        print(f"  {name:<16} {doc[0] if doc else ''}")
+
+
 def cmd_fig7(args: argparse.Namespace) -> None:
     sweep = Sweep(
         experiment="hidden-node",
         macs=args.macs,
+        propagations=[args.propagation],
         grid={"delta": args.deltas},
         fixed={"packets_per_node": args.packets, "warmup": args.warmup},
         seeds=list(range(args.repetitions)),
@@ -147,6 +191,7 @@ def cmd_testbed(args: argparse.Namespace) -> None:
     sweep = Sweep(
         experiment=f"testbed-{args.scenario}",
         macs=args.macs,
+        propagations=[args.propagation],
         fixed={"delta": args.delta, "packets_per_node": args.packets},
         seeds=[args.seed],
     )
@@ -165,6 +210,7 @@ def cmd_fig21(args: argparse.Namespace) -> None:
     sweep = Sweep(
         experiment="scalability",
         macs=args.macs,
+        propagations=[args.propagation],
         grid={"rings": args.rings},
         fixed={"duration": args.duration, "warmup": args.warmup},
         seeds=[args.seed],
@@ -196,10 +242,36 @@ def cmd_fig21(args: argparse.Namespace) -> None:
 
 def cmd_sweep(args: argparse.Namespace) -> None:
     try:
+        grid = _parse_assignments(args.grid, split_values=True)
+        # ``mac`` and ``propagation`` are registry axes, not runner
+        # parameters: lift them out of the grid so that e.g.
+        # ``--grid mac=qma,tdma propagation=unit-disk,fading`` expands
+        # through the registries with zero per-protocol code.  Giving the
+        # same axis through both the flag and the grid is ambiguous.
+        if "mac" in grid and args.macs is not None:
+            raise SystemExit(
+                "qma-repro sweep: error: give the MAC axis either via --macs "
+                "or via --grid mac=..., not both"
+            )
+        if "propagation" in grid and args.propagation is not None:
+            raise SystemExit(
+                "qma-repro sweep: error: give the propagation axis either via "
+                "--propagation or via --grid propagation=..., not both"
+            )
+        if "mac" in grid:
+            macs = [str(m) for m in grid.pop("mac")]
+        else:
+            macs = args.macs if args.macs is not None else ["qma"]
+        propagations: List[Optional[str]] = (
+            [str(p) for p in grid.pop("propagation")]
+            if "propagation" in grid
+            else [args.propagation]
+        )
         sweep = Sweep(
             experiment=args.experiment,
-            macs=args.macs,
-            grid=_parse_assignments(args.grid, split_values=True),
+            macs=macs,
+            propagations=propagations,
+            grid=grid,
             fixed=_parse_assignments(args.fixed, split_values=False),
             seeds=[args.base_seed + i for i in range(args.seeds)],
         )
@@ -233,7 +305,10 @@ def cmd_sweep(args: argparse.Namespace) -> None:
                 f"qma-repro sweep: error: metric {metric!r} not present in the "
                 f"results; available: {', '.join(available)}"
             )
-    by = ("mac",) + sweep.axes
+    by = ("mac",)
+    if any(propagation is not None for propagation in sweep.propagations):
+        by += ("propagation",)
+    by += sweep.axes
     rows = []
     for metric in args.metrics or available:
         for key, stats in campaign.aggregate(metric, by=by).items():
@@ -262,12 +337,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--agents", type=int, default=3)
     p.set_defaults(func=cmd_table4)
 
+    p = sub.add_parser(
+        "list", help="registered MAC kinds, propagation models and topologies"
+    )
+    p.set_defaults(func=cmd_list)
+
     p = sub.add_parser("fig7", help="hidden-node PDR / queue / delay sweep (Figs. 7-9)")
     p.add_argument("--macs", nargs="+", default=["qma", "slotted-csma", "unslotted-csma"])
     p.add_argument("--deltas", nargs="+", type=float, default=[1, 10, 25, 50, 100])
     p.add_argument("--packets", type=int, default=1000)
     p.add_argument("--warmup", type=float, default=100.0)
     p.add_argument("--repetitions", type=int, default=3)
+    _add_propagation_option(p)
     _add_campaign_options(p)
     p.set_defaults(func=cmd_fig7)
 
@@ -287,6 +368,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--delta", type=float, default=10.0)
     p.add_argument("--packets", type=int, default=1000)
     p.add_argument("--seed", type=int, default=0)
+    _add_propagation_option(p)
     _add_campaign_options(p)
     p.set_defaults(func=cmd_testbed)
 
@@ -296,12 +378,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration", type=float, default=300.0)
     p.add_argument("--warmup", type=float, default=200.0)
     p.add_argument("--seed", type=int, default=0)
+    _add_propagation_option(p)
     _add_campaign_options(p)
     p.set_defaults(func=cmd_fig21)
 
     p = sub.add_parser("sweep", help="run an arbitrary campaign grid in parallel")
     p.add_argument("experiment", choices=EXPERIMENT_KINDS)
-    p.add_argument("--macs", nargs="+", default=["qma"])
+    p.add_argument(
+        "--macs", nargs="+", default=None,
+        help="MAC kinds to sweep (default: qma; or use --grid mac=...)",
+    )
     p.add_argument(
         "--grid",
         action="append",
@@ -319,6 +405,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--seeds", type=int, default=1, help="number of seeds per grid point")
     p.add_argument("--base-seed", type=int, default=0)
+    _add_propagation_option(p)
     p.add_argument(
         "--metrics", nargs="+", default=None, help="metrics to tabulate (default: all)"
     )

@@ -36,6 +36,7 @@ from repro.core.rewards import DEFAULT_REWARDS, RewardFunction
 from repro.core.startup import CautiousStartup
 from repro.mac.base import MacProtocol, TransactionResult
 from repro.mac.gate import ActivityGate
+from repro.mac.registry import register_mac
 from repro.phy.frames import Frame, FrameKind
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -84,6 +85,8 @@ class QmaActionStats:
         return self.random_selections + self.greedy_selections
 
 
+@register_mac("qma", config_cls=QmaConfig,
+              description="Q-learning multiple access (the paper's protocol)")
 class QmaMac(MacProtocol):
     """Q-learning-based multiple access."""
 

@@ -16,7 +16,7 @@ equally good joint policies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.actions import ALL_ACTIONS, QAction
 
@@ -68,8 +68,13 @@ class QTable:
         self.discount_factor = discount_factor
         self.penalty = penalty
         self.q_init = q_init
-        self._values: List[Dict[QAction, float]] = [
-            {action: q_init for action in ALL_ACTIONS} for _ in range(num_states)
+        # Q-values stored as flat per-state float lists indexed by
+        # ``QAction.value`` (0/1/2): the update runs once per selected action
+        # in the inner loop, and list indexing avoids the enum-hashing cost
+        # of dict rows.  The dict-shaped API (``values_snapshot`` etc.) is
+        # preserved on top.
+        self._values: List[List[float]] = [
+            [q_init] * len(ALL_ACTIONS) for _ in range(num_states)
         ]
         #: π(m): initialised to QBackoff for every subslot (Algorithm 1).
         self._policy: List[QAction] = [QAction.QBACKOFF] * num_states
@@ -78,22 +83,22 @@ class QTable:
     # ------------------------------------------------------------------ access
     def value(self, state: int, action: QAction) -> float:
         """Q(state, action)."""
-        return self._values[state][action]
+        return self._values[state][action.value]
 
     def set_value(self, state: int, action: QAction, value: float) -> None:
         """Directly overwrite a Q-value (used by tests and the worked example)."""
-        self._values[state][action] = value
+        self._values[state][action.value] = value
 
     def max_value(self, state: int) -> float:
         """max_a Q(state, a)."""
-        return max(self._values[state].values())
+        return max(self._values[state])
 
     def best_action(self, state: int) -> QAction:
         """argmax_a Q(state, a); ties resolved in action-declaration order."""
         values = self._values[state]
-        best = max(values.values())
+        best = max(values)
         for action in ALL_ACTIONS:
-            if values[action] == best:
+            if values[action.value] == best:
                 return action
         raise AssertionError("unreachable")  # pragma: no cover
 
@@ -109,8 +114,11 @@ class QTable:
         return list(self._policy)
 
     def values_snapshot(self) -> List[Dict[QAction, float]]:
-        """A deep copy of the Q-value table."""
-        return [dict(row) for row in self._values]
+        """A deep copy of the Q-value table (dict rows keyed by action)."""
+        return [
+            {action: row[action.value] for action in ALL_ACTIONS}
+            for row in self._values
+        ]
 
     # ------------------------------------------------------------------ update
     def update(
@@ -132,15 +140,18 @@ class QTable:
             raise IndexError(f"next_state {next_state} out of range")
         alpha = self.learning_rate
         gamma = self.discount_factor
-        old = self._values[state][action]
-        candidate = (1.0 - alpha) * old + alpha * (reward + gamma * self.max_value(next_state))
+        row = self._values[state]
+        old = row[action.value]
+        candidate = (1.0 - alpha) * old + alpha * (
+            reward + gamma * max(self._values[next_state])
+        )
         new = max(old - self.penalty, candidate)
-        self._values[state][action] = new
+        row[action.value] = new
         self.updates += 1
 
         policy_changed = False
         policy_action = self._policy[state]
-        if action is not policy_action and new > self._values[state][policy_action]:
+        if action is not policy_action and new > row[policy_action.value]:
             # Eq. 3: only switch to a strictly better action.
             self._policy[state] = action
             policy_changed = True
@@ -149,7 +160,9 @@ class QTable:
     # --------------------------------------------------------------- metrics
     def cumulative_policy_value(self) -> float:
         """Sum of Q-values of the policy actions over all subslots (Fig. 10 metric)."""
-        return sum(self._values[m][self._policy[m]] for m in range(self.num_states))
+        return sum(
+            self._values[m][self._policy[m].value] for m in range(self.num_states)
+        )
 
     def cumulative_max_value(self) -> float:
         """Sum of the per-subslot maximum Q-values."""
@@ -183,7 +196,7 @@ class QTable:
         """Reset all Q-values and the policy to their initial state."""
         for row in self._values:
             for action in ALL_ACTIONS:
-                row[action] = self.q_init
+                row[action.value] = self.q_init
         self._policy = [QAction.QBACKOFF] * self.num_states
         self.updates = 0
 
@@ -195,9 +208,9 @@ class QTable:
             rows.append(
                 (
                     m,
-                    values[QAction.QBACKOFF],
-                    values[QAction.QCCA],
-                    values[QAction.QSEND],
+                    values[QAction.QBACKOFF.value],
+                    values[QAction.QCCA.value],
+                    values[QAction.QSEND.value],
                     self._policy[m].short_name,
                 )
             )

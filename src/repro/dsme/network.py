@@ -10,13 +10,13 @@ of Fig. 21 / Fig. 22.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, TYPE_CHECKING
+from typing import Dict, Optional, TYPE_CHECKING
 
 from repro.core.config import QmaConfig
-from repro.core.mac import QmaMac
 from repro.dsme.node import DsmeNode
 from repro.dsme.superframe import SuperframeConfig
-from repro.mac.csma import CsmaConfig, SlottedCsmaCa, UnslottedCsmaCa
+from repro.mac.csma import CsmaConfig
+from repro.mac.registry import MAC_REGISTRY, get_mac_spec
 from repro.net.network import Network
 from repro.net.routing import RouteDiscoveryBeacon
 from repro.phy.frames import Frame
@@ -27,7 +27,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.phy.radio import Radio
     from repro.sim.engine import Simulator
 
-#: Names of the CAP channel-access schemes supported by the scalability study.
+#: CAP channel-access schemes evaluated by the paper's scalability study.
+#: Any MAC registered in :mod:`repro.mac.registry` is accepted beyond these.
 CAP_MAC_KINDS = ("qma", "slotted-csma", "unslotted-csma")
 
 
@@ -87,10 +88,14 @@ class DsmeNetwork:
         config: Optional[SuperframeConfig] = None,
         qma_config: Optional[QmaConfig] = None,
         csma_config: Optional[CsmaConfig] = None,
+        cap_mac_config: Optional[object] = None,
         route_discovery_period: Optional[float] = 2.0,
     ) -> None:
-        if cap_mac not in CAP_MAC_KINDS:
-            raise ValueError(f"cap_mac must be one of {CAP_MAC_KINDS}")
+        if cap_mac not in MAC_REGISTRY:
+            raise ValueError(
+                f"cap_mac must be a registered MAC kind, got {cap_mac!r}; "
+                f"registered: {tuple(sorted(MAC_REGISTRY.names()))}"
+            )
         self.sim = sim
         self.topology = topology
         self.config = config if config is not None else SuperframeConfig()
@@ -101,6 +106,7 @@ class DsmeNetwork:
             subslot_duration=self.config.subslot_duration,
         )
         self._csma_config = csma_config if csma_config is not None else CsmaConfig()
+        self._cap_mac_config = cap_mac_config
 
         self.network = Network(sim, topology, self._build_mac)
         self.dsme_nodes: Dict[int, DsmeNode] = {}
@@ -122,11 +128,16 @@ class DsmeNetwork:
 
     # ---------------------------------------------------------------- factory
     def _build_mac(self, sim: "Simulator", radio: "Radio") -> "MacProtocol":
-        if self.cap_mac == "qma":
-            return QmaMac(sim, radio, config=self._qma_config, gate=self._gate)
-        if self.cap_mac == "slotted-csma":
-            return SlottedCsmaCa(sim, radio, config=self._csma_config, gate=self._gate)
-        return UnslottedCsmaCa(sim, radio, config=self._csma_config, gate=self._gate)
+        spec = get_mac_spec(self.cap_mac)
+        config = self._cap_mac_config
+        if config is None:
+            # Route the legacy per-family configs by the spec's config class
+            # (qma_config/csma_config keep working for the paper's CAP MACs).
+            if spec.config_cls is QmaConfig:
+                config = self._qma_config
+            elif spec.config_cls is CsmaConfig:
+                config = self._csma_config
+        return spec.build(sim, radio, config=config, gate=self._gate)
 
     # ---------------------------------------------------------------- control
     def start(self) -> None:

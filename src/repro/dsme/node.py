@@ -16,8 +16,8 @@ reliability bottleneck — and the subject of Figs. 21/22 — is the CAP.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, TYPE_CHECKING
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Optional, TYPE_CHECKING
 from collections import deque
 
 from repro.dsme.gts import GtsAllocationTable, GtsDirection, GtsSlot

@@ -1,4 +1,11 @@
-"""Shared helpers for the experiment runners."""
+"""Shared helpers for the experiment runners.
+
+MAC protocols are resolved through :mod:`repro.mac.registry`; the old
+hard-coded if/elif ladder is gone.  :data:`MAC_KINDS` and
+:func:`make_mac_factory` remain as thin registry views for back-compat —
+new code should use :class:`repro.scenario.ScenarioBuilder` (or the
+registry directly).
+"""
 
 from __future__ import annotations
 
@@ -7,10 +14,11 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKIN
 from repro.analysis.stats import confidence_interval_95
 from repro.core.config import QmaConfig
 from repro.core.exploration import ExplorationStrategy
-from repro.core.mac import QmaMac
 from repro.core.rewards import RewardFunction
-from repro.mac.aloha import AlohaConfig, AlohaQ, SlottedAloha
-from repro.mac.csma import CsmaConfig, SlottedCsmaCa, UnslottedCsmaCa
+from repro.mac.aloha import AlohaConfig
+from repro.mac.csma import CsmaConfig
+from repro.mac.registry import RegistryError, get_mac_spec, mac_kinds
+from repro.mac.tdma import TdmaConfig
 from repro.net.network import MacFactory
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -18,8 +26,11 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.phy.radio import Radio
     from repro.sim.engine import Simulator
 
-#: Channel-access schemes available to every experiment.
-MAC_KINDS = ("qma", "slotted-csma", "unslotted-csma", "slotted-aloha", "aloha-q")
+#: Channel-access schemes available to every experiment — a snapshot of the
+#: registry taken when this module is imported.  Protocols registered later
+#: (third-party plugins) are still buildable via :func:`make_mac_factory`
+#: and sweepable; call :func:`repro.mac.registry.mac_kinds` for a live view.
+MAC_KINDS = mac_kinds()
 
 
 def make_mac_factory(
@@ -27,35 +38,37 @@ def make_mac_factory(
     qma_config: Optional[QmaConfig] = None,
     csma_config: Optional[CsmaConfig] = None,
     aloha_config: Optional[AlohaConfig] = None,
+    tdma_config: Optional[TdmaConfig] = None,
     exploration: Optional[Callable[[], ExplorationStrategy]] = None,
     rewards: Optional[RewardFunction] = None,
     gate=None,
 ) -> MacFactory:
     """Build a :data:`~repro.net.network.MacFactory` for the given protocol name.
 
+    A thin lookup into :mod:`repro.mac.registry`: the per-family config
+    keywords are routed to the protocol whose config class matches.
     ``exploration`` is a zero-argument callable creating a fresh exploration
     strategy per node (strategies are stateful and must not be shared).
     """
-    if kind not in MAC_KINDS:
-        raise ValueError(f"unknown MAC kind {kind!r}; expected one of {MAC_KINDS}")
+    try:
+        spec = get_mac_spec(kind)
+    except RegistryError as exc:
+        raise ValueError(str(exc)) from None
+
+    by_config_cls = {
+        QmaConfig: qma_config,
+        CsmaConfig: csma_config,
+        AlohaConfig: aloha_config,
+        TdmaConfig: tdma_config,
+    }
+    config = by_config_cls.get(spec.config_cls)
 
     def factory(sim: "Simulator", radio: "Radio") -> "MacProtocol":
-        if kind == "qma":
-            return QmaMac(
-                sim,
-                radio,
-                config=qma_config,
-                exploration=exploration() if exploration is not None else None,
-                rewards=rewards,
-                gate=gate,
-            )
-        if kind == "slotted-csma":
-            return SlottedCsmaCa(sim, radio, config=csma_config, gate=gate)
-        if kind == "unslotted-csma":
-            return UnslottedCsmaCa(sim, radio, config=csma_config, gate=gate)
-        if kind == "slotted-aloha":
-            return SlottedAloha(sim, radio, config=aloha_config, gate=gate)
-        return AlohaQ(sim, radio, config=aloha_config, gate=gate)
+        kwargs = {}
+        if spec.config_cls is QmaConfig:
+            kwargs["exploration"] = exploration() if exploration is not None else None
+            kwargs["rewards"] = rewards
+        return spec.build(sim, radio, config=config, gate=gate, **kwargs)
 
     return factory
 

@@ -11,25 +11,33 @@ as in the paper.  The runners report
   (Figs. 10-12), and
 * the subslot utilisation after the first exploration phase and for the
   final policy (Figs. 13-15).
+
+Scenario assembly (topology + propagation + MAC) goes through
+:class:`repro.scenario.ScenarioBuilder`; the ``mac`` and ``propagation``
+arguments accept any name registered in :mod:`repro.mac.registry` /
+:mod:`repro.phy.registry`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.slots import SlotUtilisation, slot_utilisation
 from repro.core.actions import QAction
 from repro.core.config import QmaConfig
 from repro.core.mac import QmaMac
-from repro.experiments.base import make_mac_factory
+from repro.mac.registry import get_mac_spec
 from repro.net.network import Network
-from repro.sim.engine import Simulator
-from repro.topology.hidden_node import NODE_A, NODE_B, NODE_C, hidden_node_topology
-from repro.traffic.generators import FluctuatingPoissonTraffic, PeriodicTraffic, PoissonTraffic
+from repro.scenario.builder import BuiltScenario, ScenarioBuilder
+from repro.scenario.config import ScenarioConfig
+from repro.topology.hidden_node import NODE_A, NODE_C
 
 #: Packet generation rates of Fig. 7-9.
 PAPER_DELTAS = (1, 2, 4, 6, 8, 10, 25, 50, 100)
+
+#: The two traffic sources of the scenario (B is the sink).
+SOURCES = (NODE_A, NODE_C)
 
 
 @dataclass
@@ -54,6 +62,28 @@ def _default_qma_config() -> QmaConfig:
     return QmaConfig()
 
 
+def _build(
+    mac: str,
+    seed: int,
+    qma_config: Optional[QmaConfig],
+    propagation: Optional[str],
+    propagation_params: Optional[Mapping[str, Any]],
+    link_distance: float,
+) -> BuiltScenario:
+    """Assemble the hidden-node scenario through the builder."""
+    scenario = ScenarioConfig(
+        topology="hidden-node",
+        topology_params={"link_distance": link_distance},
+        mac=mac,
+        propagation=propagation,
+        propagation_params=dict(propagation_params or {}),
+        seed=seed,
+    )
+    if get_mac_spec(mac).config_cls is QmaConfig:
+        scenario.mac_config = qma_config if qma_config is not None else _default_qma_config()
+    return ScenarioBuilder(scenario).build()
+
+
 def run_hidden_node(
     mac: str = "qma",
     delta: float = 10.0,
@@ -65,6 +95,8 @@ def run_hidden_node(
     qma_config: Optional[QmaConfig] = None,
     max_duration: Optional[float] = None,
     link_distance: float = 50.0,
+    propagation: Optional[str] = None,
+    propagation_params: Optional[Mapping[str, Any]] = None,
 ) -> HiddenNodeResult:
     """Run one hidden-node scenario and return its metrics.
 
@@ -76,61 +108,53 @@ def run_hidden_node(
     if packets_per_node <= 0:
         raise ValueError("packets_per_node must be positive")
 
-    sim = Simulator(seed=seed)
-    topology = hidden_node_topology(link_distance=link_distance)
-    factory = make_mac_factory(mac, qma_config=qma_config or _default_qma_config())
-    network = Network(sim, topology, factory)
+    built = _build(mac, seed, qma_config, propagation, propagation_params, link_distance)
+    sim, network = built.sim, built.network
 
     # Management traffic during the warm-up (association / beacon exchange).
-    management: List[PeriodicTraffic] = []
-    for node_id in (NODE_A, NODE_C):
-        node = network.node(node_id)
-        generator = PeriodicTraffic(
-            sim,
-            node.generate_packet,
+    management = [
+        built.attach_management(
+            node_id,
             period=management_period,
             start_time=1.0,
             jitter=management_period * 0.2,
             rng_name=f"management-{node_id}",
         )
-        node.attach_traffic(generator)
-        management.append(generator)
+        for node_id in SOURCES
+    ]
 
     network.start()
 
     # Primary traffic starts after the warm-up.
-    data_generators: List[PoissonTraffic] = []
-    for node_id in (NODE_A, NODE_C):
-        node = network.node(node_id)
-        generator = PoissonTraffic(
-            sim,
-            node.generate_packet,
+    data_generators = []
+    for node_id, mgmt in zip(SOURCES, management):
+        generator = built.poisson_source(
+            node_id,
             rate=delta,
             start_time=warmup,
             max_packets=packets_per_node,
             rng_name=f"data-{node_id}",
+            start_at=warmup,
         )
         data_generators.append(generator)
-        sim.schedule_at(warmup, generator.start)
-        sim.schedule_at(warmup, management[0].stop if node_id == NODE_A else management[1].stop)
+        sim.schedule_at(warmup, mgmt.stop)
 
     expected_duration = warmup + packets_per_node / delta + drain_time
     end_time = min(expected_duration, max_duration) if max_duration else expected_duration
     sim.run_until(end_time)
 
-    sources = (NODE_A, NODE_C)
     result = HiddenNodeResult(
         mac=mac,
         delta=delta,
-        pdr=_data_pdr(network, sources, warmup),
-        average_queue_level=network.average_queue_level(sources),
+        pdr=_data_pdr(network, SOURCES, warmup),
+        average_queue_level=network.average_queue_level(SOURCES),
         average_delay=network.average_end_to_end_delay(),
         packets_generated=sum(g.generated for g in data_generators),
         packets_delivered=len(network.sink.deliveries),
-        transmission_attempts=network.total_transmission_attempts(sources),
+        transmission_attempts=network.total_transmission_attempts(SOURCES),
         duration=sim.now,
     )
-    for node_id in sources:
+    for node_id in SOURCES:
         node_mac = network.mac(node_id)
         if isinstance(node_mac, QmaMac):
             result.q_histories[node_id] = list(node_mac.q_history)
@@ -149,22 +173,17 @@ def _data_pdr(network: Network, sources: Sequence[int], warmup: float) -> float:
     generated = sum(
         network.node(node_id).packets_generated for node_id in sources
     )
-    management = sum(
-        1
-        for record in network.sink.deliveries
-        if record.origin in sources and record.created_at < warmup
-    )
     # Generated counts include management packets; remove the ones that were
     # sent before the warm-up ended (delivered or not, their number equals the
     # generator invocations, tracked through the traffic objects by callers
     # that need exact numbers).  For the PDR we compare like with like:
-    data_generated = generated - _management_generated(network, sources, warmup)
+    data_generated = generated - _management_generated(network, sources)
     if data_generated <= 0:
         return 0.0
     return min(1.0, delivered / data_generated)
 
 
-def _management_generated(network: Network, sources: Sequence[int], warmup: float) -> int:
+def _management_generated(network: Network, sources: Sequence[int]) -> int:
     total = 0
     for node_id in sources:
         node = network.node(node_id)
@@ -181,6 +200,7 @@ def sweep_hidden_node(
     warmup: float = 100.0,
     base_seed: int = 0,
     jobs: int = 1,
+    propagations: Sequence[Optional[str]] = (None,),
     **kwargs,
 ) -> Dict[str, Dict[float, List[HiddenNodeResult]]]:
     """Full sweep over MACs and packet rates (the data behind Figs. 7-9).
@@ -194,6 +214,7 @@ def sweep_hidden_node(
     sweep = Sweep(
         experiment="hidden-node",
         macs=macs,
+        propagations=propagations,
         grid={"delta": list(deltas)},
         fixed={"packets_per_node": packets_per_node, "warmup": warmup, **kwargs},
         seeds=[base_seed + rep for rep in range(repetitions)],
@@ -244,25 +265,19 @@ def run_fluctuating(
     ``phase_duration`` seconds; node C joins after ``node_c_join_time`` with a
     constant rate.  Returns the cumulative-Q-value history per node.
     """
-    sim = Simulator(seed=seed)
-    topology = hidden_node_topology()
-    factory = make_mac_factory("qma", qma_config=qma_config or _default_qma_config())
-    network = Network(sim, topology, factory)
+    built = _build("qma", seed, qma_config, None, None, link_distance=50.0)
+    sim, network = built.sim, built.network
 
-    node_a = network.node(NODE_A)
-    traffic_a = FluctuatingPoissonTraffic(
-        sim,
-        node_a.generate_packet,
+    traffic_a = built.fluctuating_source(
+        NODE_A,
         phases=[(low_rate, phase_duration), (high_rate, phase_duration)],
         start_time=0.0,
         rng_name="fluctuating-a",
     )
-    node_a.attach_traffic(traffic_a)
+    network.node(NODE_A).attach_traffic(traffic_a)
 
-    node_c = network.node(NODE_C)
-    traffic_c = PoissonTraffic(
-        sim,
-        node_c.generate_packet,
+    traffic_c = built.poisson_source(
+        NODE_C,
         rate=node_c_rate,
         start_time=node_c_join_time,
         rng_name="fluctuating-c",
@@ -273,7 +288,7 @@ def run_fluctuating(
     sim.run_until(duration)
 
     histories: Dict[int, List[Tuple[float, float]]] = {}
-    for node_id in (NODE_A, NODE_C):
+    for node_id in SOURCES:
         mac = network.mac(node_id)
         if isinstance(mac, QmaMac):
             histories[node_id] = list(mac.q_history)
@@ -292,28 +307,24 @@ def run_slot_utilisation(
 
     Returns ``(snapshot, final)`` — the data behind Figs. 13-15.
     """
-    sim = Simulator(seed=seed)
-    topology = hidden_node_topology()
-    factory = make_mac_factory("qma", qma_config=qma_config or _default_qma_config())
-    network = Network(sim, topology, factory)
+    built = _build("qma", seed, qma_config, None, None, link_distance=50.0)
+    sim, network = built.sim, built.network
 
-    for node_id in (NODE_A, NODE_C):
-        node = network.node(node_id)
-        generator = PoissonTraffic(
-            sim,
-            node.generate_packet,
+    for node_id in SOURCES:
+        generator = built.poisson_source(
+            node_id,
             rate=delta,
             start_time=warmup,
             rng_name=f"slots-{node_id}",
         )
-        node.attach_traffic(generator)
+        network.node(node_id).attach_traffic(generator)
 
     network.start()
 
     snapshot_policies: Dict[int, List[QAction]] = {}
 
     def take_snapshot() -> None:
-        for node_id in (NODE_A, NODE_C):
+        for node_id in SOURCES:
             mac = network.mac(node_id)
             if isinstance(mac, QmaMac):
                 snapshot_policies[node_id] = mac.policy_snapshot()
@@ -323,7 +334,7 @@ def run_slot_utilisation(
 
     final_policies = {
         node_id: network.mac(node_id).policy_snapshot()
-        for node_id in (NODE_A, NODE_C)
+        for node_id in SOURCES
         if isinstance(network.mac(node_id), QmaMac)
     }
     if not snapshot_policies:

@@ -4,18 +4,22 @@ A concentric data-collection topology with 7, 19, 43 or 91 nodes routes
 fluctuating primary traffic towards the central sink over GTS.  The GTS
 (de)allocation handshakes plus periodic routing broadcasts form the
 secondary traffic carried by the contention access period, whose channel
-access is either QMA or (slotted / unslotted) CSMA/CA.
+access is any MAC registered in :mod:`repro.mac.registry` (the paper
+evaluates QMA vs. slotted/unslotted CSMA/CA).
+
+Scenario assembly goes through
+:meth:`repro.scenario.ScenarioBuilder.build_dsme`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Any, Dict, Mapping, Optional, Sequence
 
-from repro.dsme.network import DsmeNetwork, SecondaryTrafficStats
+from repro.dsme.network import SecondaryTrafficStats
 from repro.dsme.superframe import SuperframeConfig
-from repro.sim.engine import Simulator
-from repro.topology.concentric import concentric_topology
+from repro.scenario.builder import ScenarioBuilder
+from repro.scenario.config import ScenarioConfig
 from repro.traffic.generators import FluctuatingPoissonTraffic
 
 #: Ring counts of the paper, corresponding to 7 / 19 / 43 / 91 nodes.
@@ -48,6 +52,8 @@ def run_scalability(
     seed: int = 0,
     config: Optional[SuperframeConfig] = None,
     route_discovery_period: Optional[float] = 2.0,
+    propagation: Optional[str] = None,
+    propagation_params: Optional[Mapping[str, Any]] = None,
 ) -> ScalabilityResult:
     """Run one DSME scalability scenario.
 
@@ -60,16 +66,19 @@ def run_scalability(
     if duration <= warmup:
         raise ValueError("duration must exceed the warm-up time")
 
-    sim = Simulator(seed=seed)
-    topology = concentric_topology(rings)
-    superframe_config = config if config is not None else SuperframeConfig()
-    dsme = DsmeNetwork(
-        sim,
-        topology,
-        cap_mac=mac,
-        config=superframe_config,
+    scenario = ScenarioConfig(
+        topology="concentric",
+        topology_params={"rings": rings},
+        mac=mac,
+        propagation=propagation,
+        propagation_params=dict(propagation_params or {}),
+        seed=seed,
+    )
+    built = ScenarioBuilder(scenario).build_dsme(
+        superframe_config=config,
         route_discovery_period=route_discovery_period,
     )
+    sim, topology, dsme = built.sim, built.topology, built.dsme
 
     for node_id, dsme_node in dsme.sources().items():
         traffic = FluctuatingPoissonTraffic(
@@ -105,6 +114,7 @@ def sweep_scalability(
     repetitions: int = 1,
     base_seed: int = 0,
     jobs: int = 1,
+    propagations: Sequence[Optional[str]] = (None,),
     **kwargs,
 ) -> Dict[str, Dict[int, list]]:
     """Sweep over MACs and ring counts (the data behind Figs. 21-22).
@@ -118,6 +128,7 @@ def sweep_scalability(
     sweep = Sweep(
         experiment="scalability",
         macs=macs,
+        propagations=propagations,
         grid={"rings": list(rings)},
         fixed=dict(kwargs),
         seeds=[base_seed + rep for rep in range(repetitions)],

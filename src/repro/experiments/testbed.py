@@ -5,20 +5,20 @@ The paper verifies QMA on FIT IoT-LAB hardware in a 10-node tree and a
 is replaced by the simulated radio substrate (see DESIGN.md); the reported
 metrics — per-node PDR and the number of transmission attempts (the paper's
 proxy for energy consumption) — are the same.
+
+Scenario assembly goes through :class:`repro.scenario.ScenarioBuilder`;
+``mac`` and ``propagation`` accept any registered name.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.core.config import QmaConfig
-from repro.experiments.base import make_mac_factory
-from repro.net.network import Network
-from repro.sim.engine import Simulator
-from repro.topology.base import Topology
-from repro.topology.iotlab import iot_lab_star_topology, iot_lab_tree_topology
-from repro.traffic.generators import PeriodicTraffic, PoissonTraffic
+from repro.mac.registry import get_mac_spec
+from repro.scenario.builder import ScenarioBuilder
+from repro.scenario.config import ScenarioConfig
 
 
 @dataclass
@@ -36,7 +36,7 @@ class TestbedResult:
 
 
 def _run_topology(
-    topology: Topology,
+    topology_name: str,
     mac: str,
     delta: float,
     packets_per_node: int,
@@ -45,39 +45,47 @@ def _run_topology(
     qma_config: Optional[QmaConfig],
     max_duration: Optional[float],
     link_error_rate: float,
+    propagation: Optional[str] = None,
+    propagation_params: Optional[Mapping[str, Any]] = None,
 ) -> TestbedResult:
-    sim = Simulator(seed=seed)
-    factory = make_mac_factory(mac, qma_config=qma_config or QmaConfig())
-    network = Network(sim, topology, factory, link_error_rate=link_error_rate)
+    scenario = ScenarioConfig(
+        topology=topology_name,
+        mac=mac,
+        propagation=propagation,
+        propagation_params=dict(propagation_params or {}),
+        link_error_rate=link_error_rate,
+        seed=seed,
+    )
+    if get_mac_spec(mac).config_cls is QmaConfig:
+        scenario.mac_config = qma_config if qma_config is not None else QmaConfig()
+    built = ScenarioBuilder(scenario).build()
+    sim, network = built.sim, built.network
 
     # Low-rate management traffic during the warm-up: in the testbed the
     # nodes associate and exchange management frames before data generation
     # starts, which gives the learning MAC its initial training signal.
-    management: List[PeriodicTraffic] = []
-    for node in network.sources():
-        generator = PeriodicTraffic(
-            sim,
-            node.generate_packet,
+    management = [
+        built.attach_management(
+            node.node_id,
             period=2.0,
             start_time=0.5,
             jitter=0.4,
             rng_name=f"testbed-mgmt-{node.node_id}",
         )
-        node.attach_traffic(generator)
-        management.append(generator)
+        for node in network.sources()
+    ]
 
-    data_generators: List[PoissonTraffic] = []
-    for node in network.sources():
-        generator = PoissonTraffic(
-            sim,
-            node.generate_packet,
+    data_generators = [
+        built.poisson_source(
+            node.node_id,
             rate=delta,
             start_time=warmup,
             max_packets=packets_per_node,
             rng_name=f"testbed-{node.node_id}",
+            start_at=warmup,
         )
-        data_generators.append(generator)
-        sim.schedule_at(warmup, generator.start)
+        for node in network.sources()
+    ]
 
     network.start()
     for generator in management:
@@ -106,7 +114,7 @@ def _run_topology(
 
     return TestbedResult(
         mac=mac,
-        topology=topology.name,
+        topology=built.topology.name,
         per_node_pdr=per_node_pdr,
         overall_pdr=min(1.0, delivered_total / generated_total) if generated_total else 0.0,
         transmission_attempts=network.total_transmission_attempts(),
@@ -125,10 +133,12 @@ def run_tree(
     qma_config: Optional[QmaConfig] = None,
     max_duration: Optional[float] = None,
     link_error_rate: float = 0.02,
+    propagation: Optional[str] = None,
+    propagation_params: Optional[Mapping[str, Any]] = None,
 ) -> TestbedResult:
     """The tree-topology verification of Fig. 18."""
     return _run_topology(
-        iot_lab_tree_topology(),
+        "iotlab-tree",
         mac,
         delta,
         packets_per_node,
@@ -137,6 +147,8 @@ def run_tree(
         qma_config,
         max_duration,
         link_error_rate,
+        propagation=propagation,
+        propagation_params=propagation_params,
     )
 
 
@@ -149,10 +161,12 @@ def run_star(
     qma_config: Optional[QmaConfig] = None,
     max_duration: Optional[float] = None,
     link_error_rate: float = 0.02,
+    propagation: Optional[str] = None,
+    propagation_params: Optional[Mapping[str, Any]] = None,
 ) -> TestbedResult:
     """The star-topology verification of Fig. 19."""
     return _run_topology(
-        iot_lab_star_topology(),
+        "iotlab-star",
         mac,
         delta,
         packets_per_node,
@@ -161,6 +175,8 @@ def run_star(
         qma_config,
         max_duration,
         link_error_rate,
+        propagation=propagation,
+        propagation_params=propagation_params,
     )
 
 
@@ -169,6 +185,7 @@ def sweep_testbed(
     macs: Sequence[str] = ("qma", "unslotted-csma"),
     seeds: Sequence[int] = (0,),
     jobs: int = 1,
+    propagations: Sequence[Optional[str]] = (None,),
     **kwargs,
 ) -> Dict[str, List[TestbedResult]]:
     """Run the tree or star verification for several MACs and seeds.
@@ -185,6 +202,7 @@ def sweep_testbed(
     sweep = Sweep(
         experiment=f"testbed-{scenario}",
         macs=macs,
+        propagations=propagations,
         fixed=dict(kwargs),
         seeds=list(seeds),
     )

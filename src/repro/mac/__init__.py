@@ -10,7 +10,12 @@ evaluation:
   :class:`~repro.mac.aloha.AlohaQ` — the frame/slot reinforcement-learning
   baseline family (ALOHA-Q) referenced in the related-work comparison.
 
-QMA itself lives in :mod:`repro.core`.
+* :class:`~repro.mac.tdma.Tdma` — fixed-assignment TDMA, the
+  contention-free reference point (and the registry's extensibility proof).
+
+QMA itself lives in :mod:`repro.core`.  Every protocol registers itself by
+name in :mod:`repro.mac.registry`; resolve protocols there instead of
+hard-coding classes.
 """
 
 from repro.mac.base import MacProtocol, MacStats, TransactionResult
@@ -18,6 +23,15 @@ from repro.mac.gate import ActivityGate, AlwaysActiveGate, WindowedGate
 from repro.mac.queue import PacketQueue
 from repro.mac.csma import CsmaConfig, SlottedCsmaCa, UnslottedCsmaCa
 from repro.mac.aloha import AlohaConfig, AlohaQ, SlottedAloha
+from repro.mac.tdma import Tdma, TdmaConfig
+from repro.mac.registry import (
+    MAC_REGISTRY,
+    MacSpec,
+    create_mac,
+    get_mac_spec,
+    mac_kinds,
+    register_mac,
+)
 
 __all__ = [
     "ActivityGate",
@@ -25,12 +39,20 @@ __all__ = [
     "AlohaQ",
     "AlwaysActiveGate",
     "CsmaConfig",
+    "MAC_REGISTRY",
     "MacProtocol",
+    "MacSpec",
     "MacStats",
     "PacketQueue",
     "SlottedAloha",
     "SlottedCsmaCa",
+    "Tdma",
+    "TdmaConfig",
     "TransactionResult",
     "UnslottedCsmaCa",
     "WindowedGate",
+    "create_mac",
+    "get_mac_spec",
+    "mac_kinds",
+    "register_mac",
 ]

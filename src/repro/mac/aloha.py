@@ -19,6 +19,7 @@ from typing import List, Optional, TYPE_CHECKING
 
 from repro.mac.base import MacProtocol, TransactionResult
 from repro.mac.gate import ActivityGate
+from repro.mac.registry import register_mac
 from repro.phy.frames import Frame
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -49,6 +50,8 @@ class AlohaConfig:
             raise ValueError("exploration_rate must lie in [0, 1]")
 
 
+@register_mac("slotted-aloha", config_cls=AlohaConfig,
+              description="slotted ALOHA (one random slot per frame)")
 class SlottedAloha(MacProtocol):
     """Slotted ALOHA: transmit the head-of-line frame in one random slot per frame."""
 
@@ -129,6 +132,8 @@ class SlottedAloha(MacProtocol):
         """Hook for the learning variant; plain slotted ALOHA does not learn."""
 
 
+@register_mac("aloha-q", config_cls=AlohaConfig,
+              description="ALOHA-Q (stateless Q-learning over frame slots)")
 class AlohaQ(SlottedAloha):
     """ALOHA-Q: stateless Q-learning over the slots of a frame."""
 

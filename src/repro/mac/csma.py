@@ -22,6 +22,7 @@ from typing import Optional, TYPE_CHECKING
 
 from repro.mac.base import MacProtocol, TransactionResult
 from repro.mac.gate import ActivityGate
+from repro.mac.registry import register_mac
 from repro.phy.frames import Frame
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -47,6 +48,8 @@ class CsmaConfig:
             raise ValueError("retry limits must be non-negative")
 
 
+@register_mac("unslotted-csma", config_cls=CsmaConfig,
+              description="unslotted IEEE 802.15.4 CSMA/CA")
 class UnslottedCsmaCa(MacProtocol):
     """Unslotted IEEE 802.15.4 CSMA/CA."""
 
@@ -161,6 +164,8 @@ class UnslottedCsmaCa(MacProtocol):
             self._schedule_backoff()
 
 
+@register_mac("slotted-csma", config_cls=CsmaConfig,
+              description="slotted IEEE 802.15.4 CSMA/CA (CW = 2)")
 class SlottedCsmaCa(UnslottedCsmaCa):
     """Slotted IEEE 802.15.4 CSMA/CA (backoff boundaries, CW = 2)."""
 

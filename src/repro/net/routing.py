@@ -12,7 +12,7 @@ layout.
 
 from __future__ import annotations
 
-from typing import Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING
 
 from repro.phy.frames import BROADCAST, Frame, FrameKind
 from repro.sim.process import PeriodicProcess

@@ -14,20 +14,36 @@ from repro.phy.params import PhyParameters
 from repro.phy.propagation import (
     LogDistancePathLoss,
     PropagationModel,
+    ShadowingPropagation,
     UnitDiskPropagation,
 )
 from repro.phy.channel import WirelessChannel
 from repro.phy.radio import Radio, RadioState
+from repro.phy.registry import (
+    PROPAGATION_REGISTRY,
+    PropagationSpec,
+    create_propagation,
+    get_propagation_spec,
+    propagation_kinds,
+    register_propagation,
+)
 
 __all__ = [
     "BROADCAST",
     "Frame",
     "FrameKind",
     "LogDistancePathLoss",
+    "PROPAGATION_REGISTRY",
     "PhyParameters",
     "PropagationModel",
+    "PropagationSpec",
     "Radio",
     "RadioState",
+    "ShadowingPropagation",
     "UnitDiskPropagation",
     "WirelessChannel",
+    "create_propagation",
+    "get_propagation_spec",
+    "propagation_kinds",
+    "register_propagation",
 ]

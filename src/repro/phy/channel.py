@@ -21,7 +21,7 @@ to reward ``QBackoff`` when a foreign DATA or ACK frame is overheard.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, TYPE_CHECKING
+from typing import AbstractSet, Dict, Iterable, List, Optional, Set, TYPE_CHECKING
 
 from repro.phy.frames import Frame
 from repro.phy.params import PhyParameters
@@ -120,9 +120,21 @@ class WirelessChannel:
         if bidirectional:
             self._link_error[(b, a)] = per
 
+    _EMPTY_NEIGHBOURS: AbstractSet[int] = frozenset()
+
     def neighbours(self, node_id: int) -> Set[int]:
-        """Node ids that can hear transmissions of ``node_id``."""
-        return set(self._neighbours.get(node_id, set()))
+        """Node ids that can hear transmissions of ``node_id`` (a fresh copy)."""
+        return set(self._neighbours.get(node_id, self._EMPTY_NEIGHBOURS))
+
+    def neighbours_view(self, node_id: int) -> AbstractSet[int]:
+        """Read-only view of the neighbour set (no copy; do not mutate).
+
+        The delivery hot path (:meth:`begin_transmission` /
+        :meth:`_end_transmission`) iterates neighbour sets once per
+        transmission through this accessor, avoiding the per-call copy of
+        :meth:`neighbours` while keeping the public method's copy semantics.
+        """
+        return self._neighbours.get(node_id, self._EMPTY_NEIGHBOURS)
 
     def hears(self, receiver: int, sender: int) -> bool:
         """True if ``receiver`` is within range of ``sender``."""
@@ -147,17 +159,19 @@ class WirelessChannel:
         now = self.sim.now
         tx = ActiveTransmission(sender.node_id, frame, now, now + duration)
         self.transmissions_started += 1
-        for receiver_id in self._neighbours.get(sender.node_id, set()):
-            receiver = self._radios[receiver_id]
-            arriving = self._arriving[receiver_id]
+        radios = self._radios
+        arriving_map = self._arriving
+        corrupted_for = tx.corrupted_for
+        for receiver_id in self.neighbours_view(sender.node_id):
+            arriving = arriving_map[receiver_id]
             if arriving:
                 # Overlap with everything currently arriving at this receiver.
-                tx.corrupted_for.add(receiver_id)
+                corrupted_for.add(receiver_id)
                 for other in arriving:
                     other.corrupted_for.add(receiver_id)
-            if receiver.transmitting:
+            if radios[receiver_id].transmitting:
                 # Half-duplex: a transmitting radio cannot receive.
-                tx.corrupted_for.add(receiver_id)
+                corrupted_for.add(receiver_id)
             arriving.append(tx)
         self.sim.schedule(duration, self._end_transmission, tx)
 
@@ -172,11 +186,16 @@ class WirelessChannel:
 
     def _end_transmission(self, tx: ActiveTransmission) -> None:
         sender = self._radios[tx.sender_id]
-        for receiver_id in self._neighbours.get(tx.sender_id, set()):
-            arriving = self._arriving[receiver_id]
-            if tx in arriving:
+        radios = self._radios
+        arriving_map = self._arriving
+        for receiver_id in self.neighbours_view(tx.sender_id):
+            arriving = arriving_map[receiver_id]
+            try:
                 arriving.remove(tx)
-            receiver = self._radios[receiver_id]
+            except ValueError:
+                # The link was (dis)connected while the frame was on the air.
+                pass
+            receiver = radios[receiver_id]
             if receiver_id in tx.corrupted_for:
                 self.frames_corrupted += 1
                 receiver.notify_corrupted_frame(tx.frame)

@@ -12,7 +12,8 @@ All timing constants follow the 2.4 GHz PHY used by the paper's testbed
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
 
 from repro.phy.frames import Frame, FrameKind
 
@@ -29,6 +30,14 @@ class PhyParameters:
     turnaround_symbols: int = 12
     unit_backoff_symbols: int = 20
     ack_wait_symbols: int = 54  # macAckWaitDuration for the 2.4 GHz PHY
+
+    #: Air-time cache keyed by (kind is ACK, payload bytes).  Air time is a
+    #: pure function of those two and the (frozen) timing fields, and the
+    #: delivery hot path computes it once per transmission — memoising here
+    #: removes the repeated float arithmetic.  Excluded from eq/hash.
+    _airtime_cache: Dict[Tuple[bool, int], float] = field(
+        default_factory=dict, compare=False, repr=False
+    )
 
     # ------------------------------------------------------------ durations
     @property
@@ -53,11 +62,19 @@ class PhyParameters:
 
     def frame_airtime(self, frame: Frame) -> float:
         """Air time of a frame in seconds, including PHY and MAC overhead."""
-        if frame.kind is FrameKind.ACK:
-            total_bytes = self.phy_overhead_bytes + 5
-        else:
-            total_bytes = self.phy_overhead_bytes + self.mac_header_bytes + frame.payload_bytes
-        return total_bytes * 8.0 / self.bitrate_bps
+        is_ack = frame.kind is FrameKind.ACK
+        key = (is_ack, frame.payload_bytes)
+        airtime = self._airtime_cache.get(key)
+        if airtime is None:
+            if is_ack:
+                total_bytes = self.phy_overhead_bytes + 5
+            else:
+                total_bytes = (
+                    self.phy_overhead_bytes + self.mac_header_bytes + frame.payload_bytes
+                )
+            airtime = total_bytes * 8.0 / self.bitrate_bps
+            self._airtime_cache[key] = airtime
+        return airtime
 
     def ack_airtime(self) -> float:
         """Air time of an acknowledgement frame in seconds."""

@@ -1,21 +1,28 @@
 """Propagation models deciding which nodes can hear each other.
 
-Two models are provided:
+Three models are provided (all registered by name in
+:mod:`repro.phy.registry`):
 
-* :class:`UnitDiskPropagation` — nodes hear each other iff their distance is
-  below a configurable communication range.  Used for the hidden-node and
-  concentric scenarios, where the paper only specifies connectivity.
-* :class:`LogDistancePathLoss` — a log-distance path-loss model combined
-  with a transmit power and a receiver sensitivity.  This reproduces the
-  topology-construction procedure of Kauer & Turau used for the FIT IoT-LAB
-  experiments (transmit power -9 dBm / 3 dBm, sensitivity -72 dBm / -90 dBm).
+* :class:`UnitDiskPropagation` (``unit-disk``) — nodes hear each other iff
+  their distance is below a configurable communication range.  Used for the
+  hidden-node and concentric scenarios, where the paper only specifies
+  connectivity.
+* :class:`LogDistancePathLoss` (``log-distance``) — a log-distance path-loss
+  model combined with a transmit power and a receiver sensitivity.  This
+  reproduces the topology-construction procedure of Kauer & Turau used for
+  the FIT IoT-LAB experiments (transmit power -9 dBm / 3 dBm, sensitivity
+  -72 dBm / -90 dBm).
+* :class:`ShadowingPropagation` (``fading``) — log-distance path loss plus
+  per-link log-normal shadowing (slow Rayleigh-style fading margin), opening
+  irregular-connectivity scenarios as a sweepable axis.
 """
 
 from __future__ import annotations
 
 import math
+import random
 from abc import ABC, abstractmethod
-from typing import Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 Position = Tuple[float, float]
 
@@ -40,9 +47,14 @@ class PropagationModel(ABC):
 
 
 class UnitDiskPropagation(PropagationModel):
-    """Binary connectivity based on a fixed communication range."""
+    """Binary connectivity based on a fixed communication range.
 
-    def __init__(self, communication_range: float) -> None:
+    The default range of 60 m connects the adjacent links of the default
+    scenario geometries (hidden-node spacing 50 m, concentric ring spacing
+    40 m) without bridging their hidden-terminal pairs.
+    """
+
+    def __init__(self, communication_range: float = 60.0) -> None:
         if communication_range <= 0:
             raise ValueError("communication_range must be positive")
         self.communication_range = communication_range
@@ -103,3 +115,57 @@ class LogDistancePathLoss(PropagationModel):
         """Distance at which the received power equals the sensitivity."""
         budget = self.tx_power_dbm - self.sensitivity_dbm - self.reference_loss_db
         return self.reference_distance_m * 10.0 ** (budget / (10.0 * self.path_loss_exponent))
+
+
+class ShadowingPropagation(LogDistancePathLoss):
+    """Log-distance path loss with per-link log-normal shadowing.
+
+    Every unordered node pair draws one Gaussian shadowing value (in dB, the
+    slow-fading margin of a Rayleigh/log-normal channel) that is added to
+    the deterministic log-distance received power.  The draw is a pure
+    function of the model ``seed`` and the two positions — independent of
+    call order and process — so campaigns over this model stay bit-identical
+    regardless of worker count.  Links are symmetric: both directions of a
+    pair share the same shadowing value.
+    """
+
+    def __init__(
+        self,
+        tx_power_dbm: float = 0.0,
+        sensitivity_dbm: float = -90.0,
+        path_loss_exponent: float = 2.6,
+        reference_loss_db: float = 40.0,
+        reference_distance_m: float = 1.0,
+        shadowing_sigma_db: float = 4.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(
+            tx_power_dbm=tx_power_dbm,
+            sensitivity_dbm=sensitivity_dbm,
+            path_loss_exponent=path_loss_exponent,
+            reference_loss_db=reference_loss_db,
+            reference_distance_m=reference_distance_m,
+        )
+        if shadowing_sigma_db < 0:
+            raise ValueError("shadowing_sigma_db must be non-negative")
+        self.shadowing_sigma_db = shadowing_sigma_db
+        self.seed = seed
+        self._shadowing_cache: Dict[Tuple[Position, Position], float] = {}
+
+    def shadowing_db(self, a: Position, b: Position) -> float:
+        """The (cached) shadowing value of the unordered pair ``{a, b}``."""
+        key = (a, b) if a <= b else (b, a)
+        cached = self._shadowing_cache.get(key)
+        if cached is None:
+            # random.Random seeded with a string hashes it via SHA-512, so
+            # the draw is stable across processes and Python invocations.
+            rng = random.Random(f"shadowing:{self.seed}:{key[0]!r}:{key[1]!r}")
+            cached = rng.gauss(0.0, self.shadowing_sigma_db)
+            self._shadowing_cache[key] = cached
+        return cached
+
+    def received_power_dbm(self, a: Position, b: Position) -> float:
+        power = super().received_power_dbm(a, b)
+        if self.shadowing_sigma_db == 0.0:
+            return power
+        return power + self.shadowing_db(a, b)

@@ -1,0 +1,133 @@
+"""The propagation-model registry: channel models resolvable by name.
+
+Built-in entries (registered on import of :mod:`repro.phy.propagation`
+would create a cycle, so they are registered here directly):
+
+* ``unit-disk`` — :class:`repro.phy.propagation.UnitDiskPropagation`
+* ``log-distance`` — :class:`repro.phy.propagation.LogDistancePathLoss`
+* ``fading`` — :class:`repro.phy.propagation.ShadowingPropagation`
+  (log-distance + per-link log-normal shadowing)
+
+The scenario builder, the campaign layer and the CLI resolve propagation
+models here, so ``--grid propagation=unit-disk,fading`` needs no per-model
+code.  Adding a model is one decorated class::
+
+    from repro.phy.propagation import PropagationModel
+    from repro.phy.registry import register_propagation
+
+    @register_propagation("my-channel")
+    class MyChannel(PropagationModel):
+        ...
+
+Models that draw randomness must derive it deterministically from a ``seed``
+constructor parameter (see :class:`ShadowingPropagation`); the scenario
+builder forwards the scenario's master seed into that parameter so parallel
+campaigns stay bit-identical.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Tuple, Type, TypeVar
+
+from repro.phy.propagation import (
+    LogDistancePathLoss,
+    PropagationModel,
+    ShadowingPropagation,
+    UnitDiskPropagation,
+)
+from repro.registry import Registry, RegistryError
+
+P = TypeVar("P")
+
+
+@dataclass(frozen=True)
+class PropagationSpec:
+    """One registered propagation model."""
+
+    name: str
+    model: Type[PropagationModel]
+    description: str = ""
+
+    def config_defaults(self) -> Dict[str, Any]:
+        """Constructor parameter -> default value (required params map to ``...``)."""
+        signature = inspect.signature(self.model.__init__)
+        return {
+            param.name: (param.default if param.default is not param.empty else ...)
+            for param in signature.parameters.values()
+            if param.name != "self"
+        }
+
+    def build(self, **params: Any) -> PropagationModel:
+        return self.model(**params)
+
+    def accepts_seed(self) -> bool:
+        """True if the model's constructor takes a ``seed`` parameter."""
+        return "seed" in inspect.signature(self.model.__init__).parameters
+
+
+#: The process-wide propagation registry.
+PROPAGATION_REGISTRY: Registry[PropagationSpec] = Registry("propagation model")
+
+
+def register_propagation(
+    name: str, description: str = ""
+) -> Callable[[Type[P]], Type[P]]:
+    """Class decorator registering a :class:`PropagationModel` by name."""
+
+    def decorator(cls: Type[P]) -> Type[P]:
+        PROPAGATION_REGISTRY.register(
+            name, PropagationSpec(name, cls, description=description)
+        )
+        return cls
+
+    return decorator
+
+
+def propagation_kinds() -> Tuple[str, ...]:
+    """Names of all registered propagation models (sorted, deterministic)."""
+    return tuple(sorted(PROPAGATION_REGISTRY.names()))
+
+
+def get_propagation_spec(name: str) -> PropagationSpec:
+    """Resolve a registered propagation model by name."""
+    return PROPAGATION_REGISTRY.get(name)
+
+
+def create_propagation(name: str, **params: Any) -> PropagationModel:
+    """Build a propagation model by registered name."""
+    return get_propagation_spec(name).build(**params)
+
+
+# Built-ins are registered here (not via decorators in propagation.py) to
+# keep repro.phy.propagation import-cycle-free for repro.topology.
+PROPAGATION_REGISTRY.register(
+    "unit-disk",
+    PropagationSpec("unit-disk", UnitDiskPropagation, "binary disk connectivity"),
+)
+PROPAGATION_REGISTRY.register(
+    "log-distance",
+    PropagationSpec(
+        "log-distance", LogDistancePathLoss, "log-distance path loss + sensitivity"
+    ),
+)
+PROPAGATION_REGISTRY.register(
+    "fading",
+    PropagationSpec(
+        "fading",
+        ShadowingPropagation,
+        "log-distance + per-link log-normal shadowing",
+    ),
+)
+
+
+__all__ = [
+    "PROPAGATION_REGISTRY",
+    "PropagationSpec",
+    "RegistryError",
+    "create_propagation",
+    "get_propagation_spec",
+    "propagation_kinds",
+    "register_propagation",
+]

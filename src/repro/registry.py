@@ -1,0 +1,97 @@
+"""A small named-component registry with lazy built-in loading.
+
+The MAC-protocol and propagation-model registries (and the topology table
+of the scenario builder) are all instances of :class:`Registry`: components
+register themselves under a name via a decorator at class-definition time,
+and callers resolve them by name.  Because registration happens as a side
+effect of importing the defining module, every registry carries the list of
+modules providing its built-in entries and imports them on first use — so
+``mac_registry.get("qma")`` works without the caller having to import
+:mod:`repro.core.mac` first, and third-party plugins can still register at
+any time simply by importing :mod:`repro.mac.registry` and decorating their
+class.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Dict, Generic, Iterator, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class RegistryError(KeyError):
+    """Raised when a name cannot be resolved (or is registered twice)."""
+
+
+class Registry(Generic[T]):
+    """Ordered mapping of names to registered entries.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable description of what is registered ("MAC protocol",
+        "propagation model", ...), used in error messages.
+    builtin_modules:
+        Modules whose import registers the built-in entries; imported
+        lazily on first lookup/listing.
+    """
+
+    def __init__(self, kind: str, builtin_modules: Sequence[str] = ()) -> None:
+        self.kind = kind
+        self._builtin_modules = tuple(builtin_modules)
+        self._loaded = False
+        self._entries: Dict[str, T] = {}
+
+    # ---------------------------------------------------------------- loading
+    def _ensure_loaded(self) -> None:
+        if self._loaded:
+            return
+        self._loaded = True  # set first: the imports below re-enter register()
+        for module in self._builtin_modules:
+            importlib.import_module(module)
+
+    # ------------------------------------------------------------------- api
+    def register(self, name: str, entry: T, replace: bool = False) -> T:
+        """Register ``entry`` under ``name``; names are unique unless ``replace``."""
+        if not name:
+            raise ValueError(f"{self.kind} name must be non-empty")
+        if not replace and name in self._entries:
+            raise RegistryError(f"{self.kind} {name!r} is already registered")
+        self._entries[name] = entry
+        return entry
+
+    def get(self, name: str) -> T:
+        """Resolve a name; raises :class:`RegistryError` listing known names."""
+        self._ensure_loaded()
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(self.names()) or "<none>"
+            raise RegistryError(
+                f"unknown {self.kind} {name!r}; registered: {known}"
+            ) from None
+
+    def names(self) -> Tuple[str, ...]:
+        """Registered names in registration order."""
+        self._ensure_loaded()
+        return tuple(self._entries)
+
+    def items(self) -> Tuple[Tuple[str, T], ...]:
+        self._ensure_loaded()
+        return tuple(self._entries.items())
+
+    def __contains__(self, name: object) -> bool:
+        self._ensure_loaded()
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        self._ensure_loaded()
+        return iter(tuple(self._entries))
+
+    def __len__(self) -> int:
+        self._ensure_loaded()
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Registry({self.kind!r}, entries={list(self._entries)})"

@@ -1,0 +1,30 @@
+"""Declarative scenario assembly on top of the component registries.
+
+A :class:`~repro.scenario.config.ScenarioConfig` names topology,
+propagation model, MAC and link quality as plain data; the
+:class:`~repro.scenario.builder.ScenarioBuilder` resolves the names through
+the MAC/propagation/topology registries and assembles the live simulation
+objects.  The experiment runners in :mod:`repro.experiments` are thin
+layers over this pipeline: they declare a config, attach figure-specific
+traffic, run, and collect metrics.
+"""
+
+from repro.scenario.builder import (
+    BuiltDsmeScenario,
+    BuiltScenario,
+    ScenarioBuilder,
+    TOPOLOGY_REGISTRY,
+    build_scenario,
+    topology_kinds,
+)
+from repro.scenario.config import ScenarioConfig
+
+__all__ = [
+    "BuiltDsmeScenario",
+    "BuiltScenario",
+    "ScenarioBuilder",
+    "ScenarioConfig",
+    "TOPOLOGY_REGISTRY",
+    "build_scenario",
+    "topology_kinds",
+]

@@ -1,0 +1,70 @@
+"""The declarative scenario specification consumed by the builder.
+
+A :class:`ScenarioConfig` names every axis of a simulation — topology,
+propagation model, channel-access scheme, link quality and master seed — as
+plain data.  Names are resolved through the registries
+(:mod:`repro.mac.registry`, :mod:`repro.phy.registry` and the topology
+table of :mod:`repro.scenario.builder`), so a config mentioning a new MAC
+or channel model works the moment the providing module is imported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+@dataclass
+class ScenarioConfig:
+    """Everything needed to assemble one simulation.
+
+    Parameters
+    ----------
+    topology:
+        Registered topology name (``hidden-node``, ``iotlab-tree``,
+        ``iotlab-star``, ``concentric``); ``topology_params`` are forwarded
+        to the topology factory.
+    mac:
+        Registered MAC name.  ``mac_config`` optionally carries the
+        protocol's config dataclass instance; ``mac_params`` extra
+        per-protocol constructor knobs (e.g. QMA's ``rewards``).
+    propagation:
+        Optional registered propagation-model name.  When set, the
+        topology's link set is re-derived from node positions through the
+        model (and the routing tree rebuilt); when None the topology's
+        explicit links are used.  Models with a ``seed`` constructor
+        parameter receive the scenario seed unless ``propagation_params``
+        overrides it.
+    link_error_rate:
+        Uniform per-link packet error rate applied to every link.
+    seed:
+        Master seed of the simulation's RNG registry.
+    """
+
+    topology: str = "hidden-node"
+    topology_params: Dict[str, Any] = field(default_factory=dict)
+    mac: str = "qma"
+    mac_config: Optional[Any] = None
+    mac_params: Dict[str, Any] = field(default_factory=dict)
+    propagation: Optional[str] = None
+    propagation_params: Dict[str, Any] = field(default_factory=dict)
+    link_error_rate: float = 0.0
+    seed: int = 0
+    trace: bool = False
+
+    def __post_init__(self) -> None:
+        from repro.mac.registry import MAC_REGISTRY
+        from repro.phy.registry import PROPAGATION_REGISTRY
+
+        if self.mac not in MAC_REGISTRY:
+            raise ValueError(
+                f"unknown MAC kind {self.mac!r}; expected one of "
+                f"{tuple(sorted(MAC_REGISTRY.names()))}"
+            )
+        if self.propagation is not None and self.propagation not in PROPAGATION_REGISTRY:
+            raise ValueError(
+                f"unknown propagation model {self.propagation!r}; expected one of "
+                f"{tuple(sorted(PROPAGATION_REGISTRY.names()))}"
+            )
+        if not 0.0 <= self.link_error_rate <= 1.0:
+            raise ValueError("link_error_rate must lie in [0, 1]")

@@ -8,6 +8,12 @@ hard requirement for reproducing the paper's figures, therefore
   (a monotonically increasing sequence number breaks ties), and
 * all randomness is drawn from named streams managed by
   :class:`repro.sim.rng.RngRegistry`, seeded from a single master seed.
+
+The heap stores ``(time, seq, event)`` tuples rather than bare
+:class:`Event` objects: tuple comparison runs entirely in C, so the heap
+never calls ``Event.__lt__`` on the hot path (the method is kept for
+explicit comparisons).  The ordering is identical — ``(time, seq)`` is
+exactly what ``Event.__lt__`` compares.
 """
 
 from __future__ import annotations
@@ -15,7 +21,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceRecorder
@@ -84,7 +90,7 @@ class Simulator:
 
     def __init__(self, seed: int = 0, trace: bool = False) -> None:
         self._now = 0.0
-        self._queue: List[Event] = []
+        self._queue: List[Tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._running = False
         self._stopped = False
@@ -114,7 +120,7 @@ class Simulator:
                 f"cannot schedule into the past (time={time}, now={self._now})"
             )
         event = Event(time, next(self._seq), callback, args, kwargs)
-        heapq.heappush(self._queue, event)
+        heapq.heappush(self._queue, (time, event.seq, event))
         return event
 
     def cancel(self, event: Event) -> None:
@@ -128,10 +134,10 @@ class Simulator:
         Returns True if an event was executed, False if the queue is empty.
         """
         while self._queue:
-            event = heapq.heappop(self._queue)
+            time, _, event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
-            self._now = event.time
+            self._now = time
             event.fired = True
             self.events_executed += 1
             event.callback(*event.args, **event.kwargs)
@@ -150,15 +156,23 @@ class Simulator:
             )
         self._running = True
         self._stopped = False
+        # Inlined drain loop: local bindings and the tuple-based heap keep
+        # the per-event overhead minimal (this is the simulation hot path).
+        queue = self._queue
+        heappop = heapq.heappop
         try:
-            while self._queue and not self._stopped:
-                head = self._queue[0]
-                if head.cancelled:
-                    heapq.heappop(self._queue)
+            while queue and not self._stopped:
+                time, _, event = queue[0]
+                if event.cancelled:
+                    heappop(queue)
                     continue
-                if head.time > end_time:
+                if time > end_time:
                     break
-                self.step()
+                heappop(queue)
+                self._now = time
+                event.fired = True
+                self.events_executed += 1
+                event.callback(*event.args, **event.kwargs)
         finally:
             self._running = False
         if not self._stopped:
@@ -191,8 +205,8 @@ class Simulator:
 
     # ----------------------------------------------------------------- misc
     def pending_events(self) -> int:
-        """Number of events still scheduled (including lazily cancelled ones)."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of events still scheduled (excluding lazily cancelled ones)."""
+        return sum(1 for _, _, e in self._queue if not e.cancelled)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"Simulator(now={self._now:.6f}, pending={self.pending_events()})"

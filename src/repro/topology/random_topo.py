@@ -10,7 +10,7 @@ The generator retries until the network is connected.
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.phy.propagation import UnitDiskPropagation
 from repro.topology.base import Topology

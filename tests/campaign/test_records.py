@@ -49,6 +49,7 @@ class TestRunRecord:
         assert row == {
             "experiment": "hidden-node",
             "mac": "qma",
+            "propagation": "",
             "seed": 0,
             "delta": 10.0,
             "pdr": 0.9,
@@ -75,7 +76,7 @@ class TestExport:
 
     def test_csv_columns_cover_params_and_metrics(self, campaign):
         header = campaign.to_csv().splitlines()[0].split(",")
-        assert header[:3] == ["experiment", "mac", "seed"]
+        assert header[:4] == ["experiment", "mac", "propagation", "seed"]
         assert "delta" in header and "pdr" in header
 
     def test_csv_header_never_duplicates_colliding_names(self):

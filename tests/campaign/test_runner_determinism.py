@@ -38,6 +38,25 @@ class TestParallelEqualsSerial:
         assert len(serial) == len(parallel) == sweep.size == 8
         assert serial.records == parallel.records
 
+    def test_tdma_and_fading_campaign_identical_with_1_and_4_workers(self):
+        """The new registry axes keep the parallel == serial guarantee."""
+        sweep = Sweep(
+            experiment="hidden-node",
+            macs=("qma", "tdma"),
+            propagations=(None, "fading"),
+            grid={"delta": [10.0]},
+            fixed={"packets_per_node": 10, "warmup": 5.0},
+            # Seed 1's first shadowing draw disconnects the topology; the
+            # builder's deterministic redraw must keep the campaign running.
+            seeds=(0, 1),
+        )
+        serial = CampaignRunner(jobs=1).run(sweep)
+        parallel = CampaignRunner(jobs=4).run(sweep)
+        assert len(serial) == sweep.size == 8
+        assert serial.records == parallel.records
+        assert {r.scenario.mac for r in serial} == {"qma", "tdma"}
+        assert {r.scenario.propagation for r in serial} == {None, "fading"}
+
     def test_keep_raw_results_identical_across_worker_counts(self):
         sweep = Sweep(
             experiment="hidden-node",
@@ -55,6 +74,8 @@ class TestParallelEqualsSerial:
 class TestSeedRepeatability:
     @pytest.mark.parametrize("mac", MAC_KINDS)
     def test_same_seed_twice_yields_identical_metrics(self, mac):
+        # MAC_KINDS is the registry view, so this parametrisation covers
+        # every registered protocol — including the tdma baseline.
         scenario = Scenario(
             experiment="hidden-node",
             mac=mac,
@@ -65,6 +86,17 @@ class TestSeedRepeatability:
         second = execute_scenario(scenario)
         assert first == second
         assert first.metrics == second.metrics
+
+    @pytest.mark.parametrize("propagation", ["unit-disk", "log-distance", "fading"])
+    def test_propagation_models_repeat_with_same_seed(self, propagation):
+        scenario = Scenario(
+            experiment="hidden-node",
+            mac="qma",
+            seed=11,
+            params={"delta": 10.0, "packets_per_node": 10, "warmup": 5.0},
+            propagation=propagation,
+        )
+        assert execute_scenario(scenario) == execute_scenario(scenario)
 
     def test_different_seeds_differ(self):
         base = {"delta": 25.0, "packets_per_node": 30, "warmup": 5.0}

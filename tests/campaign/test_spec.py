@@ -24,7 +24,14 @@ class TestScenario:
         with pytest.raises(ValueError):
             Scenario(experiment="moon-bounce")
         with pytest.raises(ValueError):
-            Scenario(experiment="hidden-node", mac="tdma")
+            Scenario(experiment="hidden-node", mac="not-a-mac")
+        with pytest.raises(ValueError):
+            Scenario(experiment="hidden-node", propagation="not-a-model")
+        # tdma is a registered MAC kind since the registry refactor.
+        assert Scenario(experiment="hidden-node", mac="tdma").mac == "tdma"
+        assert Scenario(experiment="hidden-node", propagation="fading").label == (
+            "hidden-node qma propagation=fading seed=0"
+        )
 
 
 class TestSweep:
@@ -65,7 +72,11 @@ class TestSweep:
         with pytest.raises(ValueError):
             Sweep(experiment="hidden-node", macs=())
         with pytest.raises(ValueError):
-            Sweep(experiment="hidden-node", macs=("tdma",))
+            Sweep(experiment="hidden-node", macs=("not-a-mac",))
+        with pytest.raises(ValueError):
+            Sweep(experiment="hidden-node", propagations=())
+        with pytest.raises(ValueError):
+            Sweep(experiment="hidden-node", propagations=("not-a-model",))
         with pytest.raises(ValueError):
             Sweep(experiment="hidden-node", seeds=())
         with pytest.raises(ValueError):

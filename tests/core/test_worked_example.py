@@ -7,7 +7,6 @@ action/reward sequence of frame 1 and checks the Q-values the paper states.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.actions import QAction
 from repro.core.qtable import QTable

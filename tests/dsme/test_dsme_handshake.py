@@ -8,7 +8,7 @@ from repro.dsme.network import DsmeNetwork
 from repro.dsme.superframe import SuperframeConfig
 from repro.sim.engine import Simulator
 from repro.topology.hidden_node import hidden_node_topology
-from repro.topology.concentric import concentric_node_count, concentric_topology
+from repro.topology.concentric import concentric_node_count
 
 
 def build_small_dsme(mac="unslotted-csma", seed=1, route_discovery_period=None):
@@ -90,7 +90,13 @@ class TestDsmeNetwork:
     def test_invalid_cap_mac_rejected(self):
         sim = Simulator()
         with pytest.raises(ValueError):
-            DsmeNetwork(sim, hidden_node_topology(), cap_mac="tdma")
+            DsmeNetwork(sim, hidden_node_topology(), cap_mac="not-a-mac")
+
+    def test_any_registered_mac_is_a_valid_cap_mac(self):
+        # Since the registry refactor the CAP accepts e.g. tdma too.
+        sim = Simulator()
+        dsme = DsmeNetwork(sim, hidden_node_topology(), cap_mac="tdma")
+        assert all(mac.name == "tdma" for mac in dsme.network.macs.values())
 
     def test_concentric_node_counts_match_paper(self):
         assert [concentric_node_count(r) for r in (1, 2, 3, 4)] == [7, 19, 43, 91]

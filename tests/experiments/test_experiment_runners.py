@@ -137,12 +137,13 @@ class TestBaseHelpers:
     def test_all_mac_kinds_buildable(self, sim, channel):
         from repro.phy.radio import Radio
 
+        assert "tdma" in MAC_KINDS  # the registry picks up the new baseline
         for index, kind in enumerate(MAC_KINDS):
             radio = Radio(sim, channel, 100 + index)
             mac = make_mac_factory(kind)(sim, radio)
-            assert mac.name
+            assert mac.name == kind
         with pytest.raises(ValueError):
-            make_mac_factory("tdma")
+            make_mac_factory("not-a-mac")
 
     def test_repeat_scalar_and_summarize(self):
         mean, ci, samples = repeat_scalar(lambda seed: float(seed), repetitions=3)

@@ -69,6 +69,62 @@ class TestPacketQueue:
         with pytest.raises(ValueError):
             PacketQueue(sim, capacity=0)
 
+    # ------------------------------------------------- full-queue drop policy
+    def test_drop_tail_keeps_already_queued_frames(self, sim):
+        """A full queue drops the *arriving* frame, never a queued one."""
+        queue = PacketQueue(sim, capacity=2)
+        first, second, third = make_frame(), make_frame(), make_frame()
+        assert queue.push(first) and queue.push(second)
+        assert not queue.push(third)
+        assert list(queue) == [first, second]
+        assert queue.level == 2
+
+    def test_push_front_on_full_queue_drops_and_counts(self, sim):
+        queue = PacketQueue(sim, capacity=1)
+        head, reinserted = make_frame(), make_frame()
+        assert queue.push(head)
+        assert not queue.push_front(reinserted)
+        assert queue.dropped_full == 1
+        assert queue.peek() is head  # the head of line is untouched
+
+    def test_drops_do_not_disturb_counters_or_average(self):
+        sim = Simulator()
+        queue = PacketQueue(sim, capacity=1)
+        queue.push(make_frame())
+        for _ in range(5):
+            queue.push(make_frame())
+        sim.run_until(10.0)
+        assert queue.enqueued == 1
+        assert queue.dropped_full == 5
+        assert queue.average_level() == pytest.approx(1.0, abs=0.01)
+
+    def test_full_then_drained_queue_accepts_again(self, sim):
+        queue = PacketQueue(sim, capacity=1)
+        queue.push(make_frame())
+        assert not queue.push(make_frame())
+        queue.pop()
+        assert queue.push(make_frame())
+        assert queue.dropped_full == 1
+
+    def test_average_level_with_zero_elapsed_time(self, sim):
+        queue = PacketQueue(sim, capacity=4)
+        queue.push(make_frame())
+        queue.push(make_frame())
+        # No simulated time has passed: the average falls back to the
+        # instantaneous level instead of dividing by zero.
+        assert queue.average_level() == 2.0
+
+    def test_clear_accumulates_statistics_first(self):
+        sim = Simulator()
+        queue = PacketQueue(sim, capacity=4)
+        queue.push(make_frame())
+        sim.run_until(5.0)
+        queue.clear()
+        sim.run_until(10.0)
+        # One frame for 5 of 10 seconds.
+        assert queue.average_level() == pytest.approx(0.5, abs=0.01)
+        assert queue.empty
+
 
 class TestGates:
     def test_always_active(self):
@@ -100,3 +156,60 @@ class TestGates:
             WindowedGate(period=1.0, window=2.0)
         with pytest.raises(ValueError):
             WindowedGate(period=0.0, window=0.0)
+
+    # --------------------------------------- open/close races at boundaries
+    def test_exact_window_close_boundary_is_inactive(self):
+        """The window is half-open: [start, start + window)."""
+        gate = WindowedGate(period=10.0, window=4.0)
+        assert gate.active(3.999999)
+        assert not gate.active(4.0)
+        assert gate.remaining_active_time(4.0) == 0.0
+
+    def test_exact_period_boundary_is_active_again(self):
+        gate = WindowedGate(period=10.0, window=4.0)
+        assert gate.active(10.0)
+        assert gate.next_active_time(10.0) == 10.0
+        assert gate.remaining_active_time(10.0) == pytest.approx(4.0)
+
+    def test_float_accumulated_boundary_snaps_into_the_new_period(self):
+        """A time infinitesimally below k*period (float error) counts as open.
+
+        Repeatedly adding a period in floating point can land a subslot
+        tick just before the true boundary; the epsilon snap must treat it
+        as the start of the next window rather than the tail of the closed
+        previous one.
+        """
+        period = 0.1
+        gate = WindowedGate(period=period, window=0.04)
+        t = 0.0
+        for _ in range(30):
+            t += period
+        # t is now 3.0000000000000004-ish or slightly below 3.0 — either way
+        # it must be active and next_active_time must not postpone it.
+        assert gate.active(t)
+        assert gate.next_active_time(t) == t
+        just_below = 3.0 - 1e-12  # closer to the boundary than _EPSILON
+        assert gate.active(just_below)
+        assert gate.remaining_active_time(just_below) == pytest.approx(0.04)
+
+    def test_next_active_time_from_inside_closed_phase_hits_window_start(self):
+        gate = WindowedGate(period=10.0, window=4.0, offset=1.0)
+        resume = gate.next_active_time(9.0)
+        assert resume == pytest.approx(11.0)
+        assert gate.active(resume)
+
+    def test_mac_scheduled_at_gate_resume_finds_gate_open(self):
+        """The CSMA/QMA pattern: schedule_at(next_active_time(now)) must land open."""
+        gate = WindowedGate(period=0.12288, window=0.0576)  # DSME-ish numbers
+        sim = Simulator()
+        observed = []
+
+        def probe():
+            observed.append(gate.active(sim.now))
+            if len(observed) < 50:
+                resume = gate.next_active_time(sim.now + 0.001)
+                sim.schedule_at(max(resume, sim.now), probe)
+
+        sim.schedule(0.0, probe)
+        sim.run()
+        assert all(observed)

@@ -1,0 +1,106 @@
+"""Tests for the MAC registry (and the generic registry machinery)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.mac import QmaMac
+from repro.mac.aloha import AlohaConfig
+from repro.mac.base import MacProtocol
+from repro.mac.csma import CsmaConfig
+from repro.mac.registry import (
+    MAC_REGISTRY,
+    RegistryError,
+    create_mac,
+    get_mac_spec,
+    mac_kinds,
+    register_mac,
+)
+from repro.mac.tdma import Tdma, TdmaConfig
+from repro.phy.radio import Radio
+from repro.registry import Registry
+
+
+class TestGenericRegistry:
+    def test_register_get_and_order(self):
+        registry = Registry("thing")
+        registry.register("a", 1)
+        registry.register("b", 2)
+        assert registry.get("a") == 1
+        assert registry.names() == ("a", "b")
+        assert "a" in registry and "c" not in registry
+        assert len(registry) == 2
+
+    def test_duplicate_names_rejected_unless_replace(self):
+        registry = Registry("thing")
+        registry.register("a", 1)
+        with pytest.raises(RegistryError):
+            registry.register("a", 2)
+        registry.register("a", 2, replace=True)
+        assert registry.get("a") == 2
+
+    def test_unknown_name_error_lists_known_names(self):
+        registry = Registry("thing")
+        registry.register("alpha", 1)
+        with pytest.raises(RegistryError, match="alpha"):
+            registry.get("beta")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Registry("thing").register("", 1)
+
+    def test_lazy_builtin_loading(self):
+        registry = Registry("lazy", builtin_modules=("repro.mac.tdma",))
+        # Import of the module re-registers into MAC_REGISTRY (already
+        # loaded), but _ensure_loaded must not raise on repeat imports.
+        assert registry.names() == ()
+
+
+class TestMacRegistry:
+    def test_all_paper_macs_plus_tdma_registered(self):
+        assert set(mac_kinds()) == {
+            "qma",
+            "slotted-csma",
+            "unslotted-csma",
+            "slotted-aloha",
+            "aloha-q",
+            "tdma",
+        }
+
+    def test_every_kind_constructible_by_name(self, sim, channel):
+        for index, kind in enumerate(mac_kinds()):
+            radio = Radio(sim, channel, 200 + index)
+            mac = create_mac(kind, sim, radio)
+            assert isinstance(mac, MacProtocol)
+            assert mac.name == kind
+
+    def test_spec_carries_protocol_and_config(self):
+        spec = get_mac_spec("qma")
+        assert spec.protocol is QmaMac
+        defaults = spec.config_defaults()
+        assert defaults["num_subslots"] == 54
+        assert get_mac_spec("tdma").protocol is Tdma
+
+    def test_config_type_is_validated(self, sim, channel):
+        radio = Radio(sim, channel, 300)
+        with pytest.raises(TypeError):
+            create_mac("slotted-csma", sim, radio, config=AlohaConfig())
+        mac = create_mac("slotted-csma", sim, radio, config=CsmaConfig(mac_min_be=2))
+        assert mac.config.mac_min_be == 2
+
+    def test_unknown_mac_raises_registry_error(self, sim, channel):
+        with pytest.raises(RegistryError, match="qma"):
+            get_mac_spec("not-a-mac")
+
+    def test_third_party_registration_via_decorator(self, sim, channel):
+        @register_mac("test-custom-mac", config_cls=TdmaConfig)
+        class CustomMac(Tdma):
+            name = "test-custom-mac"
+
+        try:
+            radio = Radio(sim, channel, 301)
+            mac = create_mac("test-custom-mac", sim, radio)
+            assert isinstance(mac, CustomMac)
+        finally:
+            # Keep the process-wide registry clean for other tests.
+            MAC_REGISTRY._entries.pop("test-custom-mac", None)

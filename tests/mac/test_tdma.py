@@ -1,0 +1,93 @@
+"""Tests for the fixed-assignment TDMA baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mac.tdma import Tdma, TdmaConfig
+from repro.phy.frames import Frame, FrameKind
+
+
+def make_frame(src, dst):
+    return Frame(FrameKind.DATA, src=src, dst=dst)
+
+
+class TestTdmaConfig:
+    def test_defaults_valid(self):
+        config = TdmaConfig()
+        assert config.slots_per_frame == 10
+        assert config.slot_duration > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"slots_per_frame": 0},
+            {"slot_duration": 0.0},
+            {"max_frame_retries": -1},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TdmaConfig(**kwargs)
+
+
+class TestTdma:
+    def test_own_slot_is_node_id_modulo_slots(self, sim, line_radios):
+        macs = [Tdma(sim, radio, config=TdmaConfig(slots_per_frame=2)) for radio in line_radios]
+        assert [mac.own_slot for mac in macs] == [0, 1, 0]
+
+    def test_delivers_between_neighbours(self, sim, line_radios):
+        macs = [Tdma(sim, radio) for radio in line_radios]
+        received = []
+        macs[1].receive_callback = received.append
+        for mac in macs:
+            mac.start()
+        macs[0].send(make_frame(0, 1))
+        sim.run_until(1.0)
+        assert len(received) == 1
+        assert macs[0].stats.tx_success == 1
+
+    def test_hidden_senders_never_collide_with_distinct_slots(self, sim, line_radios):
+        """0 and 2 are hidden from each other but own different TDMA slots."""
+        config = TdmaConfig(slots_per_frame=3)
+        macs = [Tdma(sim, radio, config=config) for radio in line_radios]
+        received = []
+        macs[1].receive_callback = received.append
+        for mac in macs:
+            mac.start()
+        for _ in range(5):
+            macs[0].send(make_frame(0, 1))
+            macs[2].send(make_frame(2, 1))
+        sim.run_until(2.0)
+        assert len(received) == 10
+        assert sim.rng is not None  # determinism: no RNG stream is even used
+
+    def test_transmits_only_in_own_slot(self, sim, line_radios):
+        config = TdmaConfig(slots_per_frame=4, slot_duration=0.01)
+        mac = Tdma(sim, line_radios[2], config=config)  # own slot = 2
+        mac.start()
+        mac.send(make_frame(2, 1))
+        sim.run_until(0.0201)  # slots 0 and 1 have elapsed, slot 2 just began
+        assert line_radios[2].frames_sent == 1
+        assert sim.now >= 0.02
+
+    def test_retry_limit_drops_frame(self, sim, channel):
+        from repro.phy.radio import Radio
+
+        # A single radio with no neighbours: every transmission goes
+        # unacknowledged until the retry limit drops the frame.
+        radio = Radio(sim, channel, 7)
+        mac = Tdma(sim, radio, config=TdmaConfig(max_frame_retries=1))
+        mac.start()
+        mac.send(make_frame(7, 8))
+        sim.run_until(2.0)
+        assert mac.stats.dropped_retries == 1
+        assert mac.queue.level == 0
+
+    def test_stop_cancels_clock(self, sim, line_radios):
+        mac = Tdma(sim, line_radios[0])
+        mac.start()
+        mac.stop()
+        events_before = sim.pending_events()
+        sim.run_until(1.0)
+        assert sim.events_executed <= events_before

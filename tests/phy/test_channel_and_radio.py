@@ -7,7 +7,6 @@ import pytest
 from repro.phy.channel import WirelessChannel
 from repro.phy.frames import BROADCAST, Frame, FrameKind
 from repro.phy.radio import Radio, RadioError
-from repro.sim.engine import Simulator
 
 
 def make_frame(src, dst, payload=20):

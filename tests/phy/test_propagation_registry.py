@@ -1,0 +1,93 @@
+"""Tests for the propagation registry and the shadowing (fading) model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.phy.propagation import (
+    LogDistancePathLoss,
+    PropagationModel,
+    ShadowingPropagation,
+    UnitDiskPropagation,
+)
+from repro.phy.registry import (
+    PROPAGATION_REGISTRY,
+    RegistryError,
+    create_propagation,
+    get_propagation_spec,
+    propagation_kinds,
+    register_propagation,
+)
+
+
+class TestPropagationRegistry:
+    def test_builtins_registered(self):
+        assert propagation_kinds() == ("fading", "log-distance", "unit-disk")
+
+    def test_create_by_name_with_params(self):
+        model = create_propagation("unit-disk", communication_range=25.0)
+        assert isinstance(model, UnitDiskPropagation)
+        assert model.communication_range == 25.0
+        assert isinstance(create_propagation("log-distance"), LogDistancePathLoss)
+        assert isinstance(create_propagation("fading"), ShadowingPropagation)
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(RegistryError, match="unit-disk"):
+            create_propagation("free-space")
+
+    def test_spec_defaults_and_seed_detection(self):
+        spec = get_propagation_spec("fading")
+        defaults = spec.config_defaults()
+        assert defaults["shadowing_sigma_db"] == 4.0
+        assert spec.accepts_seed()
+        assert not get_propagation_spec("unit-disk").accepts_seed()
+
+    def test_third_party_registration(self):
+        @register_propagation("test-everywhere")
+        class Everywhere(PropagationModel):
+            def in_range(self, a, b):
+                return True
+
+        try:
+            assert create_propagation("test-everywhere").in_range((0, 0), (1e9, 0))
+        finally:
+            PROPAGATION_REGISTRY._entries.pop("test-everywhere", None)
+
+
+class TestShadowingPropagation:
+    def test_shadowing_is_deterministic_and_symmetric(self):
+        a, b = (0.0, 0.0), (70.0, 0.0)
+        first = ShadowingPropagation(seed=5)
+        second = ShadowingPropagation(seed=5)
+        assert first.shadowing_db(a, b) == second.shadowing_db(a, b)
+        assert first.shadowing_db(a, b) == first.shadowing_db(b, a)
+
+    def test_different_seeds_draw_different_shadowing(self):
+        a, b = (0.0, 0.0), (70.0, 0.0)
+        draws = {ShadowingPropagation(seed=s).shadowing_db(a, b) for s in range(8)}
+        assert len(draws) > 1
+
+    def test_zero_sigma_reduces_to_log_distance(self):
+        a, b = (0.0, 0.0), (42.0, 0.0)
+        fading = ShadowingPropagation(shadowing_sigma_db=0.0)
+        plain = LogDistancePathLoss()
+        assert fading.received_power_dbm(a, b) == plain.received_power_dbm(a, b)
+        assert fading.in_range(a, b) == plain.in_range(a, b)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            ShadowingPropagation(shadowing_sigma_db=-1.0)
+
+    def test_shadowing_shifts_connectivity(self):
+        # At ~84 m the plain model sits exactly at the sensitivity edge;
+        # across many seeds shadowing must flip some links in and out.
+        a, b = (0.0, 0.0), (83.0, 0.0)
+        outcomes = {ShadowingPropagation(seed=s).in_range(a, b) for s in range(30)}
+        assert outcomes == {True, False}
+
+    def test_both_link_directions_share_one_cache_entry(self):
+        model = ShadowingPropagation(seed=1)
+        a, b = (0.0, 0.0), (10.0, 5.0)
+        model.shadowing_db(a, b)
+        model.shadowing_db(b, a)
+        assert len(model._shadowing_cache) == 1

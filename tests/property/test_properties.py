@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis.markov import expected_handshake_messages
-from repro.analysis.stats import confidence_interval_95, mean, rolling_average
+from repro.analysis.stats import confidence_interval_95, rolling_average
 from repro.core.actions import ALL_ACTIONS, QAction
 from repro.core.exploration import ParameterBasedExploration
 from repro.core.qtable import QTable

@@ -14,6 +14,53 @@ def test_table4_command_prints_reward_table(capsys):
     assert "8" in output
 
 
+def test_list_command_prints_registries(capsys):
+    assert main(["list"]) == 0
+    output = capsys.readouterr().out
+    for mac in ("qma", "slotted-csma", "unslotted-csma", "slotted-aloha", "aloha-q", "tdma"):
+        assert mac in output
+    for model in ("unit-disk", "log-distance", "fading"):
+        assert model in output
+    # Config defaults are shown for MACs and propagation models.
+    assert "num_subslots=54" in output
+    assert "slots_per_frame=10" in output
+    assert "shadowing_sigma_db=4.0" in output
+    assert "communication_range=60.0" in output
+    for topology in ("hidden-node", "iotlab-tree", "iotlab-star", "concentric"):
+        assert topology in output
+
+
+def test_sweep_command_resolves_mac_and_propagation_grid_axes(capsys):
+    assert (
+        main(
+            [
+                "sweep",
+                "hidden-node",
+                "--grid",
+                "mac=qma,tdma",
+                "--grid",
+                "propagation=unit-disk,fading",
+                "--set",
+                "packets_per_node=8",
+                "--set",
+                "warmup=5",
+                "--metrics",
+                "pdr",
+            ]
+        )
+        == 0
+    )
+    output = capsys.readouterr().out
+    assert "running 4 scenarios" in output
+    assert "tdma" in output
+    assert "fading" in output and "unit-disk" in output
+
+
+def test_sweep_command_rejects_unknown_mac_in_grid():
+    with pytest.raises(SystemExit):
+        main(["sweep", "hidden-node", "--grid", "mac=not-a-mac"])
+
+
 def test_fig26_command_prints_curve(capsys):
     assert main(["fig26", "--probabilities", "0.5", "1.0"]) == 0
     output = capsys.readouterr().out
@@ -175,5 +222,7 @@ def test_parser_rejects_unknown_command():
 def test_parser_has_all_figure_commands():
     parser = build_parser()
     help_text = parser.format_help()
-    for command in ("table4", "fig7", "fig12", "slots", "testbed", "fig21", "fig26", "sweep"):
+    for command in (
+        "table4", "fig7", "fig12", "slots", "testbed", "fig21", "fig26", "sweep", "list",
+    ):
         assert command in help_text
