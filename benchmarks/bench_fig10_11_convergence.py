@@ -14,7 +14,7 @@ def test_bench_fig10_cumulative_q_value(benchmark):
         rounds=1,
         iterations=1,
     )
-    history = result.q_histories[0]
+    history = result.table("q_history")[0]
     values = [v for _, v in history]
     initial = values[0]
     assert max(values) > initial
@@ -33,8 +33,8 @@ def test_bench_fig11_exploration_probability(benchmark):
         return high, low
 
     high, low = benchmark.pedantic(run, rounds=1, iterations=1)
-    rho_high = [rho for _, rho in high.rho_histories[0]]
-    rho_low = [rho for _, rho in low.rho_histories[0]]
+    rho_high = [rho for _, rho in high.table("rho_history")[0]]
+    rho_low = [rho for _, rho in low.table("rho_history")[0]]
     max_high = max(rolling_average(rho_high, 10)) if rho_high else 0.0
     max_low = max(rolling_average(rho_low, 10)) if rho_low else 0.0
     benchmark.extra_info["max_rolling_rho_delta100"] = round(max_high, 4)

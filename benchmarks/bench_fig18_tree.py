@@ -22,8 +22,8 @@ def test_bench_fig18_tree_pdr(benchmark):
         benchmark.extra_info[f"overall_pdr_{mac}"] = round(result.overall_pdr, 3)
     qma = results["qma"]
     assert qma.packets_generated > 0
-    assert set(qma.per_node_pdr) == set(results["unslotted-csma"].per_node_pdr)
-    assert all(0.0 <= pdr <= 1.0 for pdr in qma.per_node_pdr.values())
+    assert set(qma.table("pdr_per_node")) == set(results["unslotted-csma"].table("pdr_per_node"))
+    assert all(0.0 <= pdr <= 1.0 for pdr in qma.table("pdr_per_node").values())
     # On this reduced workload (60 packets per node after a 25 s warm-up) QMA
     # is still in its learning phase in the multi-hop tree, so only CSMA/CA's
     # level is asserted; EXPERIMENTS.md discusses the paper-scale comparison.

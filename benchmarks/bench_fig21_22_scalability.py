@@ -31,7 +31,7 @@ def test_bench_fig21_secondary_pdr(benchmark):
         benchmark.extra_info[f"primary_pdr_{mac}"] = round(result.primary_pdr, 3)
     for result in results.values():
         assert result.num_nodes == 7
-        assert result.secondary.messages_sent > 0
+        assert result.details["secondary"].messages_sent > 0
         assert 0.0 <= result.secondary_pdr <= 1.0
 
 
@@ -53,5 +53,5 @@ def test_bench_fig22_gts_request_success(benchmark):
         benchmark.extra_info[f"gts_request_success_{mac}"] = round(result.gts_request_success, 3)
         benchmark.extra_info[f"allocation_rate_{mac}"] = round(result.allocation_rate, 2)
     for result in results.values():
-        assert result.secondary.requests_sent > 0
+        assert result.details["secondary"].requests_sent > 0
         assert 0.0 <= result.gts_request_success <= 1.0

@@ -33,13 +33,13 @@ def main() -> None:
     print(f"Running the hidden-node scenario with QMA at delta = {delta} packets/s ...\n")
     result = run_convergence(delta=delta, duration=90.0, warmup=15.0, seed=3)
 
-    for node_id, history in sorted(result.q_histories.items()):
+    for node_id, history in sorted(result.table("q_history").items()):
         values = [v for _, v in history]
         print(f"node {node_id}: cumulative Q-value per frame (Fig. 10)")
         print(f"  start {values[0]:8.1f}  ->  end {values[-1]:8.1f}")
         print(f"  [{ascii_sparkline(values)}]\n")
 
-    for node_id, history in sorted(result.rho_histories.items()):
+    for node_id, history in sorted(result.table("rho_history").items()):
         rhos = rolling_average([rho for _, rho in history], window=10)
         print(f"node {node_id}: exploration probability rho (rolling average, Fig. 11)")
         print(f"  max {max(rhos):.4f}  final {rhos[-1]:.4f}")

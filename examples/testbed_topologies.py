@@ -19,23 +19,24 @@ from repro.experiments import run_star, run_tree
 def report(title, results):
     print(f"\n=== {title} ===")
     macs = list(results)
-    nodes = sorted(set().union(*(r.per_node_pdr for r in results.values())))
+    per_node = {mac: results[mac].table("pdr_per_node") for mac in macs}
+    nodes = sorted(set().union(*per_node.values()))
     header = "node".ljust(8) + "".join(mac.rjust(18) for mac in macs)
     print(header)
     print("-" * len(header))
     for node in nodes:
         row = f"{node:<8}"
         for mac in macs:
-            row += f"{results[mac].per_node_pdr.get(node, float('nan')):>18.3f}"
+            row += f"{per_node[mac].get(node, float('nan')):>18.3f}"
         print(row)
     print("-" * len(header))
     row = "overall".ljust(8)
     for mac in macs:
-        row += f"{results[mac].overall_pdr:>18.3f}"
+        row += f"{results[mac].scalar('overall_pdr'):>18.3f}"
     print(row)
     row = "tx att.".ljust(8)
     for mac in macs:
-        row += f"{results[mac].transmission_attempts:>18}"
+        row += f"{results[mac].scalar('transmission_attempts'):>18.0f}"
     print(row)
 
 

@@ -14,8 +14,10 @@ The package provides
   (:mod:`repro.mac.registry`) and propagation models
   (:mod:`repro.phy.registry`), plus the declarative scenario pipeline
   assembling them (:mod:`repro.scenario`),
+* the unified metrics API — pluggable collectors and the typed
+  :class:`~repro.metrics.report.SimReport` (:mod:`repro.metrics`),
 * analysis utilities (:mod:`repro.analysis`), the parallel campaign layer
-  (:mod:`repro.campaign`), and
+  with streaming results (:mod:`repro.campaign`), and
 * experiment runners reproducing every figure of the paper's evaluation
   (:mod:`repro.experiments`).
 
@@ -29,6 +31,7 @@ Quickstart::
 
 from repro.core import QAction, QmaConfig, QmaMac, QTable
 from repro.mac import SlottedCsmaCa, UnslottedCsmaCa, create_mac, mac_kinds, register_mac
+from repro.metrics import MetricCollector, SimReport, collector_kinds, register_collector
 from repro.net import Network
 from repro.phy import create_propagation, propagation_kinds, register_propagation
 from repro.scenario import ScenarioBuilder, ScenarioConfig, build_scenario
@@ -37,6 +40,7 @@ from repro.sim import Simulator
 __version__ = "1.0.0"
 
 __all__ = [
+    "MetricCollector",
     "Network",
     "QAction",
     "QTable",
@@ -44,15 +48,18 @@ __all__ = [
     "QmaMac",
     "ScenarioBuilder",
     "ScenarioConfig",
+    "SimReport",
     "Simulator",
     "SlottedCsmaCa",
     "UnslottedCsmaCa",
     "__version__",
     "build_scenario",
+    "collector_kinds",
     "create_mac",
     "create_propagation",
     "mac_kinds",
     "propagation_kinds",
+    "register_collector",
     "register_mac",
     "register_propagation",
 ]

@@ -2,6 +2,7 @@
 the absorbing-Markov-chain model of the DSME GTS handshake."""
 
 from repro.analysis.stats import (
+    StreamingStats,
     confidence_interval_95,
     mean,
     rolling_average,
@@ -22,6 +23,7 @@ from repro.analysis.markov import (
 __all__ = [
     "AbsorbingMarkovChain",
     "SlotUtilisation",
+    "StreamingStats",
     "confidence_interval_95",
     "convergence_time",
     "cumulative_q_series",

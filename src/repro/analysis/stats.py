@@ -55,6 +55,60 @@ def confidence_interval_95(values: Sequence[float]) -> Tuple[float, float]:
     return m, half_width
 
 
+class StreamingStats:
+    """Constant-memory mean / 95 % CI over a stream of samples.
+
+    The mean is a running sum divided by the count, which keeps it
+    bit-identical to :func:`mean` over the same samples in the same order;
+    the standard deviation uses Welford's online algorithm (numerically
+    stable, may differ from the two-pass :func:`standard_deviation` in the
+    last few ulps).  Used by the campaign layer to aggregate million-run
+    sweeps without retaining the samples.
+    """
+
+    __slots__ = ("n", "_sum", "_mean", "_m2")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._sum = 0.0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def push(self, value: float) -> None:
+        """Add one sample."""
+        self.n += 1
+        self._sum += value
+        delta = value - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (value - self._mean)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the samples so far (0.0 before any sample)."""
+        if self.n == 0:
+            return 0.0
+        return self._sum / self.n
+
+    @property
+    def sample_std(self) -> float:
+        """Sample standard deviation (n - 1 in the denominator); 0.0 if n < 2."""
+        if self.n < 2:
+            return 0.0
+        return math.sqrt(self._m2 / (self.n - 1))
+
+    def ci95(self) -> Tuple[float, float]:
+        """``(mean, half_width)`` of the 95 % confidence interval."""
+        if self.n == 0:
+            return 0.0, 0.0
+        if self.n == 1:
+            return self.mean, 0.0
+        half_width = t_quantile_975(self.n - 1) * self.sample_std / math.sqrt(self.n)
+        return self.mean, half_width
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"StreamingStats(n={self.n}, mean={self.mean:.6g})"
+
+
 def rolling_average(values: Sequence[float], window: int) -> List[float]:
     """Trailing rolling average with the given window (Fig. 11 uses 10 frames)."""
     if window <= 0:

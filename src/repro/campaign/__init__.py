@@ -6,7 +6,12 @@ traffic intensity x seed.  This package turns such sweeps into plain data
 executes the cross-product over a ``multiprocessing`` worker pool
 (:class:`~repro.campaign.runner.CampaignRunner`), and collects structured
 :class:`~repro.campaign.records.RunRecord` results with JSON/CSV export and
-confidence-interval aggregation.
+confidence-interval aggregation.  Sweeps carry a ``metrics=`` axis naming
+the collectors of :mod:`repro.metrics` that instrument every run, and
+:meth:`~repro.campaign.runner.CampaignRunner.stream` pushes finished
+records through :class:`~repro.campaign.frame.RecordSink` objects
+(JSONL/CSV streaming, grouped aggregation) in constant memory — or
+accumulates them into a columnar :class:`~repro.campaign.frame.ResultFrame`.
 
 Because every simulation draws all randomness from named streams seeded by
 a single master seed (see :mod:`repro.sim.rng`), each scenario is a pure
@@ -14,18 +19,47 @@ function of its spec — results are bit-identical regardless of worker
 count or scheduling, which the campaign test suite asserts.
 """
 
-from repro.campaign.records import CampaignResult, RunRecord, load_json
-from repro.campaign.runner import CampaignRunner, execute_scenario, map_seeds
+from repro.campaign.frame import (
+    CsvRecordSink,
+    JsonDocumentSink,
+    JsonlRecordSink,
+    RecordSink,
+    ResultFrame,
+    TableAggregator,
+    iter_jsonl,
+    load_jsonl,
+)
+from repro.campaign.records import AmbiguousKeyError, CampaignResult, RunRecord, load_json
+from repro.campaign.runner import (
+    DEFAULT_TRACE_LIMIT,
+    CampaignRunner,
+    execute_scenario,
+    experiment_metric_names,
+    is_known_metric,
+    map_seeds,
+)
 from repro.campaign.spec import EXPERIMENT_KINDS, Scenario, Sweep
 
 __all__ = [
+    "AmbiguousKeyError",
     "CampaignResult",
     "CampaignRunner",
+    "CsvRecordSink",
+    "DEFAULT_TRACE_LIMIT",
     "EXPERIMENT_KINDS",
+    "JsonDocumentSink",
+    "JsonlRecordSink",
+    "RecordSink",
+    "ResultFrame",
     "RunRecord",
     "Scenario",
     "Sweep",
+    "TableAggregator",
     "execute_scenario",
+    "experiment_metric_names",
+    "is_known_metric",
+    "iter_jsonl",
     "load_json",
+    "load_jsonl",
     "map_seeds",
 ]

@@ -1,0 +1,331 @@
+"""Columnar campaign results and incremental record streaming.
+
+A :class:`ResultFrame` stores campaign rows column-wise (one list per
+column) — the natural layout for aggregating one metric over many runs —
+and the record sinks stream results to disk *while a campaign runs*:
+
+* :class:`JsonlRecordSink` — one JSON object per line (scenario +
+  metrics), flushed per record; constant memory for arbitrarily long
+  sweeps and trivially resumable/concatenable.
+* :class:`CsvRecordSink` — one flat row per record; the header is fixed
+  from the first record (plus optionally declared columns), later columns
+  unknown to the header are dropped.
+* :class:`JsonDocumentSink` — the legacy ``{"records": [...]}`` document
+  written at :meth:`close`; retains all records in memory and exists only
+  for compatibility with :func:`repro.campaign.records.load_json`.
+* :class:`TableAggregator` — constant-memory grouped mean/CI aggregation
+  (one :class:`~repro.analysis.stats.StreamingStats` per group × metric).
+
+``iter_jsonl`` reads a JSONL stream back as records without loading the
+whole file.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.analysis.stats import StreamingStats
+from repro.campaign.records import RunRecord, _SCENARIO_COLUMNS
+from repro.campaign.spec import Scenario
+
+
+class ResultFrame:
+    """Campaign rows stored column-wise.
+
+    Rows are flat dictionaries as produced by :meth:`RunRecord.row`
+    (scenario identity, parameters, metrics).  Columns appearing after the
+    first row are backfilled with None; absent cells read as None.
+    """
+
+    def __init__(self) -> None:
+        self._columns: Dict[str, List[Any]] = {}
+        self._length = 0
+
+    # ------------------------------------------------------------- building
+    def append(self, row: Mapping[str, Any]) -> None:
+        """Append one flat row, growing the column set as needed."""
+        for name in row:
+            if name not in self._columns:
+                self._columns[name] = [None] * self._length
+        for name, column in self._columns.items():
+            column.append(row.get(name))
+        self._length += 1
+
+    def append_record(self, record: RunRecord) -> None:
+        """Append a run record's flat row view."""
+        self.append(record.row())
+
+    @classmethod
+    def from_records(cls, records: Sequence[RunRecord]) -> "ResultFrame":
+        frame = cls()
+        for record in records:
+            frame.append_record(record)
+        return frame
+
+    # -------------------------------------------------------------- reading
+    def __len__(self) -> int:
+        return self._length
+
+    def column_names(self) -> List[str]:
+        """Column names in first-appearance order."""
+        return list(self._columns)
+
+    def column(self, name: str) -> List[Any]:
+        """One column as a list (length == number of rows)."""
+        try:
+            return list(self._columns[name])
+        except KeyError:
+            known = ", ".join(self._columns) or "<none>"
+            raise KeyError(f"frame has no column {name!r}; columns: {known}") from None
+
+    def row(self, index: int) -> Dict[str, Any]:
+        """One row as a dictionary (cells absent at append time are None)."""
+        return {name: column[index] for name, column in self._columns.items()}
+
+    def iter_rows(self) -> Iterator[Dict[str, Any]]:
+        for index in range(self._length):
+            yield self.row(index)
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return self.iter_rows()
+
+    # ---------------------------------------------------------- aggregation
+    def aggregate(
+        self,
+        metric: str,
+        by: Sequence[str] = ("mac",),
+    ) -> Dict[Tuple[Any, ...], Dict[str, float]]:
+        """Group rows and compute ``{"mean", "ci95", "n"}`` per group.
+
+        Same semantics as :meth:`CampaignResult.aggregate`; rows whose
+        metric cell is None (heterogeneous collector sets) are skipped.
+        """
+        metric_column = self.column(metric)
+        key_columns = [self.column(name) for name in by]
+        groups: Dict[Tuple[Any, ...], StreamingStats] = {}
+        for index in range(self._length):
+            value = metric_column[index]
+            if value is None:
+                continue
+            key = tuple(column[index] for column in key_columns)
+            groups.setdefault(key, StreamingStats()).push(float(value))
+        result: Dict[Tuple[Any, ...], Dict[str, float]] = {}
+        for key, stats in groups.items():
+            mean, half_width = stats.ci95()
+            result[key] = {"mean": mean, "ci95": half_width, "n": float(stats.n)}
+        return result
+
+    # --------------------------------------------------------------- export
+    def to_jsonl(self, path: Union[str, Any]) -> int:
+        """Write one JSON object per row; returns the row count."""
+        handle, owned = _open_for_write(path)
+        try:
+            for row in self.iter_rows():
+                handle.write(json.dumps(row, sort_keys=True) + "\n")
+        finally:
+            if owned:
+                handle.close()
+        return self._length
+
+    def to_csv(self, path: Union[str, Any]) -> int:
+        """Write a flat CSV (all columns, None cells empty); returns the row count."""
+        handle, owned = _open_for_write(path)
+        try:
+            writer = csv.DictWriter(handle, fieldnames=self.column_names(), restval="")
+            writer.writeheader()
+            for row in self.iter_rows():
+                writer.writerow({k: ("" if v is None else v) for k, v in row.items()})
+        finally:
+            if owned:
+                handle.close()
+        return self._length
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ResultFrame(rows={self._length}, columns={len(self._columns)})"
+
+
+def _open_for_write(path: Union[str, Any]):
+    """Return ``(handle, owned)`` for a path or an already-open file."""
+    if hasattr(path, "write"):
+        return path, False
+    return open(path, "w", encoding="utf-8", newline=""), True
+
+
+# --------------------------------------------------------------------- sinks
+class RecordSink:
+    """Base class of streaming record consumers.
+
+    :meth:`write` is called once per finished record, in deterministic
+    sweep-expansion order; :meth:`close` once after the campaign.
+    ``written`` counts the records seen.
+    """
+
+    def __init__(self) -> None:
+        self.written = 0
+
+    def write(self, record: RunRecord) -> None:
+        self.written += 1
+
+    def close(self) -> None:
+        """Release resources; safe to call more than once."""
+
+
+class JsonlRecordSink(RecordSink):
+    """Stream records to a JSONL file, one flushed line per record."""
+
+    def __init__(self, path: Union[str, Any]) -> None:
+        super().__init__()
+        self.path = path
+        self._handle, self._owned = _open_for_write(path)
+
+    def write(self, record: RunRecord) -> None:
+        super().write(record)
+        self._handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._owned and self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class CsvRecordSink(RecordSink):
+    """Stream records to CSV with a header fixed at the first record.
+
+    ``columns`` optionally pre-declares metric/parameter columns (useful
+    when later records may carry cells the first record lacks); anything
+    not in the header when it finally appears is dropped, which is the
+    price of not buffering the whole campaign.
+    """
+
+    def __init__(self, path: Union[str, Any], columns: Sequence[str] = ()) -> None:
+        super().__init__()
+        self.path = path
+        self._declared = list(columns)
+        self._handle, self._owned = _open_for_write(path)
+        self._writer: Optional[csv.DictWriter] = None
+
+    def write(self, record: RunRecord) -> None:
+        super().write(record)
+        row = record.row()
+        if self._writer is None:
+            header = list(_SCENARIO_COLUMNS)
+            for name in sorted(record.scenario.params) + sorted(record.metrics):
+                if name not in header:
+                    header.append(name)
+            for name in self._declared:
+                if name not in header:
+                    header.append(name)
+            self._writer = csv.DictWriter(
+                self._handle, fieldnames=header, restval="", extrasaction="ignore"
+            )
+            self._writer.writeheader()
+        self._writer.writerow(row)
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._owned and self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class JsonDocumentSink(RecordSink):
+    """Accumulate records and write the legacy ``{"records": [...]}`` JSON.
+
+    Unlike the JSONL sink this retains every record dictionary until
+    :meth:`close` — use it only when a consumer needs the old document
+    format (:func:`repro.campaign.records.load_json` reads it back).
+    """
+
+    def __init__(self, path: Union[str, Any]) -> None:
+        super().__init__()
+        self.path = path
+        self._records: List[Dict[str, Any]] = []
+
+    def write(self, record: RunRecord) -> None:
+        super().write(record)
+        self._records.append(record.to_dict())
+
+    def close(self) -> None:
+        if self._records is None:
+            return
+        handle, owned = _open_for_write(self.path)
+        try:
+            handle.write(json.dumps({"records": self._records}, indent=2, sort_keys=True) + "\n")
+        finally:
+            if owned:
+                handle.close()
+        self._records = None
+
+
+class TableAggregator(RecordSink):
+    """Constant-memory grouped aggregation over a record stream.
+
+    Groups by scenario fields and parameters (never by metrics, so a
+    colliding name cannot shadow an axis) and keeps one
+    :class:`StreamingStats` per ``(metric, group)`` — memory is bounded by
+    the grid size, not the seed count.
+    """
+
+    def __init__(self, by: Sequence[str] = ("mac",)) -> None:
+        super().__init__()
+        self.by = tuple(by)
+        self._stats: Dict[str, Dict[Tuple[Any, ...], StreamingStats]] = {}
+
+    def _group_key(self, scenario: Scenario) -> Tuple[Any, ...]:
+        key = []
+        for name in self.by:
+            if name == "experiment":
+                key.append(scenario.experiment)
+            elif name == "mac":
+                key.append(scenario.mac)
+            elif name == "propagation":
+                key.append(scenario.propagation)
+            elif name == "seed":
+                key.append(scenario.seed)
+            else:
+                key.append(scenario.params.get(name))
+        return tuple(key)
+
+    def write(self, record: RunRecord) -> None:
+        super().write(record)
+        key = self._group_key(record.scenario)
+        for metric, value in record.metrics.items():
+            self._stats.setdefault(metric, {}).setdefault(key, StreamingStats()).push(
+                float(value)
+            )
+
+    def metric_names(self) -> List[str]:
+        """Metric names seen so far, sorted."""
+        return sorted(self._stats)
+
+    def groups(self, metric: str) -> Dict[Tuple[Any, ...], Dict[str, float]]:
+        """``{"mean", "ci95", "n"}`` per group, in first-appearance order."""
+        result: Dict[Tuple[Any, ...], Dict[str, float]] = {}
+        for key, stats in self._stats.get(metric, {}).items():
+            mean, half_width = stats.ci95()
+            result[key] = {"mean": mean, "ci95": half_width, "n": float(stats.n)}
+        return result
+
+
+def iter_jsonl(source: Union[str, Any]) -> Iterator[RunRecord]:
+    """Yield records from a JSONL stream without loading the whole file."""
+    if hasattr(source, "read"):
+        for line in source:
+            if line.strip():
+                yield RunRecord.from_dict(json.loads(line))
+        return
+    with open(source, "r", encoding="utf-8") as handle:
+        for line in handle:
+            if line.strip():
+                yield RunRecord.from_dict(json.loads(line))
+
+
+def load_jsonl(source: Union[str, Any]) -> ResultFrame:
+    """Load a JSONL record stream into a :class:`ResultFrame`."""
+    frame = ResultFrame()
+    for record in iter_jsonl(source):
+        frame.append_record(record)
+    return frame

@@ -22,6 +22,16 @@ from repro.campaign.spec import Scenario
 _SCENARIO_COLUMNS = ("experiment", "mac", "propagation", "seed")
 
 
+class AmbiguousKeyError(KeyError):
+    """A looked-up key names both a metric and a scenario field/parameter.
+
+    The built-in experiment adapters never collide (the test suite pins
+    that down), but a custom collector is free to emit a scalar named like
+    a sweep axis — :meth:`RunRecord.value` then refuses to guess instead of
+    silently preferring one side.
+    """
+
+
 @dataclass
 class RunRecord:
     """The outcome of one scenario: scalar metrics keyed by name.
@@ -35,12 +45,31 @@ class RunRecord:
     metrics: Dict[str, float] = field(default_factory=dict)
     raw: Any = None
 
+    def metric(self, key: str) -> float:
+        """Look up a metric by name (unambiguous accessor)."""
+        return self.metrics[key]
+
+    def param(self, key: str) -> Any:
+        """Look up a scenario parameter by name (unambiguous accessor)."""
+        return self.scenario.params[key]
+
     def value(self, key: str) -> Any:
         """Look up ``key`` among the metrics, scenario fields and parameters.
 
-        Metrics take precedence over scenario parameters of the same name.
+        A key naming both a metric and a scenario field or parameter raises
+        :class:`AmbiguousKeyError` — use :meth:`metric` / :meth:`param` (or
+        ``scenario.<field>``) to pick a side explicitly.  Earlier releases
+        silently preferred the metric, which made a collector scalar named
+        like a sweep axis shadow the axis in ``aggregate(by=...)``.
         """
-        if key in self.metrics:
+        in_metrics = key in self.metrics
+        shadowed = key in _SCENARIO_COLUMNS or key in self.scenario.params
+        if in_metrics and shadowed:
+            raise AmbiguousKeyError(
+                f"{key!r} names both a metric and a scenario field/parameter; "
+                f"use record.metric({key!r}) or record.param({key!r}) instead"
+            )
+        if in_metrics:
             return self.metrics[key]
         if key == "experiment":
             return self.scenario.experiment

@@ -3,165 +3,199 @@
 Every scenario is an independent simulation seeded from its own master
 seed, so scenarios can run in any order on any number of workers and still
 produce bit-identical results — :class:`CampaignRunner` only has to keep
-the *record* order deterministic, which ``Pool.map`` over the sweep's
+the *record* order deterministic, which mapping over the sweep's
 deterministic expansion order guarantees.
 
 The worker entry point :func:`execute_scenario` is a module-level function
-(picklable) dispatching on the scenario's experiment family.
+(picklable) dispatching on the scenario's experiment family; each family's
+runner instruments the simulation with the scenario's ``metrics``
+collectors (default: the experiment's :data:`DEFAULT_COLLECTORS`) and the
+record's scalar metrics are the resulting report's scalars plus
+``sim_time``.
+
+:meth:`CampaignRunner.stream` consumes records as they finish (in order)
+and hands them to :class:`~repro.campaign.frame.RecordSink` objects —
+JSONL/CSV export and grouped aggregation then run in constant memory, so a
+million-run sweep never materialises its record list.
 """
 
 from __future__ import annotations
 
+import fnmatch
 import functools
 import multiprocessing
 import os
-from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro.campaign.frame import RecordSink, ResultFrame
 from repro.campaign.records import CampaignResult, RunRecord
-from repro.campaign.spec import Scenario, Sweep
-from repro.experiments.hidden_node import HiddenNodeResult, run_hidden_node
-from repro.experiments.scalability import ScalabilityResult, run_scalability
-from repro.experiments.testbed import TestbedResult, run_star, run_tree
+from repro.campaign.spec import EXPERIMENT_KINDS, Scenario, Sweep
+from repro.experiments import hidden_node, scalability, testbed
+from repro.experiments.hidden_node import run_hidden_node
+from repro.experiments.scalability import run_scalability
+from repro.experiments.testbed import run_star, run_tree
+from repro.metrics.registry import build_collectors
+from repro.metrics.report import SimReport
+
+#: Default bound on retained trace records for traced campaign runs; long
+#: sweeps with ``trace=True`` then drop (and count) the excess instead of
+#: exhausting memory silently.  Pass ``trace_limit`` explicitly to change.
+DEFAULT_TRACE_LIMIT = 250_000
 
 
-def _hidden_node_metrics(result: HiddenNodeResult) -> Dict[str, float]:
-    return {
-        "pdr": result.pdr,
-        "average_queue_level": result.average_queue_level,
-        "average_delay": result.average_delay,
-        "packets_generated": float(result.packets_generated),
-        "packets_delivered": float(result.packets_delivered),
-        "transmission_attempts": float(result.transmission_attempts),
-        "sim_time": result.duration,
-    }
+def _report_metrics(report: SimReport, traced: bool) -> Dict[str, float]:
+    """Flatten a report into the record's scalar metric dictionary.
 
-
-def _testbed_metrics(result: TestbedResult) -> Dict[str, float]:
-    metrics = {
-        "overall_pdr": result.overall_pdr,
-        "packets_generated": float(result.packets_generated),
-        "packets_delivered": float(result.packets_delivered),
-        "transmission_attempts": float(result.transmission_attempts),
-        "sim_time": result.duration,
-    }
-    for node_id, pdr in sorted(result.per_node_pdr.items()):
-        metrics[f"pdr_node_{node_id}"] = pdr
+    Traced runs always carry ``trace_dropped`` (even when 0) so that every
+    record of a traced sweep has the same metric set — streaming CSV fixes
+    its header from the first record.
+    """
+    metrics = {name: float(value) for name, value in report.scalars.items()}
+    metrics["sim_time"] = report.duration
+    if traced or report.trace_dropped:
+        metrics["trace_dropped"] = float(report.trace_dropped)
     return metrics
 
 
-def _scalability_metrics(result: ScalabilityResult) -> Dict[str, float]:
-    return {
-        "num_nodes": float(result.num_nodes),
-        "secondary_pdr": result.secondary_pdr,
-        "gts_request_success": result.gts_request_success,
-        "allocation_rate": result.allocation_rate,
-        "primary_pdr": result.primary_pdr,
-        "sim_time": result.duration,
-    }
+def _campaign_params(scenario: Scenario) -> Dict[str, Any]:
+    """Runner kwargs for a scenario, with the campaign trace bound applied."""
+    params = dict(scenario.params)
+    if params.get("trace") and "trace_limit" not in params:
+        params["trace_limit"] = DEFAULT_TRACE_LIMIT
+    return params
 
 
-def _run_hidden_node(scenario: Scenario) -> Tuple[Dict[str, float], Any]:
-    result = run_hidden_node(
+def _run_hidden_node(scenario: Scenario) -> SimReport:
+    return run_hidden_node(
         mac=scenario.mac,
         seed=scenario.seed,
         propagation=scenario.propagation,
-        **scenario.params,
+        collectors=scenario.metrics,
+        **_campaign_params(scenario),
     )
-    return _hidden_node_metrics(result), result
 
 
-def _run_testbed_tree(scenario: Scenario) -> Tuple[Dict[str, float], Any]:
-    result = run_tree(
+def _run_testbed_tree(scenario: Scenario) -> SimReport:
+    return run_tree(
         mac=scenario.mac,
         seed=scenario.seed,
         propagation=scenario.propagation,
-        **scenario.params,
+        collectors=scenario.metrics,
+        **_campaign_params(scenario),
     )
-    return _testbed_metrics(result), result
 
 
-def _run_testbed_star(scenario: Scenario) -> Tuple[Dict[str, float], Any]:
-    result = run_star(
+def _run_testbed_star(scenario: Scenario) -> SimReport:
+    return run_star(
         mac=scenario.mac,
         seed=scenario.seed,
         propagation=scenario.propagation,
-        **scenario.params,
+        collectors=scenario.metrics,
+        **_campaign_params(scenario),
     )
-    return _testbed_metrics(result), result
 
 
-def _run_scalability(scenario: Scenario) -> Tuple[Dict[str, float], Any]:
-    result = run_scalability(
+def _run_scalability(scenario: Scenario) -> SimReport:
+    return run_scalability(
         mac=scenario.mac,
         seed=scenario.seed,
         propagation=scenario.propagation,
-        **scenario.params,
+        collectors=scenario.metrics,
+        **_campaign_params(scenario),
     )
-    return _scalability_metrics(result), result
 
 
-#: Experiment family -> adapter returning ``(metrics, raw result)``.
-_ADAPTERS: Dict[str, Callable[[Scenario], Tuple[Dict[str, float], Any]]] = {
+#: Experiment family -> runner returning the scenario's :class:`SimReport`.
+_ADAPTERS: Dict[str, Callable[[Scenario], SimReport]] = {
     "hidden-node": _run_hidden_node,
     "testbed-tree": _run_testbed_tree,
     "testbed-star": _run_testbed_star,
     "scalability": _run_scalability,
 }
 
-#: Metric names each experiment family emits (testbed families additionally
-#: emit one dynamic ``pdr_node_<id>`` metric per source node).
+#: Experiment family -> (default collector names, per-collector overrides).
+_EXPERIMENT_COLLECTORS: Dict[str, Tuple[Tuple[str, ...], Dict[str, Dict[str, Any]]]] = {
+    "hidden-node": (hidden_node.DEFAULT_COLLECTORS, hidden_node.COLLECTOR_OVERRIDES),
+    "testbed-tree": (testbed.DEFAULT_COLLECTORS, testbed.COLLECTOR_OVERRIDES),
+    "testbed-star": (testbed.DEFAULT_COLLECTORS, testbed.COLLECTOR_OVERRIDES),
+    "scalability": (scalability.DEFAULT_COLLECTORS, scalability.COLLECTOR_OVERRIDES),
+}
+
+#: Metrics every record can carry regardless of the collector set.
+_IMPLICIT_METRICS = ("sim_time", "trace_dropped")
+
+
+def experiment_metric_names(
+    experiment: str,
+    collectors: Optional[Sequence[str]] = None,
+) -> Tuple[str, ...]:
+    """Scalar names (patterns included, e.g. ``pdr_node_*``) the given
+    experiment emits with the given collector set (None: its defaults).
+
+    Derived from the collector registry's ``provides`` declarations, so a
+    newly registered collector is validated with zero campaign changes.
+    """
+    try:
+        defaults, overrides = _EXPERIMENT_COLLECTORS[experiment]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {experiment!r}; expected one of {EXPERIMENT_KINDS}"
+        ) from None
+    names: List[str] = []
+    for collector in build_collectors(defaults if collectors is None else collectors, overrides):
+        for name in collector.provides():
+            if name not in names:
+                names.append(name)
+    names.extend(_IMPLICIT_METRICS)
+    return tuple(names)
+
+
+#: Concrete metric names of every experiment family's *default* collector
+#: set (wildcard families like ``pdr_node_*`` excluded); kept for display
+#: and as the compatibility view of earlier releases' static table.
 EXPERIMENT_METRICS: Dict[str, Tuple[str, ...]] = {
-    "hidden-node": (
-        "pdr",
-        "average_queue_level",
-        "average_delay",
-        "packets_generated",
-        "packets_delivered",
-        "transmission_attempts",
-        "sim_time",
-    ),
-    "testbed-tree": (
-        "overall_pdr",
-        "packets_generated",
-        "packets_delivered",
-        "transmission_attempts",
-        "sim_time",
-    ),
-    "testbed-star": (
-        "overall_pdr",
-        "packets_generated",
-        "packets_delivered",
-        "transmission_attempts",
-        "sim_time",
-    ),
-    "scalability": (
-        "num_nodes",
-        "secondary_pdr",
-        "gts_request_success",
-        "allocation_rate",
-        "primary_pdr",
-        "sim_time",
-    ),
+    experiment: tuple(
+        name
+        for name in experiment_metric_names(experiment)
+        if "*" not in name and name != "trace_dropped"
+    )
+    for experiment in EXPERIMENT_KINDS
 }
 
 
-def is_known_metric(experiment: str, metric: str) -> bool:
-    """Whether ``metric`` can occur in records of the given experiment family."""
-    if metric in EXPERIMENT_METRICS.get(experiment, ()):
-        return True
-    return experiment.startswith("testbed-") and metric.startswith("pdr_node_")
+def is_known_metric(
+    experiment: str,
+    metric: str,
+    collectors: Optional[Sequence[str]] = None,
+) -> bool:
+    """Whether ``metric`` can occur in records of the given experiment family
+    when instrumented with the given collector set (None: its defaults).
+
+    False (not an error) for unknown experiment families, matching the
+    pre-redesign lookup-table behaviour.
+    """
+    if experiment not in _EXPERIMENT_COLLECTORS:
+        return False
+    for name in experiment_metric_names(experiment, collectors):
+        if name == metric or ("*" in name and fnmatch.fnmatchcase(metric, name)):
+            return True
+    return False
 
 
 def execute_scenario(scenario: Scenario, keep_raw: bool = False) -> RunRecord:
     """Run one scenario and return its :class:`RunRecord`.
 
-    With ``keep_raw`` the record also carries the full experiment result
-    object (histories, per-node detail); the scalar metrics are identical
-    either way.
+    With ``keep_raw`` the record also carries the full
+    :class:`~repro.metrics.report.SimReport` (series, tables, details); the
+    scalar metrics are identical either way.
     """
     adapter = _ADAPTERS[scenario.experiment]
-    metrics, raw = adapter(scenario)
-    return RunRecord(scenario=scenario, metrics=metrics, raw=raw if keep_raw else None)
+    report = adapter(scenario)
+    return RunRecord(
+        scenario=scenario,
+        metrics=_report_metrics(report, traced=bool(scenario.params.get("trace"))),
+        raw=report if keep_raw else None,
+    )
 
 
 def resolve_jobs(jobs: int) -> int:
@@ -203,15 +237,65 @@ class CampaignRunner:
         Worker-process count; ``1`` (the default) runs serially in-process,
         ``0`` means one worker per CPU.
     keep_raw:
-        Attach the full experiment result object to every record.
+        Attach the full :class:`SimReport` to every record.
     """
 
     def __init__(self, jobs: int = 1, keep_raw: bool = False) -> None:
         self.jobs = resolve_jobs(jobs)
         self.keep_raw = keep_raw
 
+    def _scenarios(self, sweep: Union[Sweep, Iterable[Scenario]]) -> List[Scenario]:
+        return sweep.scenarios() if isinstance(sweep, Sweep) else list(sweep)
+
+    def iter_records(self, sweep: Union[Sweep, Iterable[Scenario]]) -> Iterator[RunRecord]:
+        """Yield records in deterministic expansion order as they finish.
+
+        With ``jobs > 1`` the pool stays open while the caller consumes the
+        iterator — exhaust it (or let :meth:`stream` / :meth:`run` do so).
+        """
+        scenarios = self._scenarios(sweep)
+        worker = functools.partial(execute_scenario, keep_raw=self.keep_raw)
+        if self.jobs == 1 or len(scenarios) <= 1:
+            for scenario in scenarios:
+                yield worker(scenario)
+            return
+        with multiprocessing.Pool(processes=min(self.jobs, len(scenarios))) as pool:
+            yield from pool.imap(worker, scenarios, chunksize=1)
+
     def run(self, sweep: Union[Sweep, Iterable[Scenario]]) -> CampaignResult:
-        """Run every scenario of the sweep; records keep expansion order."""
-        scenarios = sweep.scenarios() if isinstance(sweep, Sweep) else list(sweep)
+        """Run every scenario of the sweep; records keep expansion order.
+
+        Materialises the full record list — use :meth:`stream` for sweeps
+        too large to hold in memory.
+        """
+        scenarios = self._scenarios(sweep)
         worker = functools.partial(execute_scenario, keep_raw=self.keep_raw)
         return CampaignResult(records=_pool_map(worker, scenarios, self.jobs))
+
+    def stream(
+        self,
+        sweep: Union[Sweep, Iterable[Scenario]],
+        sinks: Sequence[RecordSink] = (),
+        collect: bool = True,
+    ) -> ResultFrame:
+        """Run the sweep, pushing each record through the sinks as it finishes.
+
+        Memory stays constant when ``collect`` is False (records are
+        dropped after the sinks have seen them — pair with a
+        :class:`~repro.campaign.frame.JsonlRecordSink` and/or
+        :class:`~repro.campaign.frame.TableAggregator`); with ``collect``
+        the scalar rows are additionally accumulated into the returned
+        columnar :class:`ResultFrame`.  Sinks are closed on return, also
+        on error.
+        """
+        frame = ResultFrame()
+        try:
+            for record in self.iter_records(sweep):
+                for sink in sinks:
+                    sink.write(record)
+                if collect:
+                    frame.append_record(record)
+        finally:
+            for sink in sinks:
+                sink.close()
+        return frame

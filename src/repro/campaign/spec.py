@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.mac.registry import MAC_REGISTRY, mac_kinds
+from repro.metrics.registry import COLLECTOR_REGISTRY, collector_kinds
 from repro.phy.registry import PROPAGATION_REGISTRY, propagation_kinds
 
 #: Experiment families runnable by the campaign layer.  Each fixes a
@@ -31,7 +32,7 @@ from repro.phy.registry import PROPAGATION_REGISTRY, propagation_kinds
 EXPERIMENT_KINDS = ("hidden-node", "testbed-tree", "testbed-star", "scalability")
 
 #: Scenario fields that cannot double as sweep parameters.
-_RESERVED_PARAMS = ("mac", "seed", "propagation")
+_RESERVED_PARAMS = ("mac", "seed", "propagation", "metrics")
 
 
 def _check_mac(mac: str) -> None:
@@ -47,6 +48,22 @@ def _check_propagation(propagation: Optional[str]) -> None:
         )
 
 
+def _check_metrics(metrics: Optional[Sequence[str]]) -> Optional[Tuple[str, ...]]:
+    """Validate collector names against the registry; normalise to a tuple."""
+    if metrics is None:
+        return None
+    names = tuple(metrics)
+    if not names:
+        raise ValueError("metrics must name at least one collector (or be None for defaults)")
+    for name in names:
+        if name not in COLLECTOR_REGISTRY:
+            raise ValueError(
+                f"unknown metric collector {name!r}; expected one of {collector_kinds()} "
+                "(or None for the experiment's default collectors)"
+            )
+    return names
+
+
 @dataclass
 class Scenario:
     """One fully specified simulation run.
@@ -56,6 +73,9 @@ class Scenario:
     ``hidden-node``, ``rings``/``duration`` for ``scalability``).
     ``propagation`` optionally names a registered propagation model that
     re-derives the topology's links; None keeps the explicit links.
+    ``metrics`` optionally names the metric collectors instrumenting the
+    run (validated against :mod:`repro.metrics.registry`); None uses the
+    experiment's default collector set.
     """
 
     experiment: str
@@ -63,6 +83,7 @@ class Scenario:
     seed: int = 0
     params: Dict[str, Any] = field(default_factory=dict)
     propagation: Optional[str] = None
+    metrics: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self) -> None:
         if self.experiment not in EXPERIMENT_KINDS:
@@ -71,6 +92,7 @@ class Scenario:
             )
         _check_mac(self.mac)
         _check_propagation(self.propagation)
+        self.metrics = _check_metrics(self.metrics)
 
     @property
     def label(self) -> str:
@@ -78,6 +100,8 @@ class Scenario:
         parts = [self.experiment, self.mac]
         if self.propagation is not None:
             parts.append(f"propagation={self.propagation}")
+        if self.metrics is not None:
+            parts.append(f"metrics={','.join(self.metrics)}")
         parts += [f"{key}={self.params[key]}" for key in sorted(self.params)]
         parts.append(f"seed={self.seed}")
         return " ".join(parts)
@@ -89,16 +113,19 @@ class Scenario:
             "seed": self.seed,
             "params": dict(self.params),
             "propagation": self.propagation,
+            "metrics": list(self.metrics) if self.metrics is not None else None,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Scenario":
+        metrics = data.get("metrics")
         return cls(
             experiment=data["experiment"],
             mac=data.get("mac", "qma"),
             seed=int(data.get("seed", 0)),
             params=dict(data.get("params", {})),
             propagation=data.get("propagation"),
+            metrics=tuple(metrics) if metrics is not None else None,
         )
 
 
@@ -112,6 +139,10 @@ class Sweep:
     in the given order, then grid axes sorted by name (values in the given
     order), then seeds — so two equal sweeps always expand to the same
     scenario list.
+
+    ``metrics`` optionally names the metric collectors instrumenting every
+    scenario of the sweep (validated against the collector registry); None
+    uses each experiment's default collector set.
     """
 
     experiment: str
@@ -120,8 +151,10 @@ class Sweep:
     fixed: Mapping[str, Any] = field(default_factory=dict)
     seeds: Sequence[int] = (0,)
     propagations: Sequence[Optional[str]] = (None,)
+    metrics: Optional[Sequence[str]] = None
 
     def __post_init__(self) -> None:
+        self.metrics = _check_metrics(self.metrics)
         if self.experiment not in EXPERIMENT_KINDS:
             raise ValueError(
                 f"unknown experiment {self.experiment!r}; expected one of {EXPERIMENT_KINDS}"
@@ -143,7 +176,7 @@ class Sweep:
         if reserved:
             raise ValueError(
                 f"reserved parameter names {sorted(reserved)}: use the "
-                "macs/seeds/propagations fields of the sweep instead"
+                "macs/seeds/propagations/metrics fields of the sweep instead"
             )
         for key, values in self.grid.items():
             if not values:
@@ -181,6 +214,7 @@ class Sweep:
                             seed=seed,
                             params=params.copy(),
                             propagation=propagation,
+                            metrics=self.metrics,
                         )
 
     def __len__(self) -> int:

@@ -12,6 +12,8 @@ Examples::
     qma-repro fig21 --rings 1 2 --duration 230
     qma-repro sweep hidden-node --grid delta=5,25 --set packets_per_node=200 \\
         --seeds 5 --jobs 4 --csv out.csv
+    qma-repro sweep hidden-node --grid metrics=pdr,delay --grid delta=10,25 \\
+        --jsonl out.jsonl
     qma-repro fig26
 """
 
@@ -21,10 +23,16 @@ import argparse
 import sys
 from typing import Any, Dict, List, Optional
 
+from repro.campaign.frame import (
+    CsvRecordSink,
+    JsonDocumentSink,
+    JsonlRecordSink,
+    TableAggregator,
+)
 from repro.campaign.records import CampaignResult
 from repro.campaign.runner import (
-    EXPERIMENT_METRICS,
     CampaignRunner,
+    experiment_metric_names,
     is_known_metric,
     resolve_jobs,
 )
@@ -33,6 +41,7 @@ from repro.core.rewards import format_reward_table
 from repro.experiments.handshake import PAPER_PROBABILITIES, handshake_expected_messages
 from repro.experiments.hidden_node import run_fluctuating, run_slot_utilisation
 from repro.mac.registry import MAC_REGISTRY, mac_kinds
+from repro.metrics.registry import COLLECTOR_REGISTRY, collector_kinds
 from repro.phy.registry import PROPAGATION_REGISTRY, propagation_kinds
 from repro.scenario.builder import TOPOLOGY_REGISTRY, topology_kinds
 
@@ -62,6 +71,17 @@ def _add_propagation_option(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="registered propagation model deriving connectivity from node "
         "positions (default: the topology's explicit links); see 'qma-repro list'",
+    )
+
+
+def _add_collectors_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--collectors",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="metric collectors instrumenting every run (default: the "
+        "experiment's standard set); see 'qma-repro list'",
     )
 
 
@@ -133,6 +153,13 @@ def cmd_list(args: argparse.Namespace) -> None:
         factory = TOPOLOGY_REGISTRY.get(name)
         doc = (factory.__doc__ or "").strip().splitlines()
         print(f"  {name:<16} {doc[0] if doc else ''}")
+    print()
+    print("metric collectors (repro.metrics.registry):")
+    for name in collector_kinds():
+        spec = COLLECTOR_REGISTRY.get(name)
+        provides = ", ".join(spec.provides()) or "-"
+        print(f"  {name:<16} {spec.collector_cls.__name__:<24} {spec.description}")
+        print(f"  {'':<16} scalars: {provides}")
 
 
 def cmd_fig7(args: argparse.Namespace) -> None:
@@ -143,12 +170,19 @@ def cmd_fig7(args: argparse.Namespace) -> None:
         grid={"delta": args.deltas},
         fixed={"packets_per_node": args.packets, "warmup": args.warmup},
         seeds=list(range(args.repetitions)),
+        metrics=args.collectors,
     )
     campaign = CampaignRunner(jobs=args.jobs).run(sweep)
     by = ("delta", "mac")
-    pdr = campaign.aggregate("pdr", by=by)
-    queue = campaign.aggregate("average_queue_level", by=by)
-    delay = campaign.aggregate("average_delay", by=by)
+    try:
+        pdr = campaign.aggregate("pdr", by=by)
+        queue = campaign.aggregate("average_queue_level", by=by)
+        delay = campaign.aggregate("average_delay", by=by)
+    except KeyError as exc:
+        raise SystemExit(
+            f"qma-repro fig7: error: {exc.args[0]} — the chosen --collectors "
+            "must include pdr, queue and delay"
+        )
     rows = []
     for delta in args.deltas:
         for mac in args.macs:
@@ -194,14 +228,18 @@ def cmd_testbed(args: argparse.Namespace) -> None:
         propagations=[args.propagation],
         fixed={"delta": args.delta, "packets_per_node": args.packets},
         seeds=[args.seed],
+        metrics=args.collectors,
     )
     campaign = CampaignRunner(jobs=args.jobs, keep_raw=True).run(sweep)
     rows = []
     for record in campaign:
-        result = record.raw
-        for node_id, pdr in sorted(result.per_node_pdr.items()):
+        report = record.raw
+        for node_id, pdr in sorted(report.tables.get("pdr_per_node", {}).items()):
             rows.append([args.scenario, record.scenario.mac, node_id, f"{pdr:.3f}"])
-        rows.append([args.scenario, record.scenario.mac, "overall", f"{result.overall_pdr:.3f}"])
+        if "overall_pdr" in report.scalars:
+            rows.append(
+                [args.scenario, record.scenario.mac, "overall", f"{report.scalars['overall_pdr']:.3f}"]
+            )
     _print_table(["topology", "mac", "node", "pdr"], rows)
     _export(campaign, args)
 
@@ -214,6 +252,7 @@ def cmd_fig21(args: argparse.Namespace) -> None:
         grid={"rings": args.rings},
         fixed={"duration": args.duration, "warmup": args.warmup},
         seeds=[args.seed],
+        metrics=args.collectors,
     )
     campaign = CampaignRunner(jobs=args.jobs).run(sweep)
     records = {
@@ -223,16 +262,22 @@ def cmd_fig21(args: argparse.Namespace) -> None:
     for rings in args.rings:
         for mac in args.macs:
             metrics = records[(rings, mac)].metrics
-            rows.append(
-                [
-                    int(metrics["num_nodes"]),
-                    mac,
-                    f"{metrics['secondary_pdr']:.3f}",
-                    f"{metrics['gts_request_success']:.3f}",
-                    f"{metrics['allocation_rate']:.2f}/s",
-                    f"{metrics['primary_pdr']:.3f}",
-                ]
-            )
+            try:
+                rows.append(
+                    [
+                        int(metrics["num_nodes"]),
+                        mac,
+                        f"{metrics['secondary_pdr']:.3f}",
+                        f"{metrics['gts_request_success']:.3f}",
+                        f"{metrics['allocation_rate']:.2f}/s",
+                        f"{metrics['primary_pdr']:.3f}",
+                    ]
+                )
+            except KeyError as exc:
+                raise SystemExit(
+                    f"qma-repro fig21: error: metric {exc.args[0]!r} missing — "
+                    "the chosen --collectors must include dsme"
+                )
     _print_table(
         ["nodes", "mac", "secondary pdr", "gts-req success", "(de)alloc rate", "primary pdr"],
         rows,
@@ -243,11 +288,11 @@ def cmd_fig21(args: argparse.Namespace) -> None:
 def cmd_sweep(args: argparse.Namespace) -> None:
     try:
         grid = _parse_assignments(args.grid, split_values=True)
-        # ``mac`` and ``propagation`` are registry axes, not runner
-        # parameters: lift them out of the grid so that e.g.
-        # ``--grid mac=qma,tdma propagation=unit-disk,fading`` expands
-        # through the registries with zero per-protocol code.  Giving the
-        # same axis through both the flag and the grid is ambiguous.
+        # ``mac``, ``propagation`` and ``metrics`` are registry axes, not
+        # runner parameters: lift them out of the grid so that e.g.
+        # ``--grid mac=qma,tdma propagation=unit-disk,fading metrics=pdr,delay``
+        # resolves through the registries with zero per-component code.
+        # Giving the same axis through both a flag and the grid is ambiguous.
         if "mac" in grid and args.macs is not None:
             raise SystemExit(
                 "qma-repro sweep: error: give the MAC axis either via --macs "
@@ -258,6 +303,11 @@ def cmd_sweep(args: argparse.Namespace) -> None:
                 "qma-repro sweep: error: give the propagation axis either via "
                 "--propagation or via --grid propagation=..., not both"
             )
+        if "metrics" in grid and args.collectors is not None:
+            raise SystemExit(
+                "qma-repro sweep: error: give the collector set either via "
+                "--collectors or via --grid metrics=..., not both"
+            )
         if "mac" in grid:
             macs = [str(m) for m in grid.pop("mac")]
         else:
@@ -267,6 +317,9 @@ def cmd_sweep(args: argparse.Namespace) -> None:
             if "propagation" in grid
             else [args.propagation]
         )
+        collectors: Optional[List[str]] = (
+            [str(c) for c in grid.pop("metrics")] if "metrics" in grid else args.collectors
+        )
         sweep = Sweep(
             experiment=args.experiment,
             macs=macs,
@@ -274,22 +327,47 @@ def cmd_sweep(args: argparse.Namespace) -> None:
             grid=grid,
             fixed=_parse_assignments(args.fixed, split_values=False),
             seeds=[args.base_seed + i for i in range(args.seeds)],
+            metrics=collectors,
         )
     except ValueError as exc:
         raise SystemExit(f"qma-repro sweep: error: {exc}")
     # Fail fast on metric-name typos before spending hours on the sweep.
     for metric in args.metrics or ():
-        if not is_known_metric(args.experiment, metric):
+        if not is_known_metric(args.experiment, metric, collectors=sweep.metrics):
+            names = experiment_metric_names(args.experiment, collectors=sweep.metrics)
             raise SystemExit(
                 f"qma-repro sweep: error: unknown metric {metric!r} for "
-                f"{args.experiment}; available: "
-                f"{', '.join(EXPERIMENT_METRICS[args.experiment])}"
+                f"{args.experiment}; available: {', '.join(names)}"
             )
+
+    by = ("mac",)
+    if any(propagation is not None for propagation in sweep.propagations):
+        by += ("propagation",)
+    by += sweep.axes
+
+    # Stream records through sinks: aggregation, JSONL and CSV run in
+    # constant memory; only the legacy --json document buffers records.
+    aggregator = TableAggregator(by=by)
+    sinks = [aggregator]
+    if getattr(args, "jsonl_path", None):
+        sinks.append(JsonlRecordSink(args.jsonl_path))
+    if getattr(args, "csv_path", None):
+        # Pre-declare the collector-provided columns: the streaming CSV
+        # header is fixed at the first record, so metrics that only appear
+        # later (e.g. trace_dropped) must be announced up front.
+        declared = [
+            name
+            for name in experiment_metric_names(args.experiment, collectors=sweep.metrics)
+            if "*" not in name
+        ]
+        sinks.append(CsvRecordSink(args.csv_path, columns=declared))
+    if getattr(args, "json_path", None):
+        sinks.append(JsonDocumentSink(args.json_path))
 
     jobs = resolve_jobs(args.jobs)
     print(f"running {sweep.size} scenarios ({args.experiment}) with jobs={jobs}")
     try:
-        campaign = CampaignRunner(jobs=jobs).run(sweep)
+        CampaignRunner(jobs=jobs).stream(sweep, sinks=sinks, collect=False)
     except TypeError as exc:
         # Unknown --grid/--set keys surface as unexpected-keyword errors from
         # the experiment runner (possibly re-raised by the pool); anything
@@ -298,26 +376,28 @@ def cmd_sweep(args: argparse.Namespace) -> None:
             raise
         raise SystemExit(f"qma-repro sweep: error: {exc}")
 
-    available = campaign.metric_names()
+    available = aggregator.metric_names()
     for metric in args.metrics or ():
         if metric not in available:  # e.g. pdr_node_<id> for an absent node
             raise SystemExit(
                 f"qma-repro sweep: error: metric {metric!r} not present in the "
                 f"results; available: {', '.join(available)}"
             )
-    by = ("mac",)
-    if any(propagation is not None for propagation in sweep.propagations):
-        by += ("propagation",)
-    by += sweep.axes
     rows = []
     for metric in args.metrics or available:
-        for key, stats in campaign.aggregate(metric, by=by).items():
+        for key, stats in aggregator.groups(metric).items():
             rows.append(
                 list(key)
                 + [metric, f"{stats['mean']:.4f}", f"±{stats['ci95']:.4f}", int(stats["n"])]
             )
     _print_table(list(by) + ["metric", "mean", "ci95", "n"], rows)
-    _export(campaign, args)
+    for sink in sinks[1:]:
+        kind = {
+            JsonlRecordSink: "jsonl",
+            CsvRecordSink: "csv",
+            JsonDocumentSink: "json",
+        }[type(sink)]
+        print(f"wrote {sink.written} records to {sink.path} ({kind})")
 
 
 def cmd_fig26(args: argparse.Namespace) -> None:
@@ -349,6 +429,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--warmup", type=float, default=100.0)
     p.add_argument("--repetitions", type=int, default=3)
     _add_propagation_option(p)
+    _add_collectors_option(p)
     _add_campaign_options(p)
     p.set_defaults(func=cmd_fig7)
 
@@ -369,6 +450,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--packets", type=int, default=1000)
     p.add_argument("--seed", type=int, default=0)
     _add_propagation_option(p)
+    _add_collectors_option(p)
     _add_campaign_options(p)
     p.set_defaults(func=cmd_testbed)
 
@@ -379,6 +461,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--warmup", type=float, default=200.0)
     p.add_argument("--seed", type=int, default=0)
     _add_propagation_option(p)
+    _add_collectors_option(p)
     _add_campaign_options(p)
     p.set_defaults(func=cmd_fig21)
 
@@ -406,8 +489,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seeds", type=int, default=1, help="number of seeds per grid point")
     p.add_argument("--base-seed", type=int, default=0)
     _add_propagation_option(p)
+    _add_collectors_option(p)
     p.add_argument(
         "--metrics", nargs="+", default=None, help="metrics to tabulate (default: all)"
+    )
+    p.add_argument(
+        "--jsonl",
+        dest="jsonl_path",
+        metavar="PATH",
+        help="stream per-run records to a JSONL file while the sweep runs "
+        "(constant memory, one flushed JSON object per record)",
     )
     _add_campaign_options(p)
     p.set_defaults(func=cmd_sweep)

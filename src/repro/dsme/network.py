@@ -76,6 +76,22 @@ class SecondaryTrafficStats:
             return 0.0
         return (self.allocations + self.deallocations) / duration
 
+    def as_scalars(self) -> Dict[str, float]:
+        """The raw counters as a flat name -> value mapping (report tables)."""
+        return {
+            "requests_sent": float(self.requests_sent),
+            "requests_delivered": float(self.requests_delivered),
+            "responses_sent": float(self.responses_sent),
+            "responses_received": float(self.responses_received),
+            "notifies_sent": float(self.notifies_sent),
+            "notifies_received": float(self.notifies_received),
+            "handshakes_started": float(self.handshakes_started),
+            "handshakes_completed": float(self.handshakes_completed),
+            "handshakes_failed": float(self.handshakes_failed),
+            "allocations": float(self.allocations),
+            "deallocations": float(self.deallocations),
+        }
+
 
 class DsmeNetwork:
     """A complete DSME network with a pluggable CAP channel-access scheme."""

@@ -1,8 +1,10 @@
 """Experiment runners — one per figure/table of the paper's evaluation.
 
-Every runner builds its own simulator, network and traffic, runs the
-scenario for a configurable (default: paper-scale) workload and returns a
-small result object with the metrics the corresponding figure plots.  The
+Every runner builds its own simulator, network and traffic through
+:class:`repro.scenario.ScenarioBuilder`, instruments the run with metric
+collectors resolved from :mod:`repro.metrics.registry` and returns a typed
+:class:`~repro.metrics.report.SimReport` with the metrics the
+corresponding figure plots (``collectors=`` selects a different set).  The
 benchmarks in ``benchmarks/`` call these runners with reduced workloads so
 that the whole suite regenerates every figure's data in minutes; the CLI
 (`qma-repro`) exposes the same runners with paper-scale defaults.
@@ -30,12 +32,14 @@ from repro.experiments.testbed import (
     sweep_testbed,
 )
 from repro.experiments.scalability import ScalabilityResult, run_scalability, sweep_scalability
-from repro.experiments.handshake import handshake_expected_messages
+from repro.experiments.handshake import handshake_expected_messages, run_handshake
+from repro.metrics.report import SimReport
 
 __all__ = [
     "MAC_KINDS",
     "HiddenNodeResult",
     "ScalabilityResult",
+    "SimReport",
     "TestbedResult",
     "compare_energy_proxy",
     "handshake_expected_messages",
@@ -43,6 +47,7 @@ __all__ = [
     "repeat_scalar",
     "run_convergence",
     "run_fluctuating",
+    "run_handshake",
     "run_hidden_node",
     "run_scalability",
     "run_slot_utilisation",

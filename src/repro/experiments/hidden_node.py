@@ -3,32 +3,28 @@
 Three nodes (A — B — C) where A and C are hidden from each other both send
 Poisson traffic with rate δ to the sink B.  Data generation starts after a
 warm-up period during which only low-rate management traffic is exchanged,
-as in the paper.  The runners report
+as in the paper.
 
-* packet delivery ratio (Fig. 7), average queue level (Fig. 8) and average
-  end-to-end delay (Fig. 9) for sweeps over δ and the channel-access scheme,
-* the cumulative-Q-value and exploration-probability time series
-  (Figs. 10-12), and
-* the subslot utilisation after the first exploration phase and for the
-  final policy (Figs. 13-15).
-
-Scenario assembly (topology + propagation + MAC) goes through
-:class:`repro.scenario.ScenarioBuilder`; the ``mac`` and ``propagation``
-arguments accept any name registered in :mod:`repro.mac.registry` /
-:mod:`repro.phy.registry`.
+The runners are thin compositions: scenario assembly goes through
+:class:`repro.scenario.ScenarioBuilder` and every metric is produced by a
+collector resolved from :mod:`repro.metrics.registry`, returned as a typed
+:class:`~repro.metrics.report.SimReport`.  ``collectors=`` accepts any
+registered collector names (default: :data:`DEFAULT_COLLECTORS`); ``mac``
+and ``propagation`` accept any name registered in
+:mod:`repro.mac.registry` / :mod:`repro.phy.registry`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.analysis.slots import SlotUtilisation, slot_utilisation
-from repro.core.actions import QAction
+from repro.analysis.slots import SlotUtilisation
 from repro.core.config import QmaConfig
-from repro.core.mac import QmaMac
 from repro.mac.registry import get_mac_spec
-from repro.net.network import Network
+from repro.metrics.base import CollectionContext
+from repro.metrics.collectors import ConvergenceCollector, SlotUtilisationCollector
+from repro.metrics.registry import build_collectors
+from repro.metrics.report import SimReport
 from repro.scenario.builder import BuiltScenario, ScenarioBuilder
 from repro.scenario.config import ScenarioConfig
 from repro.topology.hidden_node import NODE_A, NODE_C
@@ -39,23 +35,25 @@ PAPER_DELTAS = (1, 2, 4, 6, 8, 10, 25, 50, 100)
 #: The two traffic sources of the scenario (B is the sink).
 SOURCES = (NODE_A, NODE_C)
 
+#: Collector composition reproducing the historical ``HiddenNodeResult``
+#: metrics (scalars are numerically identical for fixed seeds).
+DEFAULT_COLLECTORS = ("pdr", "queue", "delay", "attempts", "convergence")
 
-@dataclass
-class HiddenNodeResult:
-    """Metrics of one hidden-node run."""
+#: Per-collector constructor overrides for this experiment (registry
+#: defaults already match the hidden-node metric conventions).
+COLLECTOR_OVERRIDES: Dict[str, Dict[str, Any]] = {}
 
-    mac: str
-    delta: float
-    pdr: float
-    average_queue_level: float
-    average_delay: float
-    packets_generated: int
-    packets_delivered: int
-    transmission_attempts: int
-    duration: float
-    q_histories: Dict[int, List[Tuple[float, float]]] = field(default_factory=dict)
-    rho_histories: Dict[int, List[Tuple[float, float]]] = field(default_factory=dict)
-    policies: Dict[int, List[QAction]] = field(default_factory=dict)
+#: Attribute names of the retired ``HiddenNodeResult`` dataclass mapped
+#: onto report sections (resolved with a DeprecationWarning).
+_LEGACY_ATTRS = {
+    "q_histories": ("tables", "q_history"),
+    "rho_histories": ("tables", "rho_history"),
+    "policies": ("tables", "policy"),
+}
+
+#: Deprecated alias: the hidden-node runners now return a
+#: :class:`~repro.metrics.report.SimReport`.
+HiddenNodeResult = SimReport
 
 
 def _default_qma_config() -> QmaConfig:
@@ -69,6 +67,8 @@ def _build(
     propagation: Optional[str],
     propagation_params: Optional[Mapping[str, Any]],
     link_distance: float,
+    trace: bool = False,
+    trace_limit: Optional[int] = None,
 ) -> BuiltScenario:
     """Assemble the hidden-node scenario through the builder."""
     scenario = ScenarioConfig(
@@ -78,6 +78,8 @@ def _build(
         propagation=propagation,
         propagation_params=dict(propagation_params or {}),
         seed=seed,
+        trace=trace,
+        trace_limit=trace_limit,
     )
     if get_mac_spec(mac).config_cls is QmaConfig:
         scenario.mac_config = qma_config if qma_config is not None else _default_qma_config()
@@ -97,18 +99,25 @@ def run_hidden_node(
     link_distance: float = 50.0,
     propagation: Optional[str] = None,
     propagation_params: Optional[Mapping[str, Any]] = None,
-) -> HiddenNodeResult:
-    """Run one hidden-node scenario and return its metrics.
+    collectors: Optional[Sequence[str]] = None,
+    trace: bool = False,
+    trace_limit: Optional[int] = None,
+) -> SimReport:
+    """Run one hidden-node scenario and return its :class:`SimReport`.
 
     ``packets_per_node`` and ``warmup`` default to the paper values (1000
-    packets, 100 s); benchmarks pass smaller values.
+    packets, 100 s); benchmarks pass smaller values.  ``collectors`` names
+    registered metric collectors (default: :data:`DEFAULT_COLLECTORS`).
     """
     if delta <= 0:
         raise ValueError("delta must be positive")
     if packets_per_node <= 0:
         raise ValueError("packets_per_node must be positive")
 
-    built = _build(mac, seed, qma_config, propagation, propagation_params, link_distance)
+    built = _build(
+        mac, seed, qma_config, propagation, propagation_params, link_distance,
+        trace=trace, trace_limit=trace_limit,
+    )
     sim, network = built.sim, built.network
 
     # Management traffic during the warm-up (association / beacon exchange).
@@ -122,6 +131,19 @@ def run_hidden_node(
         )
         for node_id in SOURCES
     ]
+
+    ctx = CollectionContext(
+        sim=sim,
+        network=network,
+        sources=SOURCES,
+        warmup=warmup,
+        management_generators=dict(zip(SOURCES, management)),
+    )
+    active = build_collectors(
+        DEFAULT_COLLECTORS if collectors is None else collectors, COLLECTOR_OVERRIDES
+    )
+    for collector in active:
+        collector.attach(ctx)
 
     network.start()
 
@@ -138,58 +160,29 @@ def run_hidden_node(
         )
         data_generators.append(generator)
         sim.schedule_at(warmup, mgmt.stop)
+    ctx.data_generators = dict(zip(SOURCES, data_generators))
 
     expected_duration = warmup + packets_per_node / delta + drain_time
     end_time = min(expected_duration, max_duration) if max_duration else expected_duration
     sim.run_until(end_time)
 
-    result = HiddenNodeResult(
+    report = SimReport(
+        experiment="hidden-node",
         mac=mac,
-        delta=delta,
-        pdr=_data_pdr(network, SOURCES, warmup),
-        average_queue_level=network.average_queue_level(SOURCES),
-        average_delay=network.average_end_to_end_delay(),
-        packets_generated=sum(g.generated for g in data_generators),
-        packets_delivered=len(network.sink.deliveries),
-        transmission_attempts=network.total_transmission_attempts(SOURCES),
+        topology=built.topology.name,
+        params={
+            "delta": delta,
+            "packets_per_node": packets_per_node,
+            "warmup": warmup,
+            "seed": seed,
+        },
         duration=sim.now,
+        trace_dropped=ctx.trace_dropped(),
+        legacy=dict(_LEGACY_ATTRS),
     )
-    for node_id in SOURCES:
-        node_mac = network.mac(node_id)
-        if isinstance(node_mac, QmaMac):
-            result.q_histories[node_id] = list(node_mac.q_history)
-            result.rho_histories[node_id] = list(node_mac.rho_history)
-            result.policies[node_id] = node_mac.policy_snapshot()
-    return result
-
-
-def _data_pdr(network: Network, sources: Sequence[int], warmup: float) -> float:
-    """PDR over data packets generated after the warm-up (management excluded)."""
-    delivered = sum(
-        1
-        for record in network.sink.deliveries
-        if record.origin in sources and record.created_at >= warmup
-    )
-    generated = sum(
-        network.node(node_id).packets_generated for node_id in sources
-    )
-    # Generated counts include management packets; remove the ones that were
-    # sent before the warm-up ended (delivered or not, their number equals the
-    # generator invocations, tracked through the traffic objects by callers
-    # that need exact numbers).  For the PDR we compare like with like:
-    data_generated = generated - _management_generated(network, sources)
-    if data_generated <= 0:
-        return 0.0
-    return min(1.0, delivered / data_generated)
-
-
-def _management_generated(network: Network, sources: Sequence[int]) -> int:
-    total = 0
-    for node_id in sources:
-        node = network.node(node_id)
-        if node.traffic is not None:
-            total += node.traffic.generated
-    return total
+    for collector in active:
+        collector.finalize(ctx, report)
+    return report
 
 
 def sweep_hidden_node(
@@ -201,12 +194,14 @@ def sweep_hidden_node(
     base_seed: int = 0,
     jobs: int = 1,
     propagations: Sequence[Optional[str]] = (None,),
+    metrics: Optional[Sequence[str]] = None,
     **kwargs,
-) -> Dict[str, Dict[float, List[HiddenNodeResult]]]:
+) -> Dict[str, Dict[float, List[SimReport]]]:
     """Full sweep over MACs and packet rates (the data behind Figs. 7-9).
 
     Runs through the campaign layer; ``jobs`` fans the cross-product out
     over a process pool (results are independent of the worker count).
+    ``metrics`` optionally selects the collector set per run.
     """
     from repro.campaign.runner import CampaignRunner  # local import: campaign imports us
     from repro.campaign.spec import Sweep
@@ -218,10 +213,11 @@ def sweep_hidden_node(
         grid={"delta": list(deltas)},
         fixed={"packets_per_node": packets_per_node, "warmup": warmup, **kwargs},
         seeds=[base_seed + rep for rep in range(repetitions)],
+        metrics=metrics,
     )
     campaign = CampaignRunner(jobs=jobs, keep_raw=True).run(sweep)
 
-    results: Dict[str, Dict[float, List[HiddenNodeResult]]] = {}
+    results: Dict[str, Dict[float, List[SimReport]]] = {}
     for record in campaign:
         mac = record.scenario.mac
         delta = record.scenario.params["delta"]
@@ -236,7 +232,7 @@ def run_convergence(
     packets_per_node: int = 100_000,
     seed: int = 0,
     qma_config: Optional[QmaConfig] = None,
-) -> HiddenNodeResult:
+) -> SimReport:
     """Convergence run for Fig. 10 / Fig. 11: unlimited traffic for a fixed duration."""
     return run_hidden_node(
         mac="qma",
@@ -263,7 +259,8 @@ def run_fluctuating(
 
     Node A alternates between ``low_rate`` and ``high_rate`` every
     ``phase_duration`` seconds; node C joins after ``node_c_join_time`` with a
-    constant rate.  Returns the cumulative-Q-value history per node.
+    constant rate.  Returns the cumulative-Q-value history per node (the
+    ``q_history`` table of a :class:`ConvergenceCollector`).
     """
     built = _build("qma", seed, qma_config, None, None, link_distance=50.0)
     sim, network = built.sim, built.network
@@ -287,12 +284,10 @@ def run_fluctuating(
     sim.schedule_at(node_c_join_time, traffic_c.start)
     sim.run_until(duration)
 
-    histories: Dict[int, List[Tuple[float, float]]] = {}
-    for node_id in SOURCES:
-        mac = network.mac(node_id)
-        if isinstance(mac, QmaMac):
-            histories[node_id] = list(mac.q_history)
-    return histories
+    ctx = CollectionContext(sim=sim, network=network, sources=SOURCES)
+    report = SimReport(experiment="hidden-node", mac="qma", duration=sim.now)
+    ConvergenceCollector().finalize(ctx, report)
+    return report.tables["q_history"]
 
 
 def run_slot_utilisation(
@@ -321,22 +316,14 @@ def run_slot_utilisation(
 
     network.start()
 
-    snapshot_policies: Dict[int, List[QAction]] = {}
+    # Attached after network start so the snapshot event keeps the exact
+    # heap position (and tie-breaking sequence number) of earlier releases.
+    ctx = CollectionContext(sim=sim, network=network, sources=SOURCES, warmup=warmup)
+    slots = SlotUtilisationCollector(snapshot_time=snapshot_time)
+    slots.attach(ctx)
 
-    def take_snapshot() -> None:
-        for node_id in SOURCES:
-            mac = network.mac(node_id)
-            if isinstance(mac, QmaMac):
-                snapshot_policies[node_id] = mac.policy_snapshot()
-
-    sim.schedule_at(snapshot_time, take_snapshot)
     sim.run_until(duration)
 
-    final_policies = {
-        node_id: network.mac(node_id).policy_snapshot()
-        for node_id in SOURCES
-        if isinstance(network.mac(node_id), QmaMac)
-    }
-    if not snapshot_policies:
-        snapshot_policies = final_policies
-    return slot_utilisation(snapshot_policies), slot_utilisation(final_policies)
+    report = SimReport(experiment="hidden-node", mac="qma", duration=sim.now)
+    slots.finalize(ctx, report)
+    return report.details["slot_utilisation_snapshot"], report.details["slot_utilisation"]

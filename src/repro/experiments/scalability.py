@@ -7,17 +7,20 @@ secondary traffic carried by the contention access period, whose channel
 access is any MAC registered in :mod:`repro.mac.registry` (the paper
 evaluates QMA vs. slotted/unslotted CSMA/CA).
 
-Scenario assembly goes through
-:meth:`repro.scenario.ScenarioBuilder.build_dsme`.
+The runner is a thin composition: scenario assembly goes through
+:meth:`repro.scenario.ScenarioBuilder.build_dsme` and the metrics come
+from the collector registry (default: the ``dsme`` secondary-traffic
+collector), returned as a typed :class:`~repro.metrics.report.SimReport`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional, Sequence
 
-from repro.dsme.network import SecondaryTrafficStats
 from repro.dsme.superframe import SuperframeConfig
+from repro.metrics.base import CollectionContext
+from repro.metrics.registry import build_collectors
+from repro.metrics.report import SimReport
 from repro.scenario.builder import ScenarioBuilder
 from repro.scenario.config import ScenarioConfig
 from repro.traffic.generators import FluctuatingPoissonTraffic
@@ -25,20 +28,19 @@ from repro.traffic.generators import FluctuatingPoissonTraffic
 #: Ring counts of the paper, corresponding to 7 / 19 / 43 / 91 nodes.
 PAPER_RINGS = (1, 2, 3, 4)
 
+#: Collector composition reproducing the historical ``ScalabilityResult``
+#: metrics (scalars are numerically identical for fixed seeds).
+DEFAULT_COLLECTORS = ("dsme",)
 
-@dataclass
-class ScalabilityResult:
-    """Metrics of one scalability run."""
+COLLECTOR_OVERRIDES: Dict[str, Dict[str, Any]] = {}
 
-    mac: str
-    rings: int
-    num_nodes: int
-    secondary: SecondaryTrafficStats
-    secondary_pdr: float
-    gts_request_success: float
-    allocation_rate: float
-    primary_pdr: float
-    duration: float
+_LEGACY_ATTRS = {
+    "secondary": ("details", "secondary"),
+}
+
+#: Deprecated alias: the scalability runner now returns a
+#: :class:`~repro.metrics.report.SimReport`.
+ScalabilityResult = SimReport
 
 
 def run_scalability(
@@ -54,7 +56,10 @@ def run_scalability(
     route_discovery_period: Optional[float] = 2.0,
     propagation: Optional[str] = None,
     propagation_params: Optional[Mapping[str, Any]] = None,
-) -> ScalabilityResult:
+    collectors: Optional[Sequence[str]] = None,
+    trace: bool = False,
+    trace_limit: Optional[int] = None,
+) -> SimReport:
     """Run one DSME scalability scenario.
 
     The paper uses a warm-up of 200 s for network formation and alternating
@@ -73,12 +78,27 @@ def run_scalability(
         propagation=propagation,
         propagation_params=dict(propagation_params or {}),
         seed=seed,
+        trace=trace,
+        trace_limit=trace_limit,
     )
     built = ScenarioBuilder(scenario).build_dsme(
         superframe_config=config,
         route_discovery_period=route_discovery_period,
     )
     sim, topology, dsme = built.sim, built.topology, built.dsme
+
+    ctx = CollectionContext(
+        sim=sim,
+        network=dsme.network,
+        sources=tuple(dsme.sources()),
+        warmup=warmup,
+        dsme=dsme,
+    )
+    active = build_collectors(
+        DEFAULT_COLLECTORS if collectors is None else collectors, COLLECTOR_OVERRIDES
+    )
+    for collector in active:
+        collector.attach(ctx)
 
     for node_id, dsme_node in dsme.sources().items():
         traffic = FluctuatingPoissonTraffic(
@@ -93,19 +113,18 @@ def run_scalability(
     dsme.start()
     sim.run_until(duration)
 
-    secondary = dsme.secondary_traffic_stats()
-    observation = duration - warmup
-    return ScalabilityResult(
+    report = SimReport(
+        experiment="scalability",
         mac=mac,
-        rings=rings,
-        num_nodes=topology.num_nodes,
-        secondary=secondary,
-        secondary_pdr=secondary.pdr,
-        gts_request_success=secondary.gts_request_success_ratio,
-        allocation_rate=secondary.allocation_rate(observation),
-        primary_pdr=dsme.primary_traffic_pdr(),
+        topology=topology.name,
+        params={"rings": rings, "duration": duration, "warmup": warmup, "seed": seed},
         duration=sim.now,
+        trace_dropped=ctx.trace_dropped(),
+        legacy=dict(_LEGACY_ATTRS),
     )
+    for collector in active:
+        collector.finalize(ctx, report)
+    return report
 
 
 def sweep_scalability(
@@ -115,6 +134,7 @@ def sweep_scalability(
     base_seed: int = 0,
     jobs: int = 1,
     propagations: Sequence[Optional[str]] = (None,),
+    metrics: Optional[Sequence[str]] = None,
     **kwargs,
 ) -> Dict[str, Dict[int, list]]:
     """Sweep over MACs and ring counts (the data behind Figs. 21-22).
@@ -132,6 +152,7 @@ def sweep_scalability(
         grid={"rings": list(rings)},
         fixed=dict(kwargs),
         seeds=[base_seed + rep for rep in range(repetitions)],
+        metrics=metrics,
     )
     campaign = CampaignRunner(jobs=jobs, keep_raw=True).run(sweep)
 

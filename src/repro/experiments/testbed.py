@@ -6,33 +6,47 @@ is replaced by the simulated radio substrate (see DESIGN.md); the reported
 metrics — per-node PDR and the number of transmission attempts (the paper's
 proxy for energy consumption) — are the same.
 
-Scenario assembly goes through :class:`repro.scenario.ScenarioBuilder`;
-``mac`` and ``propagation`` accept any registered name.
+The runners are thin compositions: scenario assembly goes through
+:class:`repro.scenario.ScenarioBuilder` and the metrics come from the
+collector registry (:data:`DEFAULT_COLLECTORS`, with the ``pdr`` collector
+configured for the testbed's per-node, generator-counted convention),
+returned as a typed :class:`~repro.metrics.report.SimReport`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.core.config import QmaConfig
 from repro.mac.registry import get_mac_spec
+from repro.metrics.base import CollectionContext
+from repro.metrics.registry import build_collectors
+from repro.metrics.report import SimReport
 from repro.scenario.builder import ScenarioBuilder
 from repro.scenario.config import ScenarioConfig
 
+#: Collector composition reproducing the historical ``TestbedResult``
+#: metrics (scalars are numerically identical for fixed seeds).
+DEFAULT_COLLECTORS = ("pdr", "attempts")
 
-@dataclass
-class TestbedResult:
-    """Per-node and aggregate metrics of one testbed-style run."""
+#: The testbed convention: per-node PDR over the data generators' own
+#: counts, ``overall_pdr`` as the headline scalar, data deliveries only.
+COLLECTOR_OVERRIDES: Dict[str, Dict[str, Any]] = {
+    "pdr": {
+        "scalar_name": "overall_pdr",
+        "per_node": True,
+        "denominator": "generators",
+        "delivered_scalar": "data",
+    },
+}
 
-    mac: str
-    topology: str
-    per_node_pdr: Dict[int, float] = field(default_factory=dict)
-    overall_pdr: float = 0.0
-    transmission_attempts: int = 0
-    packets_generated: int = 0
-    packets_delivered: int = 0
-    duration: float = 0.0
+_LEGACY_ATTRS = {
+    "per_node_pdr": ("tables", "pdr_per_node"),
+}
+
+#: Deprecated alias: the testbed runners now return a
+#: :class:`~repro.metrics.report.SimReport`.
+TestbedResult = SimReport
 
 
 def _run_topology(
@@ -47,7 +61,10 @@ def _run_topology(
     link_error_rate: float,
     propagation: Optional[str] = None,
     propagation_params: Optional[Mapping[str, Any]] = None,
-) -> TestbedResult:
+    collectors: Optional[Sequence[str]] = None,
+    trace: bool = False,
+    trace_limit: Optional[int] = None,
+) -> SimReport:
     scenario = ScenarioConfig(
         topology=topology_name,
         mac=mac,
@@ -55,11 +72,14 @@ def _run_topology(
         propagation_params=dict(propagation_params or {}),
         link_error_rate=link_error_rate,
         seed=seed,
+        trace=trace,
+        trace_limit=trace_limit,
     )
     if get_mac_spec(mac).config_cls is QmaConfig:
         scenario.mac_config = qma_config if qma_config is not None else QmaConfig()
     built = ScenarioBuilder(scenario).build()
     sim, network = built.sim, built.network
+    sources = tuple(node.node_id for node in network.sources())
 
     # Low-rate management traffic during the warm-up: in the testbed the
     # nodes associate and exchange management frames before data generation
@@ -87,6 +107,20 @@ def _run_topology(
         for node in network.sources()
     ]
 
+    ctx = CollectionContext(
+        sim=sim,
+        network=network,
+        sources=sources,
+        warmup=warmup,
+        data_generators=dict(zip(sources, data_generators)),
+        management_generators=dict(zip(sources, management)),
+    )
+    active = build_collectors(
+        DEFAULT_COLLECTORS if collectors is None else collectors, COLLECTOR_OVERRIDES
+    )
+    for collector in active:
+        collector.attach(ctx)
+
     network.start()
     for generator in management:
         sim.schedule_at(warmup, generator.stop)
@@ -95,33 +129,23 @@ def _run_topology(
     end_time = min(expected, max_duration) if max_duration else expected
     sim.run_until(end_time)
 
-    # PDR over the data packets only (deliveries whose generation time lies
-    # after the warm-up), matching the paper's per-node Fig. 18/19 metric.
-    per_node_pdr: Dict[int, float] = {}
-    delivered_total = 0
-    generated_total = 0
-    for node, generator in zip(network.sources(), data_generators):
-        delivered = sum(
-            1
-            for record in network.sink.deliveries
-            if record.origin == node.node_id and record.created_at >= warmup
-        )
-        generated = generator.generated
-        delivered_total += delivered
-        generated_total += generated
-        if generated:
-            per_node_pdr[node.node_id] = min(1.0, delivered / generated)
-
-    return TestbedResult(
+    report = SimReport(
+        experiment=f"testbed-{'tree' if topology_name == 'iotlab-tree' else 'star'}",
         mac=mac,
         topology=built.topology.name,
-        per_node_pdr=per_node_pdr,
-        overall_pdr=min(1.0, delivered_total / generated_total) if generated_total else 0.0,
-        transmission_attempts=network.total_transmission_attempts(),
-        packets_generated=generated_total,
-        packets_delivered=delivered_total,
+        params={
+            "delta": delta,
+            "packets_per_node": packets_per_node,
+            "warmup": warmup,
+            "seed": seed,
+        },
         duration=sim.now,
+        trace_dropped=ctx.trace_dropped(),
+        legacy=dict(_LEGACY_ATTRS),
     )
+    for collector in active:
+        collector.finalize(ctx, report)
+    return report
 
 
 def run_tree(
@@ -135,7 +159,10 @@ def run_tree(
     link_error_rate: float = 0.02,
     propagation: Optional[str] = None,
     propagation_params: Optional[Mapping[str, Any]] = None,
-) -> TestbedResult:
+    collectors: Optional[Sequence[str]] = None,
+    trace: bool = False,
+    trace_limit: Optional[int] = None,
+) -> SimReport:
     """The tree-topology verification of Fig. 18."""
     return _run_topology(
         "iotlab-tree",
@@ -149,6 +176,9 @@ def run_tree(
         link_error_rate,
         propagation=propagation,
         propagation_params=propagation_params,
+        collectors=collectors,
+        trace=trace,
+        trace_limit=trace_limit,
     )
 
 
@@ -163,7 +193,10 @@ def run_star(
     link_error_rate: float = 0.02,
     propagation: Optional[str] = None,
     propagation_params: Optional[Mapping[str, Any]] = None,
-) -> TestbedResult:
+    collectors: Optional[Sequence[str]] = None,
+    trace: bool = False,
+    trace_limit: Optional[int] = None,
+) -> SimReport:
     """The star-topology verification of Fig. 19."""
     return _run_topology(
         "iotlab-star",
@@ -177,6 +210,9 @@ def run_star(
         link_error_rate,
         propagation=propagation,
         propagation_params=propagation_params,
+        collectors=collectors,
+        trace=trace,
+        trace_limit=trace_limit,
     )
 
 
@@ -186,13 +222,14 @@ def sweep_testbed(
     seeds: Sequence[int] = (0,),
     jobs: int = 1,
     propagations: Sequence[Optional[str]] = (None,),
+    metrics: Optional[Sequence[str]] = None,
     **kwargs,
-) -> Dict[str, List[TestbedResult]]:
+) -> Dict[str, List[SimReport]]:
     """Run the tree or star verification for several MACs and seeds.
 
     Runs through the campaign layer; ``jobs`` fans the cross-product out
     over a process pool (results are independent of the worker count).
-    Returns ``{mac: [result per seed]}`` in seed order.
+    Returns ``{mac: [report per seed]}`` in seed order.
     """
     if scenario not in ("tree", "star"):
         raise ValueError(f"scenario must be 'tree' or 'star', got {scenario!r}")
@@ -205,10 +242,11 @@ def sweep_testbed(
         propagations=propagations,
         fixed=dict(kwargs),
         seeds=list(seeds),
+        metrics=metrics,
     )
     campaign = CampaignRunner(jobs=jobs, keep_raw=True).run(sweep)
 
-    results: Dict[str, List[TestbedResult]] = {}
+    results: Dict[str, List[SimReport]] = {}
     for record in campaign:
         results.setdefault(record.scenario.mac, []).append(record.raw)
     return results
@@ -219,7 +257,7 @@ def compare_energy_proxy(
     seed: int = 0,
     jobs: int = 1,
     **kwargs,
-) -> Dict[str, int]:
+) -> Dict[str, float]:
     """Transmission-attempt counts per MAC (the Sect. 6.2.1 energy argument)."""
     results = sweep_testbed(scenario="star", macs=macs, seeds=(seed,), jobs=jobs, **kwargs)
     return {mac: runs[0].transmission_attempts for mac, runs in results.items()}

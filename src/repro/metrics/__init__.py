@@ -1,0 +1,50 @@
+"""Unified metrics & results API: pluggable collectors and typed reports.
+
+Every experiment runner instruments its simulation through
+:class:`MetricCollector` objects resolved from the collector registry and
+returns a typed :class:`SimReport` (scalars + named time series + per-node
+tables).  The campaign layer's ``metrics=`` axis and the CLI resolve
+collector names through the same registry, so a new metric is one
+decorated class::
+
+    from repro.metrics import MetricCollector, register_collector
+
+    @register_collector("hops", description="mean route length of deliveries")
+    class HopCollector(MetricCollector):
+        def provides(self):
+            return ("average_hops",)
+
+        def attach(self, ctx):
+            self._hops = []
+            ctx.network.add_delivery_hook(lambda node, rec: self._hops.append(rec.hops))
+
+        def finalize(self, ctx, report):
+            report.scalars["average_hops"] = (
+                sum(self._hops) / len(self._hops) if self._hops else 0.0
+            )
+
+See the README's "Metrics & results" section for the full worked example.
+"""
+
+from repro.metrics.base import CollectionContext, MetricCollector
+from repro.metrics.registry import (
+    COLLECTOR_REGISTRY,
+    CollectorSpec,
+    build_collectors,
+    collector_kinds,
+    get_collector_spec,
+    register_collector,
+)
+from repro.metrics.report import SimReport
+
+__all__ = [
+    "COLLECTOR_REGISTRY",
+    "CollectionContext",
+    "CollectorSpec",
+    "MetricCollector",
+    "SimReport",
+    "build_collectors",
+    "collector_kinds",
+    "get_collector_spec",
+    "register_collector",
+]

@@ -1,0 +1,108 @@
+"""The metric-collector registry: instrumentation resolvable by name.
+
+Mirrors the MAC and propagation registries: every built-in collector
+registers itself with :func:`register_collector` at class-definition time,
+and everything that needs instrumentation by name — the experiment
+runners, the campaign layer's ``metrics=`` axis and the CLI — resolves it
+here.  Adding a metric is one decorated class; every experiment, sweep and
+CLI command can then request it with zero further changes::
+
+    from repro.metrics import MetricCollector, register_collector
+
+    @register_collector("hops", description="mean route length of deliveries")
+    class HopCollector(MetricCollector):
+        ...
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Type, TypeVar
+
+from repro.metrics.base import MetricCollector
+from repro.registry import Registry, RegistryError
+
+C = TypeVar("C", bound=MetricCollector)
+
+
+@dataclass(frozen=True)
+class CollectorSpec:
+    """One registered metric collector."""
+
+    name: str
+    collector_cls: Type[MetricCollector]
+    description: str = ""
+
+    def build(self, **params: Any) -> MetricCollector:
+        """Instantiate the collector with per-experiment parameters."""
+        return self.collector_cls(**params)
+
+    def provides(self, **params: Any) -> Tuple[str, ...]:
+        """Scalar names a collector built with ``params`` would emit."""
+        return self.build(**params).provides()
+
+    def config_defaults(self) -> Dict[str, Any]:
+        """Constructor parameter name -> default value (``...`` if required)."""
+        signature = inspect.signature(self.collector_cls.__init__)
+        return {
+            name: (... if parameter.default is inspect.Parameter.empty else parameter.default)
+            for name, parameter in signature.parameters.items()
+            if name != "self" and parameter.kind is not inspect.Parameter.VAR_KEYWORD
+        }
+
+
+#: The process-wide collector registry; built-ins register on first lookup.
+COLLECTOR_REGISTRY: Registry[CollectorSpec] = Registry(
+    "metric collector",
+    builtin_modules=("repro.metrics.collectors",),
+)
+
+
+def register_collector(
+    name: str,
+    description: str = "",
+) -> Callable[[Type[C]], Type[C]]:
+    """Class decorator registering a :class:`MetricCollector` subclass by name."""
+
+    def decorator(cls: Type[C]) -> Type[C]:
+        cls.name = name
+        COLLECTOR_REGISTRY.register(name, CollectorSpec(name, cls, description=description))
+        return cls
+
+    return decorator
+
+
+def collector_kinds() -> Tuple[str, ...]:
+    """Names of all registered metric collectors (sorted, deterministic)."""
+    return tuple(sorted(COLLECTOR_REGISTRY.names()))
+
+
+def get_collector_spec(name: str) -> CollectorSpec:
+    """Resolve a registered collector by name (raises :class:`RegistryError`)."""
+    return COLLECTOR_REGISTRY.get(name)
+
+
+def build_collectors(
+    names: Sequence[str],
+    overrides: Optional[Mapping[str, Mapping[str, Any]]] = None,
+) -> List[MetricCollector]:
+    """Instantiate collectors by name, applying per-name constructor overrides.
+
+    ``overrides`` is how an experiment adapts a generic collector to its
+    metric conventions (e.g. the testbed runner building ``pdr`` in
+    per-node mode); names without an override get registry defaults.
+    """
+    overrides = overrides or {}
+    return [get_collector_spec(name).build(**overrides.get(name, {})) for name in names]
+
+
+__all__ = [
+    "COLLECTOR_REGISTRY",
+    "CollectorSpec",
+    "RegistryError",
+    "build_collectors",
+    "collector_kinds",
+    "get_collector_spec",
+    "register_collector",
+]

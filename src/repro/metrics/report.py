@@ -1,0 +1,135 @@
+"""The typed simulation report produced by every experiment runner.
+
+A :class:`SimReport` is the single result type of the reproduction: scalar
+metrics keyed by name, named time series, per-node tables and typed detail
+objects, plus the scenario identity (experiment, MAC, topology, parameters)
+and the simulated duration.  It replaces the per-experiment result
+dataclasses (``HiddenNodeResult``, ``TestbedResult``, ``ScalabilityResult``)
+of earlier releases.
+
+Scalars and scenario parameters are additionally readable as attributes
+(``report.pdr``, ``report.delta``), which keeps most existing call sites
+working unchanged.  Attributes of the retired result dataclasses that do
+not map onto a scalar or parameter (``q_histories``, ``per_node_pdr``,
+``secondary``, ...) are resolved through a per-report legacy-attribute map
+and emit a :class:`DeprecationWarning`; the map is scheduled for removal
+one release after the redesign.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+#: ``legacy`` map entry: old attribute name -> (report section, key).
+LegacyRef = Tuple[str, str]
+
+
+@dataclass
+class SimReport:
+    """Structured result of one simulation run.
+
+    Parameters
+    ----------
+    experiment / mac / topology / params:
+        Scenario identity; ``params`` holds the runner's keyword arguments
+        (``delta``, ``rings``, ...).
+    duration:
+        Simulated time at the end of the run (``sim.now``).
+    scalars:
+        Scalar metrics keyed by name; these are what the campaign layer
+        exports and aggregates.
+    series:
+        Named time series as ``[(time, value), ...]`` lists.
+    tables:
+        Named per-node tables (``{name: {node_id: value}}``).
+    details:
+        Typed auxiliary result objects that fit neither scalars nor tables
+        (e.g. :class:`~repro.dsme.network.SecondaryTrafficStats`).
+    trace_dropped:
+        Number of trace records discarded because the run's
+        :class:`~repro.sim.trace.TraceRecorder` hit its ``max_records``
+        bound (0 when tracing was off or unbounded).
+    """
+
+    experiment: str = ""
+    mac: str = ""
+    topology: str = ""
+    params: Dict[str, Any] = field(default_factory=dict)
+    duration: float = 0.0
+    scalars: Dict[str, float] = field(default_factory=dict)
+    series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    tables: Dict[str, Dict[Any, Any]] = field(default_factory=dict)
+    details: Dict[str, Any] = field(default_factory=dict)
+    trace_dropped: int = 0
+    legacy: Dict[str, LegacyRef] = field(default_factory=dict, repr=False, compare=False)
+
+    # -------------------------------------------------------------- accessors
+    def scalar(self, name: str) -> float:
+        """Look up a scalar metric; raises :class:`KeyError` listing known names."""
+        try:
+            return self.scalars[name]
+        except KeyError:
+            known = ", ".join(sorted(self.scalars)) or "<none>"
+            raise KeyError(f"report has no scalar {name!r}; available: {known}") from None
+
+    def table(self, name: str) -> Dict[Any, Any]:
+        """Look up a per-node table; raises :class:`KeyError` listing known names."""
+        try:
+            return self.tables[name]
+        except KeyError:
+            known = ", ".join(sorted(self.tables)) or "<none>"
+            raise KeyError(f"report has no table {name!r}; available: {known}") from None
+
+    def __getattr__(self, name: str) -> Any:
+        # Only reached when normal attribute lookup fails.  Guard against
+        # recursion while the instance dict is still empty (unpickling).
+        if name.startswith("_"):
+            raise AttributeError(name)
+        data = object.__getattribute__(self, "__dict__")
+        scalars = data.get("scalars")
+        if scalars is not None and name in scalars:
+            return scalars[name]
+        params = data.get("params")
+        if params is not None and name in params:
+            return params[name]
+        legacy = data.get("legacy")
+        if legacy is not None and name in legacy:
+            section, key = legacy[name]
+            section_data = data.get(section) or {}
+            if key in section_data:
+                warnings.warn(
+                    f"SimReport.{name} is a deprecated alias for "
+                    f"report.{section}[{key!r}] and will be removed in the "
+                    "next release",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                return section_data[key]
+        raise AttributeError(
+            f"{type(self).__name__!s} has no attribute {name!r} "
+            f"(scalars: {sorted(scalars or ())}, params: {sorted(params or ())})"
+        )
+
+    # ----------------------------------------------------------------- export
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready view: identity, scalars, series, tables and trace info.
+
+        ``details`` objects are omitted (they are arbitrary Python objects);
+        table keys are stringified so the result is JSON-serialisable.
+        """
+        return {
+            "experiment": self.experiment,
+            "mac": self.mac,
+            "topology": self.topology,
+            "params": dict(self.params),
+            "duration": self.duration,
+            "scalars": dict(self.scalars),
+            "series": {name: [list(sample) for sample in samples] for name, samples in self.series.items()},
+            "tables": {
+                name: {str(key): value for key, value in table.items()}
+                for name, table in self.tables.items()
+            },
+            "trace_dropped": self.trace_dropped,
+        }

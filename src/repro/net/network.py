@@ -87,6 +87,25 @@ class Network:
         """All non-sink nodes."""
         return [node for node in self.nodes.values() if not node.is_sink]
 
+    # ------------------------------------------------------------------- hooks
+    def add_delivery_hook(self, hook, node_ids: Optional[Iterable[int]] = None) -> None:
+        """Subscribe ``hook(node, record)`` to delivery events.
+
+        The hook fires whenever a selected node records a
+        :class:`~repro.net.node.DeliveryRecord` (default: every node).
+        Hooks are pure observers — metric collectors subscribe here instead
+        of scraping ``sink.deliveries`` after the run.
+        """
+        nodes = self.nodes.values() if node_ids is None else (self.nodes[i] for i in node_ids)
+        for node in nodes:
+            node.delivery_hooks.append(hook)
+
+    def add_generate_hook(self, hook, node_ids: Optional[Iterable[int]] = None) -> None:
+        """Subscribe ``hook(node, frame)`` to data-packet generation events."""
+        nodes = self.nodes.values() if node_ids is None else (self.nodes[i] for i in node_ids)
+        for node in nodes:
+            node.generate_hooks.append(hook)
+
     # ------------------------------------------------------------------ metrics
     def packets_generated(self, node_ids: Optional[Iterable[int]] = None) -> int:
         nodes = self._select(node_ids)

@@ -57,6 +57,13 @@ class Node:
         self.traffic: Optional["TrafficGenerator"] = None
         self._handlers: Dict[FrameKind, Callable[[Frame], None]] = {}
 
+        # Typed observation hooks (see repro.metrics): called as
+        # hook(node, record) when a delivery is recorded here, and
+        # hook(node, frame) when this node generates a data packet.
+        # Observers only — they must not send frames or schedule events.
+        self.delivery_hooks: List[Callable[["Node", "DeliveryRecord"], None]] = []
+        self.generate_hooks: List[Callable[["Node", Frame], None]] = []
+
         # statistics
         self.packets_generated = 0
         self.packets_forwarded = 0
@@ -96,6 +103,9 @@ class Node:
         )
         self.packets_generated += 1
         self.mac.send(frame)
+        if self.generate_hooks:
+            for hook in self.generate_hooks:
+                hook(self, frame)
         return frame
 
     def send_frame(self, frame: Frame) -> bool:
@@ -111,14 +121,16 @@ class Node:
         if frame.kind is not FrameKind.DATA:
             return
         if frame.final_dst == self.node_id or (self.is_sink and frame.final_dst == self.sink_id):
-            self.deliveries.append(
-                DeliveryRecord(
-                    origin=frame.origin,
-                    created_at=frame.created_at,
-                    received_at=self.sim.now,
-                    hops=frame.hops + 1,
-                )
+            record = DeliveryRecord(
+                origin=frame.origin,
+                created_at=frame.created_at,
+                received_at=self.sim.now,
+                hops=frame.hops + 1,
             )
+            self.deliveries.append(record)
+            if self.delivery_hooks:
+                for hook in self.delivery_hooks:
+                    hook(self, record)
             return
         # Forward towards the sink.
         if self.parent is None:

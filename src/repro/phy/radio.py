@@ -104,6 +104,11 @@ class Radio:
         self._current_frame = frame
         self.frames_sent += 1
         self.tx_airtime += airtime
+        if self.sim.tracing:
+            # Guarded so the kwargs dict is never built on the untraced hot path.
+            self.sim.record(
+                "tx", node=self.node_id, dst=frame.dst, kind=frame.kind.name, airtime=airtime
+            )
         self.channel.notify_transmit_start(self.node_id)
         self.channel.begin_transmission(self, frame, airtime)
         return airtime

@@ -157,7 +157,11 @@ class ScenarioBuilder:
 
     # ----------------------------------------------------------- resolution
     def make_simulator(self) -> Simulator:
-        return Simulator(seed=self.config.seed, trace=self.config.trace)
+        return Simulator(
+            seed=self.config.seed,
+            trace=self.config.trace,
+            trace_limit=self.config.trace_limit,
+        )
 
     def make_topology(self) -> Topology:
         """Build the topology; with a propagation model, re-derive its links.

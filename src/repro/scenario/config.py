@@ -39,6 +39,11 @@ class ScenarioConfig:
         Uniform per-link packet error rate applied to every link.
     seed:
         Master seed of the simulation's RNG registry.
+    trace / trace_limit:
+        Enable the simulator's trace recorder, optionally bounded to
+        ``trace_limit`` records (further records are counted as dropped,
+        see :class:`repro.sim.trace.TraceRecorder`); campaign sweeps bound
+        traced runs by default.
     """
 
     topology: str = "hidden-node"
@@ -51,6 +56,7 @@ class ScenarioConfig:
     link_error_rate: float = 0.0
     seed: int = 0
     trace: bool = False
+    trace_limit: Optional[int] = None
 
     def __post_init__(self) -> None:
         from repro.mac.registry import MAC_REGISTRY
@@ -68,3 +74,5 @@ class ScenarioConfig:
             )
         if not 0.0 <= self.link_error_rate <= 1.0:
             raise ValueError("link_error_rate must lie in [0, 1]")
+        if self.trace_limit is not None and self.trace_limit < 0:
+            raise ValueError("trace_limit must be non-negative (or None for unbounded)")

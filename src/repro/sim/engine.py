@@ -86,16 +86,26 @@ class Simulator:
     trace:
         When True, a :class:`TraceRecorder` collects trace records emitted by
         components via :meth:`record`.
+    trace_limit:
+        Optional bound on the number of retained trace records; once hit,
+        further records are counted in ``tracer.dropped`` instead of stored
+        (campaign sweeps pass a default bound so long runs cannot exhaust
+        memory silently).  None keeps the recorder unbounded.
     """
 
-    def __init__(self, seed: int = 0, trace: bool = False) -> None:
+    def __init__(
+        self, seed: int = 0, trace: bool = False, trace_limit: Optional[int] = None
+    ) -> None:
         self._now = 0.0
         self._queue: List[Tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._running = False
         self._stopped = False
         self.rng = RngRegistry(seed)
-        self.tracer: Optional[TraceRecorder] = TraceRecorder() if trace else None
+        self.tracer: Optional[TraceRecorder] = (
+            TraceRecorder(max_records=trace_limit) if trace else None
+        )
+        self._trace_hooks: List[Callable[[float, str, dict], None]] = []
         self.events_executed = 0
 
     # ------------------------------------------------------------------ time
@@ -198,10 +208,32 @@ class Simulator:
         self._stopped = True
 
     # ----------------------------------------------------------------- trace
+    @property
+    def tracing(self) -> bool:
+        """True when trace records are observed (recorder or hooks attached).
+
+        Components emitting hot-path traces guard on this so that building
+        the record's field dictionary costs nothing when nobody listens.
+        """
+        return self.tracer is not None or bool(self._trace_hooks)
+
+    def add_trace_hook(self, hook: Callable[[float, str, dict], None]) -> None:
+        """Subscribe a typed hook called as ``hook(time, category, fields)``
+        for every trace record emitted via :meth:`record`.
+
+        Hooks fire regardless of whether a :class:`TraceRecorder` is
+        attached, so metric collectors can observe trace events without the
+        memory cost of retaining them.
+        """
+        self._trace_hooks.append(hook)
+
     def record(self, category: str, **fields: Any) -> None:
-        """Emit a trace record if tracing is enabled."""
+        """Emit a trace record if tracing is enabled; notify trace hooks."""
         if self.tracer is not None:
             self.tracer.record(self._now, category, fields)
+        if self._trace_hooks:
+            for hook in self._trace_hooks:
+                hook(self._now, category, fields)
 
     # ----------------------------------------------------------------- misc
     def pending_events(self) -> int:

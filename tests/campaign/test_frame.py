@@ -1,0 +1,216 @@
+"""Tests for ResultFrame, the streaming record sinks and CampaignRunner.stream."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.stats import StreamingStats, confidence_interval_95
+from repro.campaign.frame import (
+    CsvRecordSink,
+    JsonDocumentSink,
+    JsonlRecordSink,
+    ResultFrame,
+    TableAggregator,
+    iter_jsonl,
+    load_jsonl,
+)
+from repro.campaign.records import RunRecord, load_json
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import Scenario, Sweep
+
+
+def _record(mac: str, seed: int, delta: float, pdr: float) -> RunRecord:
+    return RunRecord(
+        scenario=Scenario(
+            experiment="hidden-node", mac=mac, seed=seed, params={"delta": delta}
+        ),
+        metrics={"pdr": pdr},
+    )
+
+
+@pytest.fixture
+def records():
+    return [
+        _record("qma", 0, 10.0, 0.9),
+        _record("qma", 1, 10.0, 1.0),
+        _record("unslotted-csma", 0, 10.0, 0.6),
+        _record("unslotted-csma", 1, 10.0, 0.8),
+    ]
+
+
+def _tiny_sweep(metrics=None) -> Sweep:
+    return Sweep(
+        experiment="hidden-node",
+        macs=("qma",),
+        grid={"delta": [10.0]},
+        fixed={"packets_per_node": 8, "warmup": 5.0},
+        seeds=(0, 1),
+        metrics=metrics,
+    )
+
+
+class TestStreamingStats:
+    def test_mean_matches_batch_mean_exactly(self):
+        samples = [0.1, 0.2, 0.30000001, 0.7, 1.9]
+        stats = StreamingStats()
+        for sample in samples:
+            stats.push(sample)
+        mean, ci = confidence_interval_95(samples)
+        assert stats.mean == mean  # running sum == sum() in the same order
+        assert stats.ci95()[1] == pytest.approx(ci, rel=1e-12)
+        assert stats.n == 5
+
+    def test_degenerate_sizes(self):
+        stats = StreamingStats()
+        assert stats.ci95() == (0.0, 0.0)
+        stats.push(3.0)
+        assert stats.ci95() == (3.0, 0.0)
+
+
+class TestResultFrame:
+    def test_columnar_append_and_backfill(self):
+        frame = ResultFrame()
+        frame.append({"a": 1, "b": 2})
+        frame.append({"a": 3, "c": 4})
+        assert len(frame) == 2
+        assert frame.column("a") == [1, 3]
+        assert frame.column("b") == [2, None]
+        assert frame.column("c") == [None, 4]
+        assert frame.row(1) == {"a": 3, "b": None, "c": 4}
+        with pytest.raises(KeyError):
+            frame.column("nope")
+
+    def test_from_records_and_aggregate_matches_campaign_result(self, records):
+        from repro.campaign.records import CampaignResult
+
+        frame = ResultFrame.from_records(records)
+        by_frame = frame.aggregate("pdr", by=("mac",))
+        by_result = CampaignResult(records=records).aggregate("pdr", by=("mac",))
+        for key, stats in by_result.items():
+            assert by_frame[key]["mean"] == stats["mean"]
+            assert by_frame[key]["n"] == stats["n"]
+            assert by_frame[key]["ci95"] == pytest.approx(stats["ci95"], rel=1e-12)
+
+    def test_aggregate_skips_rows_missing_the_metric(self, records):
+        frame = ResultFrame.from_records(records)
+        frame.append({"mac": "tdma", "delta": 10.0})  # no pdr cell
+        stats = frame.aggregate("pdr", by=("mac",))
+        assert ("tdma",) not in stats
+
+    def test_jsonl_and_csv_export(self, records, tmp_path):
+        frame = ResultFrame.from_records(records)
+        jsonl_path = tmp_path / "rows.jsonl"
+        csv_path = tmp_path / "rows.csv"
+        assert frame.to_jsonl(str(jsonl_path)) == 4
+        assert frame.to_csv(str(csv_path)) == 4
+        lines = jsonl_path.read_text().strip().splitlines()
+        assert len(lines) == 4
+        assert json.loads(lines[0])["pdr"] == 0.9
+        header = csv_path.read_text().splitlines()[0]
+        assert header.startswith("experiment,mac")
+
+
+class TestSinks:
+    def test_jsonl_sink_round_trips_records(self, records, tmp_path):
+        path = tmp_path / "records.jsonl"
+        sink = JsonlRecordSink(str(path))
+        for record in records:
+            sink.write(record)
+        sink.close()
+        assert sink.written == 4
+        loaded = list(iter_jsonl(str(path)))
+        assert loaded == records
+        frame = load_jsonl(str(path))
+        assert len(frame) == 4
+        assert frame.column("pdr") == [0.9, 1.0, 0.6, 0.8]
+
+    def test_csv_sink_streams_flat_rows(self, records, tmp_path):
+        import csv as csv_module
+
+        path = tmp_path / "records.csv"
+        sink = CsvRecordSink(str(path))
+        for record in records:
+            sink.write(record)
+        sink.close()
+        with open(path, newline="") as handle:
+            rows = list(csv_module.DictReader(handle))
+        assert len(rows) == 4
+        assert rows[0]["mac"] == "qma"
+        assert float(rows[3]["pdr"]) == 0.8
+
+    def test_csv_sink_declared_columns_survive_missing_first_row(self, records, tmp_path):
+        path = tmp_path / "records.csv"
+        sink = CsvRecordSink(str(path), columns=("extra_metric",))
+        sink.write(records[0])
+        later = _record("qma", 7, 10.0, 0.5)
+        later.metrics["extra_metric"] = 42.0
+        sink.write(later)
+        sink.close()
+        text = path.read_text()
+        assert "extra_metric" in text.splitlines()[0]
+        assert "42.0" in text
+
+    def test_json_document_sink_keeps_legacy_format(self, records, tmp_path):
+        path = tmp_path / "records.json"
+        sink = JsonDocumentSink(str(path))
+        for record in records:
+            sink.write(record)
+        sink.close()
+        sink.close()  # idempotent
+        loaded = load_json(str(path))
+        assert loaded.records == records
+
+    def test_table_aggregator_matches_batch_aggregation(self, records):
+        from repro.campaign.records import CampaignResult
+
+        aggregator = TableAggregator(by=("mac", "delta"))
+        for record in records:
+            aggregator.write(record)
+        assert aggregator.metric_names() == ["pdr"]
+        groups = aggregator.groups("pdr")
+        batch = CampaignResult(records=records).aggregate("pdr", by=("mac", "delta"))
+        assert list(groups) == list(batch)  # first-appearance order preserved
+        for key, stats in batch.items():
+            assert groups[key]["mean"] == stats["mean"]
+            assert groups[key]["n"] == stats["n"]
+
+
+class TestStream:
+    def test_stream_collects_a_frame_and_feeds_sinks(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        sink = JsonlRecordSink(str(path))
+        frame = CampaignRunner(jobs=1).stream(_tiny_sweep(), sinks=[sink])
+        assert len(frame) == 2
+        assert sink.written == 2
+        assert len(list(iter_jsonl(str(path)))) == 2
+        assert 0.0 <= frame.column("pdr")[0] <= 1.0
+
+    def test_stream_without_collect_keeps_no_rows(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        sink = JsonlRecordSink(str(path))
+        frame = CampaignRunner(jobs=1).stream(_tiny_sweep(), sinks=[sink], collect=False)
+        assert len(frame) == 0  # constant memory: nothing retained in-process
+        assert sink.written == 2  # ... but everything reached the stream
+
+    def test_stream_closes_sinks_on_error(self, tmp_path):
+        class Boom(RuntimeError):
+            pass
+
+        class FailingSink(JsonlRecordSink):
+            def write(self, record):
+                raise Boom()
+
+        sink = FailingSink(str(tmp_path / "x.jsonl"))
+        with pytest.raises(Boom):
+            CampaignRunner(jobs=1).stream(_tiny_sweep(), sinks=[sink])
+        assert sink._handle is None  # closed despite the failure
+
+    def test_stream_matches_run_and_is_worker_count_independent(self):
+        sweep = _tiny_sweep(metrics=("pdr", "delay", "attempts"))
+        serial = CampaignRunner(jobs=1).stream(sweep)
+        parallel = CampaignRunner(jobs=4).stream(sweep)
+        batch = CampaignRunner(jobs=1).run(sweep)
+        assert list(serial.iter_rows()) == list(parallel.iter_rows())
+        assert list(serial.iter_rows()) == [record.row() for record in batch]

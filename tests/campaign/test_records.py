@@ -8,7 +8,7 @@ import json
 import pytest
 
 from repro.analysis.stats import confidence_interval_95
-from repro.campaign.records import CampaignResult, RunRecord, load_json
+from repro.campaign.records import AmbiguousKeyError, CampaignResult, RunRecord, load_json
 from repro.campaign.spec import Scenario
 
 
@@ -43,6 +43,26 @@ class TestRunRecord:
         assert record.value("experiment") == "hidden-node"
         with pytest.raises(KeyError):
             record.value("does-not-exist")
+
+    def test_value_raises_on_metric_param_ambiguity(self):
+        """A metric named like a scenario param must not silently win."""
+        record = RunRecord(
+            scenario=Scenario(experiment="hidden-node", params={"delta": 10.0}),
+            metrics={"delta": 0.5, "pdr": 1.0},
+        )
+        with pytest.raises(AmbiguousKeyError, match="delta"):
+            record.value("delta")
+        # The explicit accessors disambiguate.
+        assert record.metric("delta") == 0.5
+        assert record.param("delta") == 10.0
+
+    def test_value_raises_when_metric_shadows_scenario_field(self):
+        record = RunRecord(
+            scenario=Scenario(experiment="hidden-node", mac="qma"),
+            metrics={"mac": 1.0},
+        )
+        with pytest.raises(AmbiguousKeyError):
+            record.value("mac")
 
     def test_row_flattens_scenario_and_metrics(self):
         row = _record("qma", 0, 10.0, 0.9).row()

@@ -57,6 +57,42 @@ class TestParallelEqualsSerial:
         assert {r.scenario.mac for r in serial} == {"qma", "tdma"}
         assert {r.scenario.propagation for r in serial} == {None, "fading"}
 
+    def test_metrics_axis_campaign_identical_with_1_and_4_workers(self):
+        """Collector selection keeps the parallel == serial guarantee."""
+        sweep = Sweep(
+            experiment="hidden-node",
+            macs=("qma", "unslotted-csma"),
+            grid={"delta": [10.0]},
+            fixed={"packets_per_node": 10, "warmup": 5.0},
+            seeds=(0, 1),
+            metrics=("pdr", "delay", "attempts"),
+        )
+        serial = CampaignRunner(jobs=1).run(sweep)
+        parallel = CampaignRunner(jobs=4).run(sweep)
+        assert len(serial) == sweep.size == 4
+        assert serial.records == parallel.records
+        for record in serial:
+            assert record.scenario.metrics == ("pdr", "delay", "attempts")
+            assert set(record.metrics) == {
+                "pdr", "packets_generated", "packets_delivered",
+                "average_delay", "transmission_attempts", "sim_time",
+            }
+
+    def test_collector_selection_never_changes_shared_metric_values(self):
+        """The metrics= axis only selects observers: shared scalars match the
+        default-collector run exactly, for every registered MAC kind."""
+        for mac in MAC_KINDS:
+            scenario = dict(
+                experiment="hidden-node",
+                mac=mac,
+                seed=4,
+                params={"delta": 10.0, "packets_per_node": 10, "warmup": 5.0},
+            )
+            full = execute_scenario(Scenario(**scenario))
+            subset = execute_scenario(Scenario(**scenario, metrics=("pdr", "queue")))
+            for name, value in subset.metrics.items():
+                assert full.metrics[name] == value, f"{mac}: {name} drifted"
+
     def test_keep_raw_results_identical_across_worker_counts(self):
         sweep = Sweep(
             experiment="hidden-node",
@@ -134,6 +170,41 @@ class TestAdapters:
         )
         assert scalability.metrics["num_nodes"] == 7.0
         assert 0.0 <= scalability.metrics["secondary_pdr"] <= 1.0
+
+    def test_is_known_metric_is_false_for_unknown_experiment(self):
+        from repro.campaign.runner import experiment_metric_names, is_known_metric
+
+        assert not is_known_metric("moon-bounce", "pdr")
+        with pytest.raises(ValueError, match="unknown experiment"):
+            experiment_metric_names("moon-bounce")
+
+    def test_traced_records_always_carry_trace_dropped(self):
+        """Every record of a traced sweep has the same metric set, so the
+        streaming CSV header (fixed at the first record) never loses the
+        trace_dropped column."""
+        record = execute_scenario(
+            Scenario(
+                experiment="hidden-node",
+                mac="qma",
+                seed=1,
+                params={
+                    "delta": 10.0,
+                    "packets_per_node": 5,
+                    "warmup": 5.0,
+                    "trace": True,
+                },
+            )
+        )
+        assert record.metrics["trace_dropped"] == 0.0  # present even without drops
+        untraced = execute_scenario(
+            Scenario(
+                experiment="hidden-node",
+                mac="qma",
+                seed=1,
+                params={"delta": 10.0, "packets_per_node": 5, "warmup": 5.0},
+            )
+        )
+        assert "trace_dropped" not in untraced.metrics
 
     def test_declared_metrics_match_what_adapters_emit(self):
         from repro.campaign.runner import EXPERIMENT_METRICS, is_known_metric

@@ -33,6 +33,16 @@ class TestScenario:
             "hidden-node qma propagation=fading seed=0"
         )
 
+    def test_metrics_axis_validated_against_collector_registry(self):
+        scenario = Scenario(experiment="hidden-node", metrics=["pdr", "delay"])
+        assert scenario.metrics == ("pdr", "delay")  # normalised to a tuple
+        assert "metrics=pdr,delay" in scenario.label
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+        with pytest.raises(ValueError, match="metric collector"):
+            Scenario(experiment="hidden-node", metrics=("not-a-collector",))
+        with pytest.raises(ValueError, match="at least one"):
+            Scenario(experiment="hidden-node", metrics=())
+
 
 class TestSweep:
     def test_expansion_is_the_full_cross_product(self):
@@ -87,6 +97,21 @@ class TestSweep:
             Sweep(experiment="hidden-node", fixed={"seed": 5})
         with pytest.raises(ValueError, match="reserved"):
             Sweep(experiment="hidden-node", grid={"mac": ["qma"]})
+        with pytest.raises(ValueError, match="reserved"):
+            Sweep(experiment="hidden-node", grid={"metrics": [["pdr"]]})
+        with pytest.raises(ValueError, match="metric collector"):
+            Sweep(experiment="hidden-node", metrics=("not-a-collector",))
+
+    def test_metrics_axis_reaches_every_scenario(self):
+        sweep = Sweep(
+            experiment="hidden-node",
+            macs=("qma", "tdma"),
+            seeds=(0, 1),
+            metrics=["pdr", "queue"],
+        )
+        scenarios = sweep.scenarios()
+        assert len(scenarios) == 4
+        assert all(s.metrics == ("pdr", "queue") for s in scenarios)
 
     def test_every_experiment_kind_is_sweepable(self):
         for experiment in EXPERIMENT_KINDS:

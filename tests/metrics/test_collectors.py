@@ -1,0 +1,313 @@
+"""Tests for the built-in metric collectors.
+
+The parity classes re-implement the *pre-redesign* metric computations
+(verbatim ports of the retired result-dataclass runners) and assert exact
+float equality with the collector-produced report scalars — the redesign's
+"numerically identical for fixed seeds" guarantee.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import QmaConfig
+from repro.experiments.base import MAC_KINDS
+from repro.experiments.hidden_node import SOURCES, run_hidden_node
+from repro.experiments.scalability import run_scalability
+from repro.experiments.testbed import run_star
+from repro.mac.registry import get_mac_spec
+from repro.metrics import (
+    COLLECTOR_REGISTRY,
+    MetricCollector,
+    collector_kinds,
+    get_collector_spec,
+    register_collector,
+)
+from repro.metrics.collectors import PdrCollector
+from repro.scenario.builder import ScenarioBuilder
+from repro.scenario.config import ScenarioConfig
+
+BUILTIN_COLLECTORS = ("attempts", "convergence", "delay", "dsme", "pdr", "queue", "slots")
+
+
+@register_collector("test-hops", description="mean hop count (test collector)")
+class HopCollector(MetricCollector):
+    """Custom collector used to exercise the plugin path."""
+
+    def __init__(self) -> None:
+        self._hops = []
+
+    def provides(self):
+        return ("average_hops",)
+
+    def attach(self, ctx):
+        ctx.network.add_delivery_hook(lambda node, record: self._hops.append(record.hops))
+
+    def finalize(self, ctx, report):
+        report.scalars["average_hops"] = (
+            sum(self._hops) / len(self._hops) if self._hops else 0.0
+        )
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert set(BUILTIN_COLLECTORS) <= set(collector_kinds())
+
+    def test_spec_provides_and_defaults(self):
+        spec = get_collector_spec("pdr")
+        assert "pdr" in spec.provides()
+        assert "overall_pdr" in spec.provides(scalar_name="overall_pdr")
+        assert spec.config_defaults()["per_node"] is False
+
+    def test_unknown_collector_raises_listing_names(self):
+        with pytest.raises(KeyError, match="pdr"):
+            COLLECTOR_REGISTRY.get("not-a-collector")
+
+    def test_custom_collector_usable_by_name(self):
+        report = run_hidden_node(
+            mac="qma",
+            delta=10,
+            packets_per_node=8,
+            warmup=5,
+            seed=1,
+            collectors=("pdr", "test-hops"),
+        )
+        assert report.scalars["average_hops"] >= 1.0
+        assert 0.0 <= report.scalars["pdr"] <= 1.0
+
+
+class TestCollectorBehaviour:
+    def test_pdr_collector_validates_parameters(self):
+        with pytest.raises(ValueError, match="denominator"):
+            PdrCollector(denominator="bogus")
+        with pytest.raises(ValueError, match="delivered_scalar"):
+            PdrCollector(delivered_scalar="bogus")
+
+    def test_dsme_collector_requires_dsme_scenario(self):
+        with pytest.raises(ValueError, match="DSME"):
+            run_hidden_node(
+                mac="qma", delta=10, packets_per_node=5, warmup=5, seed=0, collectors=("dsme",)
+            )
+
+    def test_observers_do_not_perturb_the_run(self):
+        """Scalars are identical whichever observing collectors ride along."""
+        kwargs = dict(mac="qma", delta=10, packets_per_node=10, warmup=5, seed=2)
+        full = run_hidden_node(**kwargs)
+        only_pdr = run_hidden_node(collectors=("pdr",), **kwargs)
+        nothing = run_hidden_node(collectors=("queue",), **kwargs)
+        assert only_pdr.scalars["pdr"] == full.scalars["pdr"]
+        assert nothing.scalars["average_queue_level"] == full.scalars["average_queue_level"]
+        assert only_pdr.duration == full.duration == nothing.duration
+
+    def test_slots_collector_scalars(self):
+        report = run_hidden_node(
+            mac="qma", delta=25, packets_per_node=60, warmup=5, seed=2, collectors=("slots",)
+        )
+        # No emit_scalars override through the generic path: scalar-free,
+        # but the utilisation details and per-node tables are populated.
+        assert "slot_utilisation" in report.details
+        assert set(report.tables["subslots"]) == set(SOURCES)
+
+    def test_scalability_accepts_generic_collectors(self):
+        report = run_scalability(
+            mac="unslotted-csma",
+            rings=1,
+            duration=40.0,
+            warmup=20.0,
+            seed=1,
+            collectors=("dsme", "attempts", "queue"),
+        )
+        assert report.scalars["transmission_attempts"] > 0
+        assert report.scalars["average_queue_level"] >= 0.0
+        assert 0.0 <= report.scalars["secondary_pdr"] <= 1.0
+
+
+class TestTraceBound:
+    def test_bounded_trace_surfaces_dropped_count(self):
+        report = run_hidden_node(
+            mac="qma", delta=10, packets_per_node=10, warmup=5, seed=1,
+            trace=True, trace_limit=5,
+        )
+        assert report.trace_dropped > 0
+
+    def test_unbounded_trace_drops_nothing(self):
+        report = run_hidden_node(
+            mac="qma", delta=10, packets_per_node=10, warmup=5, seed=1, trace=True
+        )
+        assert report.trace_dropped == 0
+
+    def test_campaign_applies_default_trace_bound(self):
+        from repro.campaign.runner import DEFAULT_TRACE_LIMIT, _campaign_params
+        from repro.campaign.spec import Scenario
+
+        scenario = Scenario(
+            experiment="hidden-node",
+            params={"delta": 10.0, "packets_per_node": 5, "warmup": 5.0, "trace": True},
+        )
+        assert _campaign_params(scenario)["trace_limit"] == DEFAULT_TRACE_LIMIT
+        # An explicit limit wins over the campaign default.
+        scenario.params["trace_limit"] = 3
+        assert _campaign_params(scenario)["trace_limit"] == 3
+
+    def test_dropped_count_reaches_record_metrics(self):
+        from repro.campaign.runner import execute_scenario
+        from repro.campaign.spec import Scenario
+
+        record = execute_scenario(
+            Scenario(
+                experiment="hidden-node",
+                mac="qma",
+                seed=1,
+                params={
+                    "delta": 10.0,
+                    "packets_per_node": 8,
+                    "warmup": 5.0,
+                    "trace": True,
+                    "trace_limit": 3,
+                },
+            )
+        )
+        assert record.metrics["trace_dropped"] > 0
+
+
+# --------------------------------------------------------------------- parity
+def _reference_hidden_node(mac: str, delta: float, packets: int, warmup: float, seed: int):
+    """Verbatim port of the pre-redesign ``run_hidden_node`` metric path."""
+    scenario = ScenarioConfig(
+        topology="hidden-node",
+        topology_params={"link_distance": 50.0},
+        mac=mac,
+        seed=seed,
+    )
+    if get_mac_spec(mac).config_cls is QmaConfig:
+        scenario.mac_config = QmaConfig()
+    built = ScenarioBuilder(scenario).build()
+    sim, network = built.sim, built.network
+    management = [
+        built.attach_management(
+            node_id, period=5.0, start_time=1.0, jitter=1.0, rng_name=f"management-{node_id}"
+        )
+        for node_id in SOURCES
+    ]
+    network.start()
+    data_generators = []
+    for node_id, mgmt in zip(SOURCES, management):
+        generator = built.poisson_source(
+            node_id,
+            rate=delta,
+            start_time=warmup,
+            max_packets=packets,
+            rng_name=f"data-{node_id}",
+            start_at=warmup,
+        )
+        data_generators.append(generator)
+        sim.schedule_at(warmup, mgmt.stop)
+    sim.run_until(warmup + packets / delta + 5.0)
+
+    delivered = sum(
+        1
+        for record in network.sink.deliveries
+        if record.origin in SOURCES and record.created_at >= warmup
+    )
+    generated = network.packets_generated(SOURCES)
+    management_generated = sum(network.node(n).traffic.generated for n in SOURCES)
+    data_generated = generated - management_generated
+    pdr = 0.0 if data_generated <= 0 else min(1.0, delivered / data_generated)
+    return {
+        "pdr": pdr,
+        "average_queue_level": network.average_queue_level(SOURCES),
+        "average_delay": network.average_end_to_end_delay(),
+        "packets_generated": float(sum(g.generated for g in data_generators)),
+        "packets_delivered": float(len(network.sink.deliveries)),
+        "transmission_attempts": float(network.total_transmission_attempts(SOURCES)),
+    }
+
+
+def _reference_star(mac: str, delta: float, packets: int, warmup: float, seed: int):
+    """Verbatim port of the pre-redesign testbed metric path (star topology)."""
+    scenario = ScenarioConfig(
+        topology="iotlab-star", mac=mac, link_error_rate=0.02, seed=seed
+    )
+    if get_mac_spec(mac).config_cls is QmaConfig:
+        scenario.mac_config = QmaConfig()
+    built = ScenarioBuilder(scenario).build()
+    sim, network = built.sim, built.network
+    management = [
+        built.attach_management(
+            node.node_id, period=2.0, start_time=0.5, jitter=0.4,
+            rng_name=f"testbed-mgmt-{node.node_id}",
+        )
+        for node in network.sources()
+    ]
+    data_generators = [
+        built.poisson_source(
+            node.node_id, rate=delta, start_time=warmup, max_packets=packets,
+            rng_name=f"testbed-{node.node_id}", start_at=warmup,
+        )
+        for node in network.sources()
+    ]
+    network.start()
+    for generator in management:
+        sim.schedule_at(warmup, generator.stop)
+    sim.run_until(warmup + packets / delta + 10.0)
+
+    per_node_pdr = {}
+    delivered_total = 0
+    generated_total = 0
+    for node, generator in zip(network.sources(), data_generators):
+        delivered = sum(
+            1
+            for record in network.sink.deliveries
+            if record.origin == node.node_id and record.created_at >= warmup
+        )
+        generated = generator.generated
+        delivered_total += delivered
+        generated_total += generated
+        if generated:
+            per_node_pdr[node.node_id] = min(1.0, delivered / generated)
+    overall = min(1.0, delivered_total / generated_total) if generated_total else 0.0
+    return {
+        "per_node_pdr": per_node_pdr,
+        "overall_pdr": overall,
+        "packets_generated": float(generated_total),
+        "packets_delivered": float(delivered_total),
+        "transmission_attempts": float(network.total_transmission_attempts()),
+    }
+
+
+class TestPreRedesignParity:
+    """SimReport scalars == the retired result dataclasses, bit for bit."""
+
+    @pytest.mark.parametrize("mac", MAC_KINDS)
+    def test_hidden_node_scalars_identical(self, mac):
+        reference = _reference_hidden_node(mac, delta=10.0, packets=12, warmup=5.0, seed=3)
+        report = run_hidden_node(
+            mac=mac, delta=10.0, packets_per_node=12, warmup=5.0, seed=3
+        )
+        assert report.scalars == reference
+
+    def test_testbed_star_scalars_identical(self):
+        reference = _reference_star("qma", delta=2.0, packets=5, warmup=8.0, seed=2)
+        report = run_star(mac="qma", delta=2.0, packets_per_node=5, warmup=8.0, seed=2)
+        per_node = reference.pop("per_node_pdr")
+        assert report.tables["pdr_per_node"] == per_node
+        scalars = {
+            name: value
+            for name, value in report.scalars.items()
+            if not name.startswith("pdr_node_")
+        }
+        assert scalars == reference
+        for node_id, pdr in per_node.items():
+            assert report.scalars[f"pdr_node_{node_id}"] == pdr
+
+    def test_scalability_scalars_identical(self):
+        report = run_scalability(
+            mac="unslotted-csma", rings=1, duration=40.0, warmup=20.0, seed=1
+        )
+        stats = report.details["secondary"]
+        assert report.scalars["secondary_pdr"] == stats.pdr
+        assert report.scalars["gts_request_success"] == stats.gts_request_success_ratio
+        assert report.scalars["allocation_rate"] == stats.allocation_rate(
+            report.duration - 20.0
+        )
+        assert report.scalars["num_nodes"] == 7.0

@@ -28,6 +28,11 @@ def test_list_command_prints_registries(capsys):
     assert "communication_range=60.0" in output
     for topology in ("hidden-node", "iotlab-tree", "iotlab-star", "concentric"):
         assert topology in output
+    # The metric-collector registry is listed with its provided scalars.
+    for collector in ("pdr", "delay", "queue", "attempts", "slots", "convergence", "dsme"):
+        assert collector in output
+    assert "average_queue_level" in output
+    assert "secondary_pdr" in output
 
 
 def test_sweep_command_resolves_mac_and_propagation_grid_axes(capsys):
@@ -59,6 +64,92 @@ def test_sweep_command_resolves_mac_and_propagation_grid_axes(capsys):
 def test_sweep_command_rejects_unknown_mac_in_grid():
     with pytest.raises(SystemExit):
         main(["sweep", "hidden-node", "--grid", "mac=not-a-mac"])
+
+
+def test_sweep_command_resolves_metrics_grid_axis(capsys):
+    assert (
+        main(
+            [
+                "sweep",
+                "hidden-node",
+                "--grid",
+                "metrics=pdr,attempts",
+                "--set",
+                "packets_per_node=8",
+                "--set",
+                "warmup=5",
+            ]
+        )
+        == 0
+    )
+    output = capsys.readouterr().out
+    assert "pdr" in output and "transmission_attempts" in output
+    assert "average_delay" not in output  # delay collector not selected
+
+
+def test_sweep_command_rejects_unknown_collector_in_grid():
+    with pytest.raises(SystemExit, match="metric collector"):
+        main(["sweep", "hidden-node", "--grid", "metrics=not-a-collector"])
+
+
+def test_sweep_command_rejects_collectors_flag_and_grid_axis_together():
+    with pytest.raises(SystemExit, match="not both"):
+        main(
+            [
+                "sweep",
+                "hidden-node",
+                "--collectors",
+                "pdr",
+                "--grid",
+                "metrics=pdr",
+            ]
+        )
+
+
+def test_sweep_command_streams_jsonl(tmp_path, capsys):
+    import json as json_module
+
+    path = tmp_path / "records.jsonl"
+    assert (
+        main(
+            [
+                "sweep",
+                "hidden-node",
+                "--grid",
+                "metrics=pdr,delay",
+                "--set",
+                "packets_per_node=8",
+                "--set",
+                "warmup=5",
+                "--seeds",
+                "2",
+                "--jsonl",
+                str(path),
+            ]
+        )
+        == 0
+    )
+    lines = [line for line in path.read_text().splitlines() if line.strip()]
+    assert len(lines) == 2
+    entry = json_module.loads(lines[0])
+    assert entry["scenario"]["metrics"] == ["pdr", "delay"]
+    assert "pdr" in entry["metrics"] and "average_delay" in entry["metrics"]
+    assert str(path) in capsys.readouterr().out
+
+
+def test_sweep_metric_validation_respects_collector_selection():
+    # average_delay is not provided by the pdr collector alone.
+    with pytest.raises(SystemExit, match="unknown metric"):
+        main(
+            [
+                "sweep",
+                "hidden-node",
+                "--grid",
+                "metrics=pdr",
+                "--metrics",
+                "average_delay",
+            ]
+        )
 
 
 def test_fig26_command_prints_curve(capsys):
