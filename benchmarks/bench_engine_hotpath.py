@@ -1,14 +1,20 @@
 """Event-engine hot-path benchmark: events/s on a 43-node scalability run.
 
-Tracks the effect of the inner-loop performance pass (tuple-based heap
-without ``Event.__lt__`` calls, inlined ``run_until`` drain loop, no
-per-delivery neighbour-set copies, cached frame air time, index-based
-Q-table rows, running-aggregate neighbour tracker) in the perf trajectory.
+Tracks the engine's inner-loop performance in the perf trajectory:
 
-Reference on the machine that introduced the pass (rings=3, 43 nodes,
-60 s simulated, QMA on every node): 12.6 s before, 10.1 s after (~20 %
-faster, ~75k -> ~94k events/s).  A pure engine micro-benchmark (schedule +
-drain of no-op events) went from ~146k to ~210k events/s.
+* the PR 2 pass (tuple-based heap without ``Event.__lt__`` calls, inlined
+  ``run_until`` drain loop, no per-delivery neighbour-set copies, cached
+  frame air time, index-based Q-table rows) took the original machine from
+  ~146k to ~210k events/s on the deep-heap micro;
+* the PR 4 pass added the allocation-lean fast path
+  (:meth:`~repro.sim.engine.Simulator.schedule_fast`, Event freelist,
+  batched drain-loop counters) — roughly 2x the generic path on the
+  steady-state micro below — plus the channel's static link table.
+
+Two micro shapes are measured: ``deep-heap`` (schedule N events, then
+drain — heap depth dominates) and ``steady-state`` (self-rescheduling
+tickers at constant queue depth — the shape of a real simulation, where
+the fast path shows).
 
 Run under pytest-benchmark (``pytest benchmarks/bench_engine_hotpath.py``)
 or directly (``python benchmarks/bench_engine_hotpath.py``) for the
@@ -34,6 +40,9 @@ SMOKE_RINGS = 2
 SMOKE_DURATION = 40.0
 SMOKE_WARMUP = 20.0
 
+#: Tickers of the steady-state micro (constant queue depth).
+STEADY_TICKERS = 50
+
 
 def _timed_scalability(rings: int, duration: float, warmup: float):
     """One QMA scalability run; returns (result, wall seconds)."""
@@ -45,8 +54,12 @@ def _timed_scalability(rings: int, duration: float, warmup: float):
     return result, elapsed
 
 
-def _engine_micro(num_events: int = 200_000) -> float:
-    """Pure engine throughput: schedule + drain no-op events; returns events/s."""
+def engine_micro_deep(num_events: int = 200_000) -> float:
+    """Deep-heap micro: schedule ``num_events`` no-ops, then drain.
+
+    Heap depth dominates here; kept for continuity with the PR 2 numbers.
+    Returns events/s.
+    """
     sim = Simulator(seed=0)
 
     def noop() -> None:
@@ -59,6 +72,43 @@ def _engine_micro(num_events: int = 200_000) -> float:
     return num_events / (time.perf_counter() - start)
 
 
+def engine_micro_steady(num_events: int = 300_000, fast: bool = True) -> float:
+    """Steady-state micro: self-rescheduling tickers at constant depth.
+
+    This is the shape of a real simulation (slot ticks, timers): the queue
+    stays ~:data:`STEADY_TICKERS` deep while ``num_events`` events flow
+    through.  With ``fast`` the tickers use ``schedule_fast`` (freelist,
+    no tuple/dict), otherwise the generic ``schedule``.  Returns events/s.
+    """
+    sim = Simulator(seed=0)
+    remaining = [num_events]
+
+    if fast:
+        def tick() -> None:
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                sim.schedule_fast(0.001, tick)
+
+        for _ in range(STEADY_TICKERS):
+            sim.schedule_fast(0.0, tick)
+    else:
+        def tick() -> None:
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                sim.schedule(0.001, tick)
+
+        for _ in range(STEADY_TICKERS):
+            sim.schedule(0.0, tick)
+
+    start = time.perf_counter()
+    sim.run_until(float(num_events))
+    return num_events / (time.perf_counter() - start)
+
+
+#: Back-compat alias for the PR 2-era name.
+_engine_micro = engine_micro_deep
+
+
 def test_bench_engine_hotpath(benchmark):
     """43-node QMA scalability run: wall-clock and executed events/s."""
 
@@ -66,18 +116,24 @@ def test_bench_engine_hotpath(benchmark):
         return _timed_scalability(BENCH_RINGS, BENCH_DURATION, BENCH_WARMUP)
 
     result, elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
-    events_per_s = _engine_micro()
+    deep = engine_micro_deep()
+    steady_generic = engine_micro_steady(fast=False)
+    steady_fast = engine_micro_steady(fast=True)
     benchmark.extra_info.update(
         {
             "nodes": result.num_nodes,
             "simulated_s": result.duration,
             "wall_s": round(elapsed, 3),
-            "engine_micro_events_per_s": round(events_per_s),
+            "engine_micro_events_per_s": round(deep),
+            "engine_steady_generic_events_per_s": round(steady_generic),
+            "engine_steady_fast_events_per_s": round(steady_fast),
             "secondary_pdr": round(result.secondary_pdr, 4),
         }
     )
     assert result.num_nodes == 43
     assert 0.0 <= result.secondary_pdr <= 1.0
+    # The fast path must stay clearly ahead of the generic path.
+    assert steady_fast > steady_generic
 
 
 def main(argv=None) -> int:
@@ -88,14 +144,25 @@ def main(argv=None) -> int:
     warmup = SMOKE_WARMUP if quick else BENCH_WARMUP
 
     result, elapsed = _timed_scalability(rings, duration, warmup)
-    micro = _engine_micro(50_000 if quick else 200_000)
+    deep = engine_micro_deep(50_000 if quick else 200_000)
+    n = 100_000 if quick else 300_000
+    steady_generic = engine_micro_steady(n, fast=False)
+    steady_fast = engine_micro_steady(n, fast=True)
     print(
         f"scalability rings={rings} nodes={result.num_nodes}: "
         f"{result.duration:.0f} simulated s in {elapsed:.2f} wall s "
         f"(secondary_pdr={result.secondary_pdr:.3f})"
     )
-    print(f"engine micro: {micro / 1000:.1f}k events/s")
+    print(f"engine micro (deep heap): {deep / 1000:.1f}k events/s")
+    print(
+        f"engine micro (steady state): generic {steady_generic / 1000:.1f}k, "
+        f"fast {steady_fast / 1000:.1f}k events/s "
+        f"({steady_fast / steady_generic:.2f}x)"
+    )
     if not 0.0 <= result.secondary_pdr <= 1.0:
+        return 1
+    if steady_fast <= steady_generic:
+        print("FAIL: fast path is not faster than the generic path", file=sys.stderr)
         return 1
     return 0
 

@@ -33,10 +33,13 @@ from repro.campaign.records import AmbiguousKeyError, CampaignResult, RunRecord,
 from repro.campaign.runner import (
     DEFAULT_TRACE_LIMIT,
     CampaignRunner,
+    ScenarioTemplate,
+    WorkerPool,
     execute_scenario,
     experiment_metric_names,
     is_known_metric,
     map_seeds,
+    resolve_chunksize,
 )
 from repro.campaign.spec import EXPERIMENT_KINDS, Scenario, Sweep
 
@@ -53,8 +56,10 @@ __all__ = [
     "ResultFrame",
     "RunRecord",
     "Scenario",
+    "ScenarioTemplate",
     "Sweep",
     "TableAggregator",
+    "WorkerPool",
     "execute_scenario",
     "experiment_metric_names",
     "is_known_metric",
@@ -62,4 +67,5 @@ __all__ = [
     "load_json",
     "load_jsonl",
     "map_seeds",
+    "resolve_chunksize",
 ]

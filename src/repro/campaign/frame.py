@@ -173,12 +173,21 @@ class RecordSink:
 
 
 class JsonlRecordSink(RecordSink):
-    """Stream records to a JSONL file, one flushed line per record."""
+    """Stream records to a JSONL file, one flushed line per record.
 
-    def __init__(self, path: Union[str, Any]) -> None:
+    ``meta`` optionally writes a leading ``{"_meta": {...}}`` line (e.g.
+    the effective pool configuration of the producing sweep);
+    :func:`iter_jsonl` skips such lines, so annotated streams stay
+    readable and concatenable.
+    """
+
+    def __init__(self, path: Union[str, Any], meta: Optional[Mapping[str, Any]] = None) -> None:
         super().__init__()
         self.path = path
         self._handle, self._owned = _open_for_write(path)
+        if meta:
+            self._handle.write(json.dumps({"_meta": dict(meta)}, sort_keys=True) + "\n")
+            self._handle.flush()
 
     def write(self, record: RunRecord) -> None:
         super().write(record)
@@ -237,11 +246,14 @@ class JsonDocumentSink(RecordSink):
     Unlike the JSONL sink this retains every record dictionary until
     :meth:`close` — use it only when a consumer needs the old document
     format (:func:`repro.campaign.records.load_json` reads it back).
+    ``meta`` optionally adds a top-level ``"meta"`` object to the document
+    (ignored by ``load_json``).
     """
 
-    def __init__(self, path: Union[str, Any]) -> None:
+    def __init__(self, path: Union[str, Any], meta: Optional[Mapping[str, Any]] = None) -> None:
         super().__init__()
         self.path = path
+        self.meta = dict(meta) if meta else None
         self._records: List[Dict[str, Any]] = []
 
     def write(self, record: RunRecord) -> None:
@@ -251,9 +263,12 @@ class JsonDocumentSink(RecordSink):
     def close(self) -> None:
         if self._records is None:
             return
+        document: Dict[str, Any] = {"records": self._records}
+        if self.meta is not None:
+            document["meta"] = self.meta
         handle, owned = _open_for_write(self.path)
         try:
-            handle.write(json.dumps({"records": self._records}, indent=2, sort_keys=True) + "\n")
+            handle.write(json.dumps(document, indent=2, sort_keys=True) + "\n")
         finally:
             if owned:
                 handle.close()
@@ -311,16 +326,26 @@ class TableAggregator(RecordSink):
 
 
 def iter_jsonl(source: Union[str, Any]) -> Iterator[RunRecord]:
-    """Yield records from a JSONL stream without loading the whole file."""
+    """Yield records from a JSONL stream without loading the whole file.
+
+    ``{"_meta": ...}`` annotation lines (see :class:`JsonlRecordSink`) are
+    skipped, so annotated and plain streams read back identically.
+    """
+
+    def records(handle) -> Iterator[RunRecord]:
+        for line in handle:
+            if not line.strip():
+                continue
+            data = json.loads(line)
+            if "_meta" in data and "scenario" not in data:
+                continue
+            yield RunRecord.from_dict(data)
+
     if hasattr(source, "read"):
-        for line in source:
-            if line.strip():
-                yield RunRecord.from_dict(json.loads(line))
+        yield from records(source)
         return
     with open(source, "r", encoding="utf-8") as handle:
-        for line in handle:
-            if line.strip():
-                yield RunRecord.from_dict(json.loads(line))
+        yield from records(handle)
 
 
 def load_jsonl(source: Union[str, Any]) -> ResultFrame:

@@ -1,4 +1,4 @@
-"""Campaign execution over a multiprocessing worker pool.
+"""Campaign execution over a persistent multiprocessing worker pool.
 
 Every scenario is an independent simulation seeded from its own master
 seed, so scenarios can run in any order on any number of workers and still
@@ -17,14 +17,32 @@ record's scalar metrics are the resulting report's scalars plus
 and hands them to :class:`~repro.campaign.frame.RecordSink` objects —
 JSONL/CSV export and grouped aggregation then run in constant memory, so a
 million-run sweep never materialises its record list.
+
+Warm workers
+------------
+Earlier releases forked a fresh ``multiprocessing.Pool`` per ``run`` /
+``iter_records`` / ``stream`` call and shipped every run as a fully
+pickled :class:`Scenario` with ``chunksize=1`` — for short runs the sweep
+was dominated by orchestration, not simulation.  The runner now owns one
+:class:`WorkerPool` for its lifetime: workers are created once (and reused
+across calls), the sweep's shared *scenario template* (experiment, fixed
+parameters, collector set) is shipped once through the pool initializer,
+and each run crosses the pipe as just its ``(mac, propagation, seed,
+axis-values)`` delta, in adaptively sized chunks
+(``max(1, n // (jobs * 8))`` by default, overridable via ``chunksize``).
+Call :meth:`CampaignRunner.close` (or use the runner as a context
+manager) to release the workers early; they are also reclaimed when the
+runner is garbage collected.
 """
 
 from __future__ import annotations
 
 import fnmatch
-import functools
 import multiprocessing
 import os
+import pickle
+import weakref
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.campaign.frame import RecordSink, ResultFrame
@@ -205,8 +223,29 @@ def resolve_jobs(jobs: int) -> int:
     return jobs
 
 
+def resolve_chunksize(chunksize: Union[int, str], n: int, jobs: int) -> int:
+    """Effective pool chunk size for ``n`` tasks over ``jobs`` workers.
+
+    ``"auto"`` (the default) balances pipe round-trips against tail
+    latency: ``max(1, n // (jobs * 8))`` gives every worker about eight
+    chunks, so short runs amortise the per-task IPC while the last chunks
+    still load-balance.  An integer pins the chunk size explicitly.
+    """
+    if chunksize == "auto":
+        return max(1, n // (jobs * 8))
+    size = int(chunksize)
+    if size < 1:
+        raise ValueError(f"chunksize must be positive or 'auto', got {chunksize!r}")
+    return size
+
+
 def _pool_map(func: Callable[[Any], Any], items: Sequence[Any], jobs: int) -> List[Any]:
-    """Map ``func`` over ``items`` serially or over a pool; order is kept."""
+    """Map ``func`` over ``items`` serially or over a transient pool.
+
+    Legacy helper kept for :func:`map_seeds` (arbitrary callables, no
+    template); order is kept, and an empty item list never touches the
+    pool machinery.
+    """
     jobs = resolve_jobs(jobs)
     if jobs == 1 or len(items) <= 1:
         return [func(item) for item in items]
@@ -228,6 +267,114 @@ def map_seeds(
     return _pool_map(run, seeds, jobs)
 
 
+# ------------------------------------------------------------- worker pool
+@dataclass(frozen=True)
+class ScenarioTemplate:
+    """The per-sweep constants shipped to every worker once.
+
+    A sweep's scenarios share the experiment family, the fixed parameters
+    and the collector set; only ``(mac, propagation, seed, axis-values)``
+    vary.  Shipping the shared part through the pool initializer shrinks
+    every task to that delta.
+    """
+
+    experiment: str
+    fixed: Tuple[Tuple[str, Any], ...]
+    metrics: Optional[Tuple[str, ...]]
+
+    @classmethod
+    def of(cls, sweep: Sweep) -> "ScenarioTemplate":
+        return cls(
+            experiment=sweep.experiment,
+            fixed=tuple(sorted(sweep.fixed.items())),
+            metrics=tuple(sweep.metrics) if sweep.metrics is not None else None,
+        )
+
+
+#: Per-worker state installed by :func:`_worker_init` (fork-safe module
+#: global; each worker process has its own copy).
+_WORKER_STATE: Dict[str, Any] = {"template": None, "keep_raw": False}
+
+
+def _worker_init(blob: bytes) -> None:
+    """Pool initializer: install the shared scenario template once per worker."""
+    template, keep_raw = pickle.loads(blob)
+    _WORKER_STATE["template"] = template
+    _WORKER_STATE["keep_raw"] = keep_raw
+
+
+def _execute_scenario_task(scenario: Scenario) -> RunRecord:
+    """Worker entry for explicit scenario lists (no shared template)."""
+    return execute_scenario(scenario, keep_raw=_WORKER_STATE["keep_raw"])
+
+
+def _execute_delta_task(delta: Tuple[str, Optional[str], int, Dict[str, Any]]) -> RunRecord:
+    """Worker entry for sweep deltas: rebuild the scenario from the
+    initializer-shipped template plus ``(mac, propagation, seed, axes)``."""
+    mac, propagation, seed, axis_params = delta
+    template: ScenarioTemplate = _WORKER_STATE["template"]
+    params = dict(template.fixed)
+    params.update(axis_params)
+    scenario = Scenario(
+        experiment=template.experiment,
+        mac=mac,
+        seed=seed,
+        params=params,
+        propagation=propagation,
+        metrics=template.metrics,
+    )
+    return execute_scenario(scenario, keep_raw=_WORKER_STATE["keep_raw"])
+
+
+def _shutdown_pool(pool: "multiprocessing.pool.Pool") -> None:
+    """Finalizer target: release a raw pool's worker processes."""
+    pool.terminate()
+    pool.join()
+
+
+class WorkerPool:
+    """A persistent multiprocessing pool with warm, template-initialised workers.
+
+    The raw ``multiprocessing.Pool`` is (re)created only when the
+    initializer payload — the pickled ``(template, keep_raw)`` pair —
+    changes; successive campaigns over the same sweep shape reuse the warm
+    workers.  The pool is released by :meth:`close` or, failing that, by a
+    garbage-collection finalizer.
+    """
+
+    def __init__(self, processes: int) -> None:
+        self.processes = processes
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+        self._blob: Optional[bytes] = None
+        self._finalizer = None
+
+    def ensure(self, template: Optional[ScenarioTemplate], keep_raw: bool):
+        """Return a pool whose workers carry the given template."""
+        blob = pickle.dumps((template, keep_raw), protocol=pickle.HIGHEST_PROTOCOL)
+        if self._pool is None or blob != self._blob:
+            self.close()
+            self._pool = multiprocessing.Pool(
+                processes=self.processes, initializer=_worker_init, initargs=(blob,)
+            )
+            self._blob = blob
+            self._finalizer = weakref.finalize(self, _shutdown_pool, self._pool)
+        return self._pool
+
+    @property
+    def alive(self) -> bool:
+        """True while worker processes exist."""
+        return self._pool is not None
+
+    def close(self) -> None:
+        """Release the worker processes; safe to call repeatedly."""
+        if self._pool is not None:
+            self._finalizer.detach()
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self._blob = None
+
+
 class CampaignRunner:
     """Execute sweeps (or explicit scenario lists) over a worker pool.
 
@@ -238,11 +385,58 @@ class CampaignRunner:
         ``0`` means one worker per CPU.
     keep_raw:
         Attach the full :class:`SimReport` to every record.
+    chunksize:
+        Tasks per pool chunk: ``"auto"`` (default) uses
+        ``max(1, n // (jobs * 8))``, an integer pins it.  Larger chunks
+        amortise IPC for short runs; ``1`` reproduces the pre-warm-pool
+        dispatch behaviour.
+
+    With ``jobs > 1`` the runner owns a persistent :class:`WorkerPool`
+    created on first use and reused across ``run`` / ``iter_records`` /
+    ``stream`` calls; :meth:`close` (or ``with CampaignRunner(...) as r:``)
+    releases it.  Results are bit-identical for every worker count and
+    chunk size.
     """
 
-    def __init__(self, jobs: int = 1, keep_raw: bool = False) -> None:
+    def __init__(
+        self,
+        jobs: int = 1,
+        keep_raw: bool = False,
+        chunksize: Union[int, str] = "auto",
+    ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.keep_raw = keep_raw
+        resolve_chunksize(chunksize, 0, self.jobs)  # validate eagerly
+        self.chunksize = chunksize
+        self._pool: Optional[WorkerPool] = None
+
+    # ---------------------------------------------------------------- pool
+    def close(self) -> None:
+        """Release the persistent worker pool (if one was created)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "CampaignRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _worker_pool(self) -> WorkerPool:
+        if self._pool is None:
+            self._pool = WorkerPool(self.jobs)
+        return self._pool
+
+    def pool_config(self, size: int) -> Dict[str, Any]:
+        """The effective pool configuration for a campaign of ``size`` runs
+        (surfaced in sweep exports for post-hoc debugging)."""
+        parallel = self.jobs > 1 and size > 1
+        return {
+            "jobs": self.jobs,
+            "chunksize": resolve_chunksize(self.chunksize, size, self.jobs) if parallel else 1,
+            "pool": "persistent" if parallel else "serial",
+        }
 
     def _scenarios(self, sweep: Union[Sweep, Iterable[Scenario]]) -> List[Scenario]:
         return sweep.scenarios() if isinstance(sweep, Sweep) else list(sweep)
@@ -250,17 +444,52 @@ class CampaignRunner:
     def iter_records(self, sweep: Union[Sweep, Iterable[Scenario]]) -> Iterator[RunRecord]:
         """Yield records in deterministic expansion order as they finish.
 
-        With ``jobs > 1`` the pool stays open while the caller consumes the
-        iterator — exhaust it (or let :meth:`stream` / :meth:`run` do so).
+        Sweeps are expanded lazily: with ``jobs > 1`` their scenarios cross
+        the pipe as ``(mac, propagation, seed, axis-values)`` deltas against
+        the initializer-shipped template, so a million-run sweep is never
+        materialised in the parent.  An empty sweep (or scenario list)
+        yields nothing.
+
+        Exhaust the iterator (or let :meth:`run` / :meth:`stream` do so):
+        abandoning it mid-sweep terminates the worker pool — ``imap``'s
+        feeder thread would otherwise keep executing the remaining
+        scenarios in the background — and the next campaign re-warms it.
         """
-        scenarios = self._scenarios(sweep)
-        worker = functools.partial(execute_scenario, keep_raw=self.keep_raw)
-        if self.jobs == 1 or len(scenarios) <= 1:
-            for scenario in scenarios:
-                yield worker(scenario)
+        if isinstance(sweep, Sweep):
+            size = sweep.size
+            scenarios: Optional[List[Scenario]] = None
+        else:
+            scenarios = list(sweep)
+            size = len(scenarios)
+        if size == 0:
             return
-        with multiprocessing.Pool(processes=min(self.jobs, len(scenarios))) as pool:
-            yield from pool.imap(worker, scenarios, chunksize=1)
+        if self.jobs == 1 or size == 1:
+            for scenario in (sweep if scenarios is None else scenarios):
+                yield execute_scenario(scenario, keep_raw=self.keep_raw)
+            return
+        chunk = resolve_chunksize(self.chunksize, size, self.jobs)
+        if scenarios is None:
+            template = ScenarioTemplate.of(sweep)
+            pool = self._worker_pool().ensure(template, self.keep_raw)
+            axes = sweep.axes
+            deltas = (
+                (s.mac, s.propagation, s.seed, {name: s.params[name] for name in axes})
+                for s in sweep
+            )
+            results = pool.imap(_execute_delta_task, deltas, chunksize=chunk)
+        else:
+            pool = self._worker_pool().ensure(None, self.keep_raw)
+            results = pool.imap(_execute_scenario_task, scenarios, chunksize=chunk)
+        completed = False
+        try:
+            yield from results
+            completed = True
+        finally:
+            if not completed:
+                # Closed early (caller stopped consuming, or a worker/sink
+                # raised): drop the pool so the outstanding tasks die with
+                # it instead of burning CPU behind the caller's back.
+                self.close()
 
     def run(self, sweep: Union[Sweep, Iterable[Scenario]]) -> CampaignResult:
         """Run every scenario of the sweep; records keep expansion order.
@@ -268,9 +497,7 @@ class CampaignRunner:
         Materialises the full record list — use :meth:`stream` for sweeps
         too large to hold in memory.
         """
-        scenarios = self._scenarios(sweep)
-        worker = functools.partial(execute_scenario, keep_raw=self.keep_raw)
-        return CampaignResult(records=_pool_map(worker, scenarios, self.jobs))
+        return CampaignResult(records=list(self.iter_records(sweep)))
 
     def stream(
         self,

@@ -34,7 +34,6 @@ from repro.campaign.runner import (
     CampaignRunner,
     experiment_metric_names,
     is_known_metric,
-    resolve_jobs,
 )
 from repro.campaign.spec import EXPERIMENT_KINDS, Sweep
 from repro.core.rewards import format_reward_table
@@ -85,9 +84,29 @@ def _add_collectors_option(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _parse_chunksize(text: str) -> Any:
+    """Parse a ``--chunksize`` value: ``auto`` or a positive integer."""
+    if text == "auto":
+        return text
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected 'auto' or a positive integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"chunksize must be positive, got {value}")
+    return value
+
+
 def _add_campaign_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=int, default=1, help="worker processes (0 = one per CPU)"
+    )
+    parser.add_argument(
+        "--chunksize",
+        type=_parse_chunksize,
+        default="auto",
+        help="scenarios per worker-pool chunk ('auto' = n // (jobs * 8), "
+        "min 1; larger chunks amortise IPC for short runs)",
     )
     parser.add_argument(
         "--json", dest="json_path", metavar="PATH", help="export per-run records as JSON"
@@ -172,7 +191,8 @@ def cmd_fig7(args: argparse.Namespace) -> None:
         seeds=list(range(args.repetitions)),
         metrics=args.collectors,
     )
-    campaign = CampaignRunner(jobs=args.jobs).run(sweep)
+    with CampaignRunner(jobs=args.jobs, chunksize=args.chunksize) as runner:
+        campaign = runner.run(sweep)
     by = ("delta", "mac")
     try:
         pdr = campaign.aggregate("pdr", by=by)
@@ -230,7 +250,8 @@ def cmd_testbed(args: argparse.Namespace) -> None:
         seeds=[args.seed],
         metrics=args.collectors,
     )
-    campaign = CampaignRunner(jobs=args.jobs, keep_raw=True).run(sweep)
+    with CampaignRunner(jobs=args.jobs, keep_raw=True, chunksize=args.chunksize) as runner:
+        campaign = runner.run(sweep)
     rows = []
     for record in campaign:
         report = record.raw
@@ -254,7 +275,8 @@ def cmd_fig21(args: argparse.Namespace) -> None:
         seeds=[args.seed],
         metrics=args.collectors,
     )
-    campaign = CampaignRunner(jobs=args.jobs).run(sweep)
+    with CampaignRunner(jobs=args.jobs, chunksize=args.chunksize) as runner:
+        campaign = runner.run(sweep)
     records = {
         (record.scenario.params["rings"], record.scenario.mac): record for record in campaign
     }
@@ -345,12 +367,17 @@ def cmd_sweep(args: argparse.Namespace) -> None:
         by += ("propagation",)
     by += sweep.axes
 
+    runner = CampaignRunner(jobs=args.jobs, chunksize=args.chunksize)
+    # The effective pool configuration rides along in --json/--jsonl output
+    # so throughput anomalies can be traced to their dispatch settings.
+    pool_config = runner.pool_config(sweep.size)
+
     # Stream records through sinks: aggregation, JSONL and CSV run in
     # constant memory; only the legacy --json document buffers records.
     aggregator = TableAggregator(by=by)
     sinks = [aggregator]
     if getattr(args, "jsonl_path", None):
-        sinks.append(JsonlRecordSink(args.jsonl_path))
+        sinks.append(JsonlRecordSink(args.jsonl_path, meta={"pool": pool_config}))
     if getattr(args, "csv_path", None):
         # Pre-declare the collector-provided columns: the streaming CSV
         # header is fixed at the first record, so metrics that only appear
@@ -362,12 +389,16 @@ def cmd_sweep(args: argparse.Namespace) -> None:
         ]
         sinks.append(CsvRecordSink(args.csv_path, columns=declared))
     if getattr(args, "json_path", None):
-        sinks.append(JsonDocumentSink(args.json_path))
+        sinks.append(JsonDocumentSink(args.json_path, meta={"pool": pool_config}))
 
-    jobs = resolve_jobs(args.jobs)
-    print(f"running {sweep.size} scenarios ({args.experiment}) with jobs={jobs}")
+    print(
+        f"running {sweep.size} scenarios ({args.experiment}) with "
+        f"jobs={pool_config['jobs']} chunksize={pool_config['chunksize']} "
+        f"pool={pool_config['pool']}"
+    )
     try:
-        CampaignRunner(jobs=jobs).stream(sweep, sinks=sinks, collect=False)
+        with runner:
+            runner.stream(sweep, sinks=sinks, collect=False)
     except TypeError as exc:
         # Unknown --grid/--set keys surface as unexpected-keyword errors from
         # the experiment runner (possibly re-raised by the pool); anything

@@ -136,7 +136,11 @@ class QmaMac(MacProtocol):
         self._counter = 0
         self.frames_elapsed = 0
         self._pending: Optional[_PendingAction] = None
-        self._tick_event = None
+        #: Tick-chain epoch: ticks carry the epoch they were scheduled in
+        #: and no-op once it moves on, so stop()/start() cannot leave a
+        #: stale chain running (ticks use the engine's fast path and have
+        #: no cancellable handle).
+        self._tick_epoch = 0
 
         #: (time, cumulative Q-value of the policy) recorded at every frame boundary
         self.q_history: List[Tuple[float, float]] = []
@@ -149,13 +153,16 @@ class QmaMac(MacProtocol):
         super().start()
         start_time = max(self.gate.next_active_time(self.sim.now), self.sim.now)
         self._next_subslot = 0
-        self._tick_event = self.sim.schedule_at(start_time, self._on_subslot)
+        self._tick_epoch += 1
+        self.sim.schedule_at_fast(start_time, self._on_subslot, self._tick_epoch)
 
     def stop(self) -> None:
-        """Stop the subslot clock (used by tests and node shutdown)."""
-        if self._tick_event is not None and self._tick_event.pending:
-            self._tick_event.cancel()
-        self._tick_event = None
+        """Stop the subslot clock (used by tests and node shutdown).
+
+        Ticks run on the engine's fast path (no cancellable handle); the
+        pending tick fires once more and no-ops on the stale epoch.
+        """
+        self._tick_epoch += 1
 
     def _notify_enqueue(self) -> None:
         # Action selection happens only at subslot boundaries.
@@ -167,7 +174,9 @@ class QmaMac(MacProtocol):
         """Index of the subslot currently in progress."""
         return self._subslot
 
-    def _on_subslot(self) -> None:
+    def _on_subslot(self, epoch: int) -> None:
+        if epoch != self._tick_epoch:
+            return
         now = self.sim.now
         self._subslot = self._next_subslot
         self._counter += 1
@@ -204,7 +213,7 @@ class QmaMac(MacProtocol):
             next_time = self.gate.next_active_time(next_time)
             next_index = 0
         self._next_subslot = next_index
-        self._tick_event = self.sim.schedule_at(next_time, self._on_subslot)
+        self.sim.schedule_at_fast(next_time, self._on_subslot, self._tick_epoch)
 
     # ------------------------------------------------------------ action choice
     def _select_and_execute(self) -> None:
@@ -239,7 +248,7 @@ class QmaMac(MacProtocol):
                     _PendingKind.TRANSMISSION, action, state, self._counter, frame=frame
                 )
                 delay = self.phy.cca_duration + self.phy.turnaround_time
-                self.sim.schedule(delay, self._transmit_pending, self._pending)
+                self.sim.schedule_fast(delay, self._transmit_pending, self._pending)
             else:
                 self._pending = _PendingAction(
                     _PendingKind.CCA_FAILED, action, state, self._counter

@@ -237,7 +237,7 @@ class MacProtocol(ABC):
     # ------------------------------------------------------------------- ACKs
     def _schedule_ack(self, frame: Frame) -> None:
         ack = frame.make_ack(self.node_id)
-        self.sim.schedule(self.phy.turnaround_time, self._transmit_ack, ack)
+        self.sim.schedule_fast(self.phy.turnaround_time, self._transmit_ack, ack)
 
     def _transmit_ack(self, ack: Frame) -> None:
         if self.radio.transmitting:

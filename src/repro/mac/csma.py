@@ -74,7 +74,6 @@ class UnslottedCsmaCa(MacProtocol):
         self._busy = False
         self._nb = 0
         self._be = self.config.mac_min_be
-        self._pending_event = None
 
     # ------------------------------------------------------------------ hooks
     def start(self) -> None:
@@ -99,12 +98,14 @@ class UnslottedCsmaCa(MacProtocol):
         return periods * self.phy.unit_backoff_period
 
     def _schedule_backoff(self) -> None:
+        # The backoff/CCA chain never cancels its events, so it runs on the
+        # engine's allocation-lean fast path.
         now = self.sim.now
         if not self.gate.active(now):
             resume = self.gate.next_active_time(now)
-            self._pending_event = self.sim.schedule_at(resume, self._schedule_backoff)
+            self.sim.schedule_at_fast(resume, self._schedule_backoff)
             return
-        self._pending_event = self.sim.schedule(self._backoff_delay(), self._perform_cca)
+        self.sim.schedule_fast(self._backoff_delay(), self._perform_cca)
 
     def _perform_cca(self) -> None:
         frame = self.queue.peek()
@@ -114,11 +115,11 @@ class UnslottedCsmaCa(MacProtocol):
         now = self.sim.now
         if not self.gate.active(now):
             resume = self.gate.next_active_time(now)
-            self._pending_event = self.sim.schedule_at(resume, self._perform_cca)
+            self.sim.schedule_at_fast(resume, self._perform_cca)
             return
         if self._cca():
-            self.sim.schedule(self.phy.cca_duration + self.phy.turnaround_time,
-                              self._transmit_head, frame)
+            self.sim.schedule_fast(self.phy.cca_duration + self.phy.turnaround_time,
+                                   self._transmit_head, frame)
         else:
             self._nb += 1
             self._be = min(self._be + 1, self.config.mac_max_be)
@@ -198,12 +199,12 @@ class SlottedCsmaCa(UnslottedCsmaCa):
         now = self.sim.now
         if not self.gate.active(now):
             resume = self.gate.next_active_time(now)
-            self._pending_event = self.sim.schedule_at(resume, self._schedule_backoff)
+            self.sim.schedule_at_fast(resume, self._schedule_backoff)
             return
         self._cw = self.config.contention_window
         boundary = self._next_boundary()
         target = boundary + self._backoff_delay()
-        self._pending_event = self.sim.schedule_at(target, self._perform_cca)
+        self.sim.schedule_at_fast(target, self._perform_cca)
 
     def _perform_cca(self) -> None:
         frame = self.queue.peek()
@@ -213,16 +214,16 @@ class SlottedCsmaCa(UnslottedCsmaCa):
         now = self.sim.now
         if not self.gate.active(now):
             resume = self.gate.next_active_time(now)
-            self._pending_event = self.sim.schedule_at(resume, self._perform_cca)
+            self.sim.schedule_at_fast(resume, self._perform_cca)
             return
         if self._cca():
             self._cw -= 1
             if self._cw <= 0:
                 delay = self.phy.cca_duration + self.phy.turnaround_time
-                self.sim.schedule(delay, self._transmit_head, frame)
+                self.sim.schedule_fast(delay, self._transmit_head, frame)
             else:
                 next_boundary = self._next_boundary(self.sim.now + self.phy.unit_backoff_period)
-                self._pending_event = self.sim.schedule_at(next_boundary, self._perform_cca)
+                self.sim.schedule_at_fast(next_boundary, self._perform_cca)
         else:
             self._cw = self.config.contention_window
             self._nb += 1

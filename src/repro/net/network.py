@@ -34,10 +34,11 @@ class Network:
         mac_factory: MacFactory,
         phy: Optional[PhyParameters] = None,
         link_error_rate: float = 0.0,
+        static_links: Optional[bool] = None,
     ) -> None:
         self.sim = sim
         self.topology = topology
-        self.channel = WirelessChannel(sim, phy)
+        self.channel = WirelessChannel(sim, phy, static_links=static_links)
         self.nodes: Dict[int, Node] = {}
         self.macs: Dict[int, "MacProtocol"] = {}
         self.radios: Dict[int, Radio] = {}

@@ -16,12 +16,34 @@ their CCA and still collide at their common receiver.
 Frames are delivered to every in-range radio, not only the addressed one;
 the MAC layer decides what to do with overheard frames.  QMA relies on this
 to reward ``QBackoff`` when a foreign DATA or ACK frame is overheard.
+
+Static link table
+-----------------
+Topologies in this reproduction are static: links are wired (or derived
+from a propagation model) once at network construction and never change
+during a run.  The channel exploits this with a precomputed *link table* —
+per sender, an ordered row of ``(receiver_id, radio, arriving_list,
+packet_error_rate)`` tuples — built lazily on the first transmission, so
+the per-delivery path is a flat iteration over prebuilt rows instead of
+set/dict lookups per receiver.  The receiver order of each row is exactly
+the neighbour-set iteration order of the dynamic path, so results are
+bit-identical (per-link error draws consume the channel RNG in the same
+order).
+
+Mutating the topology (``connect`` / ``disconnect`` /
+``set_link_error_rate`` / ``register``) *after* the table was first used
+permanently demotes the channel to the dynamic fallback path — mobile or
+mutating topologies keep the original per-delivery semantics without any
+caller cooperation.  Channels can also be created with
+``static_links=False`` to opt out up front.  Transmissions in flight at
+demotion time lose their row snapshot and finish on the dynamic path, so
+the static and dynamic modes agree even across the mutating event itself.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import AbstractSet, Dict, Iterable, List, Optional, Set, TYPE_CHECKING
+from typing import AbstractSet, Dict, Iterable, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
 
 from repro.phy.frames import Frame
 from repro.phy.params import PhyParameters
@@ -30,6 +52,9 @@ from repro.phy.propagation import PropagationModel
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checking
     from repro.phy.radio import Radio
     from repro.sim.engine import Simulator
+
+#: One precomputed delivery target: (receiver_id, radio, arriving, per).
+_LinkRow = Tuple[int, "Radio", List["ActiveTransmission"], float]
 
 
 @dataclass
@@ -41,6 +66,9 @@ class ActiveTransmission:
     start: float
     end: float
     corrupted_for: Set[int] = field(default_factory=set)
+    #: Link-table rows snapshotted at transmission start (static path only;
+    #: None when the channel runs on the dynamic fallback).
+    rows: Optional[Sequence[_LinkRow]] = None
 
 
 class WirelessChannel:
@@ -52,9 +80,23 @@ class WirelessChannel:
         The simulation engine.
     phy:
         PHY timing parameters (shared by all radios on the channel).
+    static_links:
+        Use the precomputed link table for deliveries (default: the class
+        attribute :attr:`DEFAULT_STATIC_LINKS`, True).  Pass False for
+        topologies that mutate mid-run; a mutation after the first
+        transmission demotes a static channel automatically.
     """
 
-    def __init__(self, sim: "Simulator", phy: Optional[PhyParameters] = None) -> None:
+    #: Process-wide default for the ``static_links`` constructor argument;
+    #: tests flip this to verify the dynamic fallback end to end.
+    DEFAULT_STATIC_LINKS = True
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        phy: Optional[PhyParameters] = None,
+        static_links: Optional[bool] = None,
+    ) -> None:
         self.sim = sim
         self.phy = phy if phy is not None else PhyParameters()
         self._radios: Dict[int, "Radio"] = {}
@@ -63,6 +105,10 @@ class WirelessChannel:
         #: transmissions currently arriving at each radio (keyed by radio id)
         self._arriving: Dict[int, List[ActiveTransmission]] = {}
         self._rng = sim.rng.stream("channel")
+        self._static = (
+            self.DEFAULT_STATIC_LINKS if static_links is None else bool(static_links)
+        )
+        self._link_table: Optional[Dict[int, Tuple[_LinkRow, ...]]] = None
         # statistics
         self.transmissions_started = 0
         self.frames_delivered = 0
@@ -76,7 +122,12 @@ class WirelessChannel:
             raise ValueError(f"radio id {radio.node_id} already registered")
         self._radios[radio.node_id] = radio
         self._neighbours.setdefault(radio.node_id, set())
-        self._arriving.setdefault(radio.node_id, [])
+        arriving: List[ActiveTransmission] = []
+        self._arriving.setdefault(radio.node_id, arriving)
+        # The radio keeps a direct reference to its arriving list so CCA
+        # needs no dict lookups (see Radio.cca).
+        radio._rx_arriving = self._arriving[radio.node_id]
+        self.invalidate_link_table()
 
     def radios(self) -> Iterable["Radio"]:
         return self._radios.values()
@@ -91,12 +142,31 @@ class WirelessChannel:
         self._neighbours.setdefault(a, set()).add(b)
         if bidirectional:
             self._neighbours.setdefault(b, set()).add(a)
+        self.invalidate_link_table()
 
     def disconnect(self, a: int, b: int, bidirectional: bool = True) -> None:
-        """Remove a previously declared link."""
+        """Remove a previously declared link.
+
+        Frames of the removed link that are still on the air stop arriving
+        at the disconnected receiver immediately — otherwise the stale
+        book-keeping entry would keep the receiver's CCA busy forever.
+        """
+        # Demote (clearing in-flight row snapshots) BEFORE purging the
+        # arriving lists: a purged transmission would otherwise keep its
+        # stale rows and still deliver over the removed link.
+        self.invalidate_link_table()
         self._neighbours.get(a, set()).discard(b)
+        self._drop_in_flight(a, b)
         if bidirectional:
             self._neighbours.get(b, set()).discard(a)
+            self._drop_in_flight(b, a)
+
+    def _drop_in_flight(self, sender_id: int, receiver_id: int) -> None:
+        """Purge ``sender_id``'s in-flight transmissions from ``receiver_id``'s
+        arriving list after their link was removed."""
+        arriving = self._arriving.get(receiver_id)
+        if arriving:
+            arriving[:] = [tx for tx in arriving if tx.sender_id != sender_id]
 
     def build_links_from_positions(self, model: PropagationModel) -> None:
         """Derive connectivity from radio positions using a propagation model."""
@@ -119,6 +189,52 @@ class WirelessChannel:
         self._link_error[(a, b)] = per
         if bidirectional:
             self._link_error[(b, a)] = per
+        self.invalidate_link_table()
+
+    # ----------------------------------------------------------- link table
+    @property
+    def static_links(self) -> bool:
+        """True while deliveries run over the precomputed link table."""
+        return self._static
+
+    def invalidate_link_table(self) -> None:
+        """Drop the precomputed delivery rows after a topology change.
+
+        Called automatically by every mutating method.  Before the table's
+        first use this is free (construction-time wiring); *after* first
+        use the channel permanently falls back to the dynamic path, which
+        re-reads the neighbour sets per delivery — the correct semantics
+        for mobile/mutating topologies.  Transmissions in flight at
+        demotion time lose their row snapshot and finish on the dynamic
+        path too, so a mid-flight mutation behaves exactly like a channel
+        that ran dynamic from the start.
+        """
+        if self._link_table is not None:
+            self._link_table = None
+            self._static = False
+            for arriving in self._arriving.values():
+                for tx in arriving:
+                    tx.rows = None
+
+    def _build_link_table(self) -> Dict[int, Tuple[_LinkRow, ...]]:
+        """Precompute per-sender delivery rows (neighbour-set order kept)."""
+        radios = self._radios
+        arriving = self._arriving
+        link_error = self._link_error
+        table = {
+            sender_id: tuple(
+                (
+                    receiver_id,
+                    radios[receiver_id],
+                    arriving[receiver_id],
+                    link_error.get((sender_id, receiver_id), 0.0),
+                )
+                for receiver_id in self._neighbours.get(sender_id, ())
+            )
+            for sender_id in radios
+        }
+        self._link_table = table
+        return table
 
     _EMPTY_NEIGHBOURS: AbstractSet[int] = frozenset()
 
@@ -129,8 +245,7 @@ class WirelessChannel:
     def neighbours_view(self, node_id: int) -> AbstractSet[int]:
         """Read-only view of the neighbour set (no copy; do not mutate).
 
-        The delivery hot path (:meth:`begin_transmission` /
-        :meth:`_end_transmission`) iterates neighbour sets once per
+        The dynamic delivery path iterates neighbour sets once per
         transmission through this accessor, avoiding the per-call copy of
         :meth:`neighbours` while keeping the public method's copy semantics.
         """
@@ -159,21 +274,36 @@ class WirelessChannel:
         now = self.sim.now
         tx = ActiveTransmission(sender.node_id, frame, now, now + duration)
         self.transmissions_started += 1
-        radios = self._radios
-        arriving_map = self._arriving
         corrupted_for = tx.corrupted_for
-        for receiver_id in self.neighbours_view(sender.node_id):
-            arriving = arriving_map[receiver_id]
-            if arriving:
-                # Overlap with everything currently arriving at this receiver.
-                corrupted_for.add(receiver_id)
-                for other in arriving:
-                    other.corrupted_for.add(receiver_id)
-            if radios[receiver_id].transmitting:
-                # Half-duplex: a transmitting radio cannot receive.
-                corrupted_for.add(receiver_id)
-            arriving.append(tx)
-        self.sim.schedule(duration, self._end_transmission, tx)
+        if self._static:
+            table = self._link_table
+            if table is None:
+                table = self._build_link_table()
+            rows = table[sender.node_id]
+            tx.rows = rows
+            for receiver_id, radio, arriving, _ in rows:
+                if arriving:
+                    # Overlap with everything currently arriving at this receiver.
+                    corrupted_for.add(receiver_id)
+                    for other in arriving:
+                        other.corrupted_for.add(receiver_id)
+                if radio.transmitting:
+                    # Half-duplex: a transmitting radio cannot receive.
+                    corrupted_for.add(receiver_id)
+                arriving.append(tx)
+        else:
+            radios = self._radios
+            arriving_map = self._arriving
+            for receiver_id in self.neighbours_view(sender.node_id):
+                arriving = arriving_map[receiver_id]
+                if arriving:
+                    corrupted_for.add(receiver_id)
+                    for other in arriving:
+                        other.corrupted_for.add(receiver_id)
+                if radios[receiver_id].transmitting:
+                    corrupted_for.add(receiver_id)
+                arriving.append(tx)
+        self.sim.schedule_fast(duration, self._end_transmission, tx)
 
     def notify_transmit_start(self, node_id: int) -> None:
         """Called by a radio when it switches to transmit mode.
@@ -185,30 +315,55 @@ class WirelessChannel:
             tx.corrupted_for.add(node_id)
 
     def _end_transmission(self, tx: ActiveTransmission) -> None:
-        sender = self._radios[tx.sender_id]
-        radios = self._radios
-        arriving_map = self._arriving
-        for receiver_id in self.neighbours_view(tx.sender_id):
-            arriving = arriving_map[receiver_id]
-            try:
-                arriving.remove(tx)
-            except ValueError:
-                # The link was (dis)connected while the frame was on the air.
-                pass
-            receiver = radios[receiver_id]
-            if receiver_id in tx.corrupted_for:
-                self.frames_corrupted += 1
-                receiver.notify_corrupted_frame(tx.frame)
-                continue
-            if receiver.transmitting:
-                # Receiver started transmitting exactly at the boundary.
-                self.frames_corrupted += 1
-                receiver.notify_corrupted_frame(tx.frame)
-                continue
-            per = self._link_error.get((tx.sender_id, receiver_id), 0.0)
-            if per > 0.0 and self._rng.random() < per:
-                self.frames_lost_link_error += 1
-                continue
-            self.frames_delivered += 1
-            receiver.deliver(tx.frame)
-        sender.transmission_finished(tx.frame)
+        rows = tx.rows
+        if rows is not None:
+            corrupted_for = tx.corrupted_for
+            rng_random = self._rng.random
+            for receiver_id, receiver, arriving, per in rows:
+                try:
+                    arriving.remove(tx)
+                except ValueError:
+                    # Defensive: rows survive only while the table is
+                    # valid (demotion clears them), so the entry should
+                    # always still be present.
+                    pass
+                if receiver_id in corrupted_for:
+                    self.frames_corrupted += 1
+                    receiver.notify_corrupted_frame(tx.frame)
+                    continue
+                if receiver.transmitting:
+                    # Receiver started transmitting exactly at the boundary.
+                    self.frames_corrupted += 1
+                    receiver.notify_corrupted_frame(tx.frame)
+                    continue
+                if per > 0.0 and rng_random() < per:
+                    self.frames_lost_link_error += 1
+                    continue
+                self.frames_delivered += 1
+                receiver.deliver(tx.frame)
+        else:
+            radios = self._radios
+            arriving_map = self._arriving
+            for receiver_id in self.neighbours_view(tx.sender_id):
+                arriving = arriving_map[receiver_id]
+                try:
+                    arriving.remove(tx)
+                except ValueError:
+                    # The link was (dis)connected while the frame was on the air.
+                    pass
+                receiver = radios[receiver_id]
+                if receiver_id in tx.corrupted_for:
+                    self.frames_corrupted += 1
+                    receiver.notify_corrupted_frame(tx.frame)
+                    continue
+                if receiver.transmitting:
+                    self.frames_corrupted += 1
+                    receiver.notify_corrupted_frame(tx.frame)
+                    continue
+                per = self._link_error.get((tx.sender_id, receiver_id), 0.0)
+                if per > 0.0 and self._rng.random() < per:
+                    self.frames_lost_link_error += 1
+                    continue
+                self.frames_delivered += 1
+                receiver.deliver(tx.frame)
+        self._radios[tx.sender_id].transmission_finished(tx.frame)

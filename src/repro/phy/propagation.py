@@ -60,6 +60,14 @@ class UnitDiskPropagation(PropagationModel):
         self.communication_range = communication_range
 
     def in_range(self, a: Position, b: Position) -> bool:
+        if len(a) == 2 and len(b) == 2:
+            # Inlined 2-D distance: link derivation evaluates every ordered
+            # node pair, so the generator overhead of distance() is worth
+            # skipping.  The sqrt is kept (not a squared comparison) so the
+            # boundary decision is bit-identical to distance().
+            dx = a[0] - b[0]
+            dy = a[1] - b[1]
+            return math.sqrt(dx * dx + dy * dy) <= self.communication_range
         return distance(a, b) <= self.communication_range
 
     def link_quality(self, a: Position, b: Position) -> float:

@@ -66,6 +66,10 @@ class Radio:
         self.tx_complete_listener: Optional[TxCompleteListener] = None
         self.corrupted_listener: Optional[FrameListener] = None
         self._current_frame: Optional[Frame] = None
+        #: transmissions currently arriving at this radio — bound to the
+        #: channel's book-keeping list by ``channel.register`` so a CCA
+        #: needs no dict lookups.
+        self._rx_arriving: list = []
         # statistics
         self.frames_sent = 0
         self.frames_received = 0
@@ -84,9 +88,11 @@ class Radio:
         """Perform a clear channel assessment.
 
         Returns True if the channel is *clear* (idle) as seen by this radio.
+        Mirrors :meth:`WirelessChannel.is_busy_for` over the radio's direct
+        view of its arriving transmissions (no per-call dict lookups).
         """
         self.cca_count += 1
-        busy = self.channel.is_busy_for(self.node_id)
+        busy = self.state is RadioState.TRANSMITTING or bool(self._rx_arriving)
         if busy:
             self.cca_busy_count += 1
         return not busy

@@ -249,6 +249,7 @@ class ScenarioBuilder:
             topology,
             self.make_mac_factory(),
             link_error_rate=self.config.link_error_rate,
+            static_links=self.config.static_links,
         )
         return BuiltScenario(config=self.config, sim=sim, topology=topology, network=network)
 

@@ -37,6 +37,12 @@ class ScenarioConfig:
         overrides it.
     link_error_rate:
         Uniform per-link packet error rate applied to every link.
+    static_links:
+        Channel delivery mode: None (default) uses
+        :attr:`repro.phy.channel.WirelessChannel.DEFAULT_STATIC_LINKS`
+        (the precomputed link table); False forces the dynamic per-delivery
+        path for topologies that mutate mid-run.  Results are bit-identical
+        either way for static topologies.
     seed:
         Master seed of the simulation's RNG registry.
     trace / trace_limit:
@@ -54,6 +60,7 @@ class ScenarioConfig:
     propagation: Optional[str] = None
     propagation_params: Dict[str, Any] = field(default_factory=dict)
     link_error_rate: float = 0.0
+    static_links: Optional[bool] = None
     seed: int = 0
     trace: bool = False
     trace_limit: Optional[int] = None

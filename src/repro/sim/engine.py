@@ -14,6 +14,25 @@ The heap stores ``(time, seq, event)`` tuples rather than bare
 never calls ``Event.__lt__`` on the hot path (the method is kept for
 explicit comparisons).  The ordering is identical — ``(time, seq)`` is
 exactly what ``Event.__lt__`` compares.
+
+Allocation-lean fast path
+-------------------------
+:meth:`Simulator.schedule` is general (arbitrary ``*args``/``**kwargs``,
+returns a cancellable :class:`Event`), which costs an argument tuple, a
+keyword dictionary and a fresh :class:`Event` per call.  The MAC/PHY inner
+loops (subslot ticks, CCA-to-transmit delays, ACK transmissions, channel
+end-of-transmission) never cancel their events and pass at most one
+positional argument, so they use :meth:`Simulator.schedule_fast` /
+:meth:`Simulator.schedule_at_fast` instead: no tuple, no dict, no handle —
+and the fired :class:`Event` shells are recycled through a freelist
+instead of becoming garbage.  Ordering is shared with the general path
+(one sequence counter), so mixing both paths keeps the deterministic
+``(time, seq)`` execution order.
+
+Lazily-cancelled events (ACK timeouts resolved by an ACK, stopped tick
+clocks) stay on the heap until popped; the engine counts them and compacts
+the heap in place once they outnumber half of the queue, so long runs with
+many cancels do not drag a tail of dead entries through every sift.
 """
 
 from __future__ import annotations
@@ -31,24 +50,41 @@ class SimulationError(RuntimeError):
     """Raised for invalid uses of the simulation engine."""
 
 
+#: Shared empty kwargs for events scheduled without keyword arguments —
+#: the dictionary is only ever ``**``-unpacked, never handed out or
+#: mutated, so one instance serves every event.
+_NO_KWARGS: dict = {}
+
+#: Upper bound on recycled event shells kept in the freelist.  The live
+#: fast-event population of a simulation is bounded by its concurrency
+#: (at most a handful per node), so this is generous.
+_FREELIST_MAX = 4096
+
+
 class Event:
     """A scheduled callback.
 
     Events are returned by :meth:`Simulator.schedule` and
     :meth:`Simulator.schedule_at` and can be cancelled as long as they have
     not fired yet.  Cancellation is lazy: the event stays on the heap but is
-    skipped when popped.
+    skipped when popped (the simulator counts such entries and periodically
+    compacts the heap).
+
+    Fast-path events (``kwargs is None``) are internal: they carry at most
+    one positional argument in ``args``, are never handed to callers and
+    are recycled after firing.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "kwargs", "cancelled", "fired")
+    __slots__ = ("time", "seq", "callback", "args", "kwargs", "cancelled", "fired", "sim")
 
     def __init__(
         self,
         time: float,
         seq: int,
         callback: Callable[..., Any],
-        args: tuple,
-        kwargs: dict,
+        args: Any,
+        kwargs: Optional[dict],
+        sim: Optional["Simulator"] = None,
     ) -> None:
         self.time = time
         self.seq = seq
@@ -57,10 +93,16 @@ class Event:
         self.kwargs = kwargs
         self.cancelled = False
         self.fired = False
+        self.sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Cancelling a fired event is a no-op."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        sim = self.sim
+        if sim is not None:
+            sim._note_cancel()
 
     @property
     def pending(self) -> bool:
@@ -93,6 +135,10 @@ class Simulator:
         memory silently).  None keeps the recorder unbounded.
     """
 
+    #: Compaction kicks in only beyond this many lazily-cancelled entries
+    #: (small queues never pay for a rebuild).
+    COMPACT_MIN_CANCELLED = 64
+
     def __init__(
         self, seed: int = 0, trace: bool = False, trace_limit: Optional[int] = None
     ) -> None:
@@ -101,6 +147,9 @@ class Simulator:
         self._seq = itertools.count()
         self._running = False
         self._stopped = False
+        self._live = 0  # scheduled and neither fired nor cancelled
+        self._lazy_cancelled = 0  # cancelled entries still on the heap
+        self._free: List[Event] = []  # recycled fast-path event shells
         self.rng = RngRegistry(seed)
         self.tracer: Optional[TraceRecorder] = (
             TraceRecorder(max_records=trace_limit) if trace else None
@@ -129,13 +178,91 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule into the past (time={time}, now={self._now})"
             )
-        event = Event(time, next(self._seq), callback, args, kwargs)
+        event = Event(time, next(self._seq), callback, args, kwargs or _NO_KWARGS, self)
+        self._live += 1
         heapq.heappush(self._queue, (time, event.seq, event))
         return event
+
+    def schedule_fast(self, delay: float, callback: Callable[..., Any], arg: Any = None) -> None:
+        """Allocation-lean fire-and-forget scheduling (hot-path variant).
+
+        Calls ``callback()`` (or ``callback(arg)`` when ``arg`` is not None)
+        ``delay`` seconds from now.  Unlike :meth:`schedule` no handle is
+        returned, so the event cannot be cancelled — use it only for events
+        that always run to completion (the callback itself may no-op).
+        Fired events are recycled through a freelist.  ``arg`` must not
+        rely on ``None`` as a payload; use :meth:`schedule` for that.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        time = self._now + delay
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.seq = seq = next(self._seq)
+            event.callback = callback
+            event.args = arg
+        else:
+            event = Event(time, next(self._seq), callback, arg, None, self)
+            seq = event.seq
+        self._live += 1
+        heapq.heappush(self._queue, (time, seq, event))
+
+    def schedule_at_fast(self, time: float, callback: Callable[..., Any], arg: Any = None) -> None:
+        """Absolute-time variant of :meth:`schedule_fast`."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past (time={time}, now={self._now})"
+            )
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.seq = seq = next(self._seq)
+            event.callback = callback
+            event.args = arg
+        else:
+            event = Event(time, next(self._seq), callback, arg, None, self)
+            seq = event.seq
+        self._live += 1
+        heapq.heappush(self._queue, (time, seq, event))
 
     def cancel(self, event: Event) -> None:
         """Cancel a previously scheduled event."""
         event.cancel()
+
+    # ----------------------------------------------------------- maintenance
+    def _note_cancel(self) -> None:
+        """Book-keeping for a lazy cancel; compacts the heap when dead
+        entries outnumber half of it.
+
+        Compaction mutates the queue *in place* (slice assignment), so the
+        local bindings held by an active :meth:`run_until` drain loop stay
+        valid.
+        """
+        self._live -= 1
+        self._lazy_cancelled += 1
+        queue = self._queue
+        if (
+            self._lazy_cancelled > self.COMPACT_MIN_CANCELLED
+            and self._lazy_cancelled * 2 > len(queue)
+        ):
+            queue[:] = [entry for entry in queue if not entry[2].cancelled]
+            heapq.heapify(queue)
+            self._lazy_cancelled = 0
+
+    def _recycle(self, event: Event) -> None:
+        """Return a fired fast-path event shell to the freelist.
+
+        The shell keeps its last callback/argument references until reuse
+        (clearing them would cost two stores per event on the hot path);
+        the freelist is bounded and dies with the simulator, so nothing
+        outlives the run because of it.
+        """
+        free = self._free
+        if len(free) < _FREELIST_MAX:
+            free.append(event)
 
     # ------------------------------------------------------------------- run
     def step(self) -> bool:
@@ -146,11 +273,21 @@ class Simulator:
         while self._queue:
             time, _, event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._lazy_cancelled -= 1
                 continue
             self._now = time
-            event.fired = True
+            self._live -= 1
             self.events_executed += 1
-            event.callback(*event.args, **event.kwargs)
+            if event.kwargs is None:
+                callback, arg = event.callback, event.args
+                self._recycle(event)
+                if arg is None:
+                    callback()
+                else:
+                    callback(arg)
+            else:
+                event.fired = True
+                event.callback(*event.args, **event.kwargs)
             return True
         return False
 
@@ -170,21 +307,36 @@ class Simulator:
         # the per-event overhead minimal (this is the simulation hot path).
         queue = self._queue
         heappop = heapq.heappop
+        free = self._free
+        free_append = free.append
+        executed = 0
         try:
             while queue and not self._stopped:
                 time, _, event = queue[0]
                 if event.cancelled:
                     heappop(queue)
+                    self._lazy_cancelled -= 1
                     continue
                 if time > end_time:
                     break
                 heappop(queue)
                 self._now = time
-                event.fired = True
-                self.events_executed += 1
-                event.callback(*event.args, **event.kwargs)
+                self._live -= 1
+                executed += 1
+                if event.kwargs is None:
+                    callback, arg = event.callback, event.args
+                    if len(free) < _FREELIST_MAX:
+                        free_append(event)
+                    if arg is None:
+                        callback()
+                    else:
+                        callback(arg)
+                else:
+                    event.fired = True
+                    event.callback(*event.args, **event.kwargs)
         finally:
             self._running = False
+            self.events_executed += executed
         if not self._stopped:
             self._now = max(self._now, end_time)
 
@@ -237,8 +389,12 @@ class Simulator:
 
     # ----------------------------------------------------------------- misc
     def pending_events(self) -> int:
-        """Number of events still scheduled (excluding lazily cancelled ones)."""
-        return sum(1 for _, _, e in self._queue if not e.cancelled)
+        """Number of events still scheduled (excluding lazily cancelled ones).
+
+        O(1): the simulator keeps a live-event counter, incremented on
+        scheduling and decremented when an event fires or is cancelled.
+        """
+        return self._live
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"Simulator(now={self._now:.6f}, pending={self.pending_events()})"

@@ -107,6 +107,64 @@ class TestParallelEqualsSerial:
             assert left.raw == right.raw
 
 
+class TestWarmPoolDeterminism:
+    """The persistent pool and chunked delta dispatch are orchestration
+    details: records must equal serial execution bit for bit."""
+
+    def test_persistent_pool_with_chunking_matches_serial(self):
+        sweep = Sweep(
+            experiment="hidden-node",
+            macs=("qma", "unslotted-csma", "tdma"),
+            propagations=(None, "fading"),
+            grid={"delta": [10.0]},
+            fixed={"packets_per_node": 10, "warmup": 5.0},
+            seeds=(0, 1),
+        )
+        serial = CampaignRunner(jobs=1).run(sweep)
+        with CampaignRunner(jobs=4, chunksize=3) as runner:
+            chunked = runner.run(sweep)
+            # Reusing the warm pool for a second pass must not drift either.
+            again = runner.run(sweep)
+        assert serial.records == chunked.records == again.records
+        assert len(serial) == sweep.size == 12
+
+    def test_streaming_through_warm_pool_matches_serial(self):
+        sweep = Sweep(
+            experiment="hidden-node",
+            macs=("qma",),
+            grid={"delta": [10.0, 25.0]},
+            fixed={"packets_per_node": 10, "warmup": 5.0},
+            seeds=(0, 1),
+        )
+        serial = [r.metrics for r in CampaignRunner(jobs=1).iter_records(sweep)]
+        with CampaignRunner(jobs=2, chunksize=2) as runner:
+            streamed = [r.metrics for r in runner.iter_records(sweep)]
+        assert serial == streamed
+
+
+class TestLinkTableDeterminism:
+    """The channel's static link table is a pure acceleration: every MAC
+    kind and propagation model must produce identical scalars on the
+    link-table and dynamic-fallback paths."""
+
+    @pytest.mark.parametrize("mac", MAC_KINDS)
+    @pytest.mark.parametrize("propagation", [None, "unit-disk", "log-distance", "fading"])
+    def test_link_table_matches_dynamic_fallback(self, mac, propagation, monkeypatch):
+        from repro.phy.channel import WirelessChannel
+
+        scenario = Scenario(
+            experiment="hidden-node",
+            mac=mac,
+            seed=6,
+            params={"delta": 10.0, "packets_per_node": 8, "warmup": 5.0},
+            propagation=propagation,
+        )
+        static = execute_scenario(scenario)
+        monkeypatch.setattr(WirelessChannel, "DEFAULT_STATIC_LINKS", False)
+        dynamic = execute_scenario(scenario)
+        assert static.metrics == dynamic.metrics
+
+
 class TestSeedRepeatability:
     @pytest.mark.parametrize("mac", MAC_KINDS)
     def test_same_seed_twice_yields_identical_metrics(self, mac):

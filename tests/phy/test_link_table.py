@@ -1,0 +1,163 @@
+"""Tests for the channel's precomputed static link table.
+
+The table is a pure acceleration: a static channel must deliver, collide
+and drop frames exactly like the dynamic fallback, and any topology
+mutation after the table's first use must demote the channel to the
+dynamic path automatically.
+"""
+
+from __future__ import annotations
+
+from repro.phy.channel import WirelessChannel
+from repro.phy.frames import Frame, FrameKind
+from repro.phy.radio import Radio
+from repro.sim.engine import Simulator
+
+
+def make_frame(src, dst, payload=20):
+    return Frame(FrameKind.DATA, src=src, dst=dst, payload_bytes=payload)
+
+
+def _line_network(static_links):
+    """A - B - C line (A and C hidden from each other)."""
+    sim = Simulator(seed=7)
+    channel = WirelessChannel(sim, static_links=static_links)
+    radios = [Radio(sim, channel, i) for i in range(3)]
+    channel.connect(0, 1)
+    channel.connect(1, 2)
+    return sim, channel, radios
+
+
+def _exercise(sim, channel, radios):
+    """A scripted mix of clean deliveries and hidden-node collisions."""
+    a, b, c = radios
+    sim.schedule(0.0, a.transmit, make_frame(0, 1))
+    sim.schedule(0.0, c.transmit, make_frame(2, 1))  # collides at B
+    sim.schedule(0.1, a.transmit, make_frame(0, 1))  # clean
+    sim.schedule(0.2, b.transmit, make_frame(1, 0))  # clean, heard by A and C
+    sim.run_until(1.0)
+    return (
+        channel.transmissions_started,
+        channel.frames_delivered,
+        channel.frames_corrupted,
+        channel.frames_lost_link_error,
+        [r.frames_received for r in radios],
+        [r.frames_corrupted for r in radios],
+    )
+
+
+def test_static_table_matches_dynamic_fallback():
+    static = _exercise(*_line_network(static_links=True))
+    dynamic = _exercise(*_line_network(static_links=False))
+    assert static == dynamic
+    assert static[1] > 0 and static[2] > 0  # both regimes exercised
+
+
+def test_static_channel_uses_table_and_dynamic_does_not():
+    sim, channel, radios = _line_network(static_links=True)
+    assert channel.static_links
+    radios[0].transmit(make_frame(0, 1))
+    sim.run_until(1.0)
+    assert channel._link_table is not None
+
+    sim2, channel2, radios2 = _line_network(static_links=False)
+    radios2[0].transmit(make_frame(0, 1))
+    sim2.run_until(1.0)
+    assert not channel2.static_links
+    assert channel2._link_table is None
+
+
+def test_mutation_after_first_use_demotes_to_dynamic():
+    sim, channel, radios = _line_network(static_links=True)
+    radios[0].transmit(make_frame(0, 1))
+    sim.run_until(1.0)
+    assert channel.static_links
+    channel.connect(0, 2)  # topology change after the table was built
+    assert not channel.static_links
+    assert channel._link_table is None
+    # The new link is honoured by the dynamic path.
+    before = radios[2].frames_received
+    radios[0].transmit(make_frame(0, 2))
+    sim.run_until(2.0)
+    assert radios[2].frames_received == before + 1
+
+
+def test_disconnect_mid_flight_frees_the_receivers_cca():
+    """Regression: a frame on the air when its link is removed must not
+    stay in the receiver's arriving list forever (CCA busy for the rest
+    of the run)."""
+    for static in (True, False):
+        sim, channel, radios = _line_network(static_links=static)
+        a, b, _ = radios
+        a.transmit(make_frame(0, 1))
+        channel.disconnect(0, 1)  # mid-flight: frame still on the air
+        sim.run_until(1.0)
+        assert b.cca(), f"CCA stuck busy (static_links={static})"
+        assert not channel._arriving[1]
+
+
+def test_demotion_mid_flight_matches_dynamic_from_start():
+    """A mutation while a frame is on the air must leave the static and
+    dynamic channels in agreement — in-flight transmissions finish on the
+    dynamic path after demotion."""
+
+    def run(static_links):
+        sim, channel, radios = _line_network(static_links=static_links)
+        a, b, c = radios
+        a.transmit(make_frame(0, 1))
+        channel.disconnect(0, 1)  # demotes the static channel mid-flight
+        sim.run_until(1.0)
+        a.transmit(make_frame(0, 1))  # link is gone: nobody hears this
+        sim.run_until(2.0)
+        return (channel.frames_delivered, b.frames_received, c.frames_received)
+
+    assert run(True) == run(False)
+
+
+def test_registering_a_radio_after_first_use_demotes():
+    sim, channel, radios = _line_network(static_links=True)
+    radios[0].transmit(make_frame(0, 1))
+    sim.run_until(1.0)
+    Radio(sim, channel, 99)
+    assert not channel.static_links
+
+
+def test_construction_time_wiring_keeps_static_mode():
+    """connect/set_link_error_rate before the first transmission do not
+    demote — the table simply has not been built yet."""
+    sim = Simulator(seed=1)
+    channel = WirelessChannel(sim, static_links=True)
+    Radio(sim, channel, 0)
+    Radio(sim, channel, 1)
+    channel.connect(0, 1)
+    channel.set_link_error_rate(0, 1, 0.0)
+    assert channel.static_links
+    channel.radio(0).transmit(make_frame(0, 1))
+    sim.run_until(1.0)
+    assert channel.static_links
+    assert channel.frames_delivered == 1
+
+
+def test_link_error_rate_applies_through_the_table():
+    sim = Simulator(seed=3)
+    channel = WirelessChannel(sim, static_links=True)
+    a = Radio(sim, channel, 0)
+    Radio(sim, channel, 1)
+    channel.connect(0, 1)
+    channel.set_link_error_rate(0, 1, 1.0)
+    a.transmit(make_frame(0, 1))
+    sim.run_until(1.0)
+    assert channel.frames_lost_link_error == 1
+    assert channel.frames_delivered == 0
+
+
+def test_default_static_links_class_switch():
+    sim = Simulator(seed=1)
+    original = WirelessChannel.DEFAULT_STATIC_LINKS
+    try:
+        WirelessChannel.DEFAULT_STATIC_LINKS = False
+        assert not WirelessChannel(sim).static_links
+        WirelessChannel.DEFAULT_STATIC_LINKS = True
+        assert WirelessChannel(Simulator(seed=1)).static_links
+    finally:
+        WirelessChannel.DEFAULT_STATIC_LINKS = original

@@ -130,11 +130,19 @@ def test_sweep_command_streams_jsonl(tmp_path, capsys):
         == 0
     )
     lines = [line for line in path.read_text().splitlines() if line.strip()]
-    assert len(lines) == 2
-    entry = json_module.loads(lines[0])
+    # Leading _meta line (effective pool configuration) plus one line per record.
+    assert len(lines) == 3
+    meta = json_module.loads(lines[0])["_meta"]
+    assert meta["pool"] == {"jobs": 1, "chunksize": 1, "pool": "serial"}
+    entry = json_module.loads(lines[1])
     assert entry["scenario"]["metrics"] == ["pdr", "delay"]
     assert "pdr" in entry["metrics"] and "average_delay" in entry["metrics"]
     assert str(path) in capsys.readouterr().out
+
+    from repro.campaign.frame import iter_jsonl
+
+    records = list(iter_jsonl(str(path)))  # _meta line is skipped on read-back
+    assert len(records) == 2
 
 
 def test_sweep_metric_validation_respects_collector_selection():
@@ -278,6 +286,49 @@ def test_sweep_command_parallel_jobs(capsys):
 def test_sweep_command_rejects_malformed_grid():
     with pytest.raises(SystemExit):
         main(["sweep", "hidden-node", "--grid", "delta"])
+
+
+def test_sweep_command_chunksize_and_pool_config(tmp_path, capsys):
+    import json as json_module
+
+    json_path = tmp_path / "records.json"
+    assert (
+        main(
+            [
+                "sweep",
+                "hidden-node",
+                "--macs",
+                "qma",
+                "--grid",
+                "delta=10",
+                "--set",
+                "packets_per_node=8",
+                "--set",
+                "warmup=5",
+                "--seeds",
+                "4",
+                "--jobs",
+                "2",
+                "--chunksize",
+                "2",
+                "--json",
+                str(json_path),
+            ]
+        )
+        == 0
+    )
+    output = capsys.readouterr().out
+    assert "jobs=2 chunksize=2 pool=persistent" in output
+    document = json_module.loads(json_path.read_text())
+    assert document["meta"]["pool"] == {"jobs": 2, "chunksize": 2, "pool": "persistent"}
+    assert len(document["records"]) == 4
+
+
+def test_sweep_command_rejects_bad_chunksize():
+    with pytest.raises(SystemExit):
+        main(["sweep", "hidden-node", "--grid", "delta=10", "--chunksize", "0"])
+    with pytest.raises(SystemExit):
+        main(["sweep", "hidden-node", "--grid", "delta=10", "--chunksize", "soon"])
 
 
 def test_fig7_accepts_jobs_flag(capsys):
