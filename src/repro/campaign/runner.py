@@ -33,6 +33,21 @@ axis-values)`` delta, in adaptively sized chunks
 Call :meth:`CampaignRunner.close` (or use the runner as a context
 manager) to release the workers early; they are also reclaimed when the
 runner is garbage collected.
+
+Build-once / run-many
+---------------------
+Per-run *construction* (topology factory, O(n²) propagation-derived links,
+routing tree, PER rows) depends only on the configuration half of a
+scenario, never on the master seed or the MAC — so every worker keeps a
+small LRU of construction-artifact bundles
+(:data:`repro.scenario.artifacts.ARTIFACT_CACHE`, configured through the
+pool initializer) and sweeps are dispatched in *configuration-affinity
+order*: runs sharing a cache key are sorted consecutively (stable, so each
+group keeps expansion order) and land in the same chunk, while records are
+re-emitted in the original deterministic expansion order.  Results are
+bit-identical with the cache on and off; ``build_cache=False``
+(``--no-build-cache``) restores plain per-run construction and pure
+expansion-order dispatch.
 """
 
 from __future__ import annotations
@@ -47,18 +62,40 @@ from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequ
 
 from repro.campaign.frame import RecordSink, ResultFrame
 from repro.campaign.records import CampaignResult, RunRecord
-from repro.campaign.spec import EXPERIMENT_KINDS, Scenario, Sweep
+from repro.campaign.spec import (
+    EXPERIMENT_KINDS,
+    Scenario,
+    Sweep,
+    construction_affinity_key,
+    construction_seed_dependent,
+    construction_values,
+)
 from repro.experiments import hidden_node, scalability, testbed
 from repro.experiments.hidden_node import run_hidden_node
 from repro.experiments.scalability import run_scalability
 from repro.experiments.testbed import run_star, run_tree
 from repro.metrics.registry import build_collectors
 from repro.metrics.report import SimReport
+from repro.scenario.artifacts import ARTIFACT_CACHE
 
 #: Default bound on retained trace records for traced campaign runs; long
 #: sweeps with ``trace=True`` then drop (and count) the excess instead of
 #: exhausting memory silently.  Pass ``trace_limit`` explicitly to change.
 DEFAULT_TRACE_LIMIT = 250_000
+
+#: Affinity-ordered dispatch materialises the sweep's delta list (to sort
+#: it) and may buffer out-of-order records while re-emitting them in
+#: expansion order; above this sweep size the runner keeps plain expansion
+#: order so arbitrarily large sweeps stay constant-memory (workers still
+#: cache by key, they just see fewer consecutive same-key runs).
+AFFINITY_REORDER_LIMIT = 100_000
+
+#: The re-emission buffer holds at most as many records as the dispatch
+#: permutation displaces any single run; permutations displacing more than
+#: this are not worth the memory (e.g. seed-grouped fading sweeps over
+#: multiple MACs, where the displacement grows with the sweep) and fall
+#: back to expansion-order dispatch.
+AFFINITY_MAX_DISPLACEMENT = 10_000
 
 
 def _report_metrics(report: SimReport, traced: bool) -> Dict[str, float]:
@@ -297,10 +334,12 @@ _WORKER_STATE: Dict[str, Any] = {"template": None, "keep_raw": False}
 
 
 def _worker_init(blob: bytes) -> None:
-    """Pool initializer: install the shared scenario template once per worker."""
-    template, keep_raw = pickle.loads(blob)
+    """Pool initializer: install the shared scenario template once per worker
+    and configure the worker's construction-artifact cache."""
+    template, keep_raw, build_cache, cache_size = pickle.loads(blob)
     _WORKER_STATE["template"] = template
     _WORKER_STATE["keep_raw"] = keep_raw
+    ARTIFACT_CACHE.configure(enabled=build_cache, maxsize=cache_size)
 
 
 def _execute_scenario_task(scenario: Scenario) -> RunRecord:
@@ -348,9 +387,18 @@ class WorkerPool:
         self._blob: Optional[bytes] = None
         self._finalizer = None
 
-    def ensure(self, template: Optional[ScenarioTemplate], keep_raw: bool):
-        """Return a pool whose workers carry the given template."""
-        blob = pickle.dumps((template, keep_raw), protocol=pickle.HIGHEST_PROTOCOL)
+    def ensure(
+        self,
+        template: Optional[ScenarioTemplate],
+        keep_raw: bool,
+        build_cache: bool = True,
+        cache_size: Optional[int] = None,
+    ):
+        """Return a pool whose workers carry the given template and cache config."""
+        blob = pickle.dumps(
+            (template, keep_raw, build_cache, cache_size),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
         if self._pool is None or blob != self._blob:
             self.close()
             self._pool = multiprocessing.Pool(
@@ -390,6 +438,20 @@ class CampaignRunner:
         ``max(1, n // (jobs * 8))``, an integer pins it.  Larger chunks
         amortise IPC for short runs; ``1`` reproduces the pre-warm-pool
         dispatch behaviour.
+    build_cache:
+        Reuse construction artifacts (topology, O(n²) link derivation, PER
+        rows) across runs sharing a configuration cache key (default on;
+        ``--no-build-cache`` on the CLI).  Sweeps are additionally
+        dispatched in configuration-affinity order — runs sharing a key
+        land consecutively in the same worker chunk — while records are
+        re-emitted in the original deterministic expansion order.
+        Results are bit-identical with the cache on and off.
+    cache_size:
+        Per-process LRU capacity of the artifact cache (each worker keeps
+        its own).  None (the default) keeps each process's current
+        capacity — in particular a serial run never shrinks (and thereby
+        evicts from) a cache the caller enlarged via
+        ``configure_artifact_cache``.
 
     With ``jobs > 1`` the runner owns a persistent :class:`WorkerPool`
     created on first use and reused across ``run`` / ``iter_records`` /
@@ -403,11 +465,17 @@ class CampaignRunner:
         jobs: int = 1,
         keep_raw: bool = False,
         chunksize: Union[int, str] = "auto",
+        build_cache: bool = True,
+        cache_size: Optional[int] = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.keep_raw = keep_raw
         resolve_chunksize(chunksize, 0, self.jobs)  # validate eagerly
         self.chunksize = chunksize
+        self.build_cache = bool(build_cache)
+        if cache_size is not None and cache_size < 1:
+            raise ValueError(f"cache_size must be positive, got {cache_size}")
+        self.cache_size = cache_size
         self._pool: Optional[WorkerPool] = None
 
     # ---------------------------------------------------------------- pool
@@ -436,10 +504,74 @@ class CampaignRunner:
             "jobs": self.jobs,
             "chunksize": resolve_chunksize(self.chunksize, size, self.jobs) if parallel else 1,
             "pool": "persistent" if parallel else "serial",
+            "build_cache": self.build_cache,
         }
 
     def _scenarios(self, sweep: Union[Sweep, Iterable[Scenario]]) -> List[Scenario]:
         return sweep.scenarios() if isinstance(sweep, Sweep) else list(sweep)
+
+    def _affinity_order(self, sweep: Sweep, deltas: List[Tuple]) -> Optional[List[int]]:
+        """Dispatch permutation grouping runs that share construction artifacts.
+
+        A stable sort by :func:`construction_affinity_key`, so runs sharing
+        a key become consecutive (and land in the same worker chunk) while
+        each group keeps expansion order.  None when the expansion order is
+        already affine — the common case (seeds innermost) costs nothing —
+        or when the permutation would displace a run by more than
+        :data:`AFFINITY_MAX_DISPLACEMENT` positions, which bounds the
+        re-emission buffer of :meth:`_reorder`.
+        """
+        fixed = dict(sweep.fixed)
+        # Seed-dependence is a function of (propagation, construction
+        # values) — a handful of distinct pairs per sweep — so memoise it
+        # instead of re-resolving registries for every run.
+        seed_dependent: Dict[Tuple, bool] = {}
+        keys = []
+        for mac, propagation, seed, axis_params in deltas:
+            params = {**fixed, **axis_params}
+            values = construction_values(sweep.experiment, params)
+            memo_key = (propagation, values)
+            dependent = seed_dependent.get(memo_key)
+            if dependent is None:
+                dependent = construction_seed_dependent(
+                    sweep.experiment, propagation, params
+                )
+                seed_dependent[memo_key] = dependent
+            keys.append(
+                construction_affinity_key(
+                    sweep.experiment,
+                    propagation,
+                    seed,
+                    params,
+                    values=values,
+                    seed_dependent=dependent,
+                )
+            )
+        order = sorted(range(len(deltas)), key=keys.__getitem__)
+        if order == list(range(len(deltas))):
+            return None
+        if max(
+            abs(original - position) for position, original in enumerate(order)
+        ) > AFFINITY_MAX_DISPLACEMENT:
+            return None
+        return order
+
+    @staticmethod
+    def _reorder(results: Iterable[RunRecord], order: List[int]) -> Iterator[RunRecord]:
+        """Re-emit affinity-dispatched results in original expansion order.
+
+        Buffers records that finish ahead of their expansion position; the
+        buffer is bounded by the dispatch permutation's maximum
+        displacement, which :meth:`_affinity_order` caps at
+        :data:`AFFINITY_MAX_DISPLACEMENT`.
+        """
+        pending: Dict[int, RunRecord] = {}
+        next_index = 0
+        for position, record in enumerate(results):
+            pending[order[position]] = record
+            while next_index in pending:
+                yield pending.pop(next_index)
+                next_index += 1
 
     def iter_records(self, sweep: Union[Sweep, Iterable[Scenario]]) -> Iterator[RunRecord]:
         """Yield records in deterministic expansion order as they finish.
@@ -449,6 +581,13 @@ class CampaignRunner:
         the initializer-shipped template, so a million-run sweep is never
         materialised in the parent.  An empty sweep (or scenario list)
         yields nothing.
+
+        With the build cache enabled, sweeps up to
+        :data:`AFFINITY_REORDER_LIMIT` runs are dispatched in
+        configuration-affinity order (runs sharing construction artifacts
+        consecutively, so each worker's artifact LRU sees same-key
+        streaks); records are still yielded in expansion order.  Larger
+        sweeps keep lazy expansion-order dispatch.
 
         Exhaust the iterator (or let :meth:`run` / :meth:`stream` do so):
         abandoning it mid-sweep terminates the worker pool — ``imap``'s
@@ -465,20 +604,46 @@ class CampaignRunner:
             return
         if self.jobs == 1 or size == 1:
             for scenario in (sweep if scenarios is None else scenarios):
-                yield execute_scenario(scenario, keep_raw=self.keep_raw)
+                # Scope the runner's cache configuration to the execution
+                # itself (not the yield) so caller code running between
+                # records sees the process-wide defaults.
+                with ARTIFACT_CACHE.override(
+                    enabled=self.build_cache, maxsize=self.cache_size
+                ):
+                    record = execute_scenario(scenario, keep_raw=self.keep_raw)
+                yield record
             return
         chunk = resolve_chunksize(self.chunksize, size, self.jobs)
         if scenarios is None:
             template = ScenarioTemplate.of(sweep)
-            pool = self._worker_pool().ensure(template, self.keep_raw)
-            axes = sweep.axes
-            deltas = (
-                (s.mac, s.propagation, s.seed, {name: s.params[name] for name in axes})
-                for s in sweep
+            pool = self._worker_pool().ensure(
+                template, self.keep_raw, self.build_cache, self.cache_size
             )
-            results = pool.imap(_execute_delta_task, deltas, chunksize=chunk)
+            axes = sweep.axes
+
+            def delta_of(s: Scenario) -> Tuple:
+                return (s.mac, s.propagation, s.seed, {name: s.params[name] for name in axes})
+
+            order: Optional[List[int]] = None
+            if self.build_cache and size <= AFFINITY_REORDER_LIMIT:
+                delta_list = [delta_of(s) for s in sweep]
+                order = self._affinity_order(sweep, delta_list)
+                if order is not None:
+                    dispatched = [delta_list[index] for index in order]
+                else:
+                    dispatched = delta_list
+                results: Iterable[RunRecord] = pool.imap(
+                    _execute_delta_task, dispatched, chunksize=chunk
+                )
+                if order is not None:
+                    results = self._reorder(results, order)
+            else:
+                deltas = (delta_of(s) for s in sweep)
+                results = pool.imap(_execute_delta_task, deltas, chunksize=chunk)
         else:
-            pool = self._worker_pool().ensure(None, self.keep_raw)
+            pool = self._worker_pool().ensure(
+                None, self.keep_raw, self.build_cache, self.cache_size
+            )
             results = pool.imap(_execute_scenario_task, scenarios, chunksize=chunk)
         completed = False
         try:

@@ -24,7 +24,8 @@ from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.mac.registry import MAC_REGISTRY, mac_kinds
 from repro.metrics.registry import COLLECTOR_REGISTRY, collector_kinds
-from repro.phy.registry import PROPAGATION_REGISTRY, propagation_kinds
+from repro.phy.registry import PROPAGATION_REGISTRY, get_propagation_spec, propagation_kinds
+from repro.scenario.builder import topology_accepts_seed
 
 #: Experiment families runnable by the campaign layer.  Each fixes a
 #: topology and traffic model; see :mod:`repro.campaign.runner` for the
@@ -33,6 +34,92 @@ EXPERIMENT_KINDS = ("hidden-node", "testbed-tree", "testbed-star", "scalability"
 
 #: Scenario fields that cannot double as sweep parameters.
 _RESERVED_PARAMS = ("mac", "seed", "propagation", "metrics")
+
+#: Runner parameters that shape *construction* (topology, link set, PER
+#: rows) per experiment family.  The campaign runner groups runs sharing
+#: these values — plus the propagation axis and, where construction is
+#: seeded, the seed — consecutively, so each warm worker's artifact LRU
+#: sees long same-key streaks (configuration-affinity dispatch).  Traffic
+#: parameters (``delta``, ``packets_per_node``, durations, ...) are
+#: deliberately absent: they never split an artifact group.
+CONSTRUCTION_PARAMS: Dict[str, Tuple[str, ...]] = {
+    "hidden-node": ("link_distance", "propagation_params"),
+    "testbed-tree": ("link_error_rate", "propagation_params"),
+    "testbed-star": ("link_error_rate", "propagation_params"),
+    "scalability": ("topology", "nodes", "rings", "propagation_params"),
+}
+
+#: The topology each experiment family builds when no ``topology``
+#: parameter overrides it (used to decide seed-dependence below).
+_DEFAULT_TOPOLOGY: Dict[str, str] = {
+    "hidden-node": "hidden-node",
+    "testbed-tree": "iotlab-tree",
+    "testbed-star": "iotlab-star",
+    "scalability": "concentric",
+}
+
+
+def construction_seed_dependent(
+    experiment: str, propagation: Optional[str], params: Mapping[str, Any]
+) -> bool:
+    """Whether this run's construction artifacts depend on the master seed.
+
+    True when the propagation model is seeded and the run does not pin a
+    seed via ``propagation_params``, or when the (possibly overridden)
+    topology factory is seeded — the builder injects the scenario seed in
+    both cases, so runs with different seeds build different artifacts.
+    """
+    if propagation is not None:
+        propagation_params = params.get("propagation_params") or {}
+        if "seed" not in propagation_params:
+            if get_propagation_spec(propagation).accepts_seed():
+                return True
+    topology = params.get("topology") or _DEFAULT_TOPOLOGY.get(experiment)
+    if topology is None:
+        return False
+    try:
+        return topology_accepts_seed(str(topology))
+    except KeyError:
+        # Unknown topology name: assume seeded so affinity grouping never
+        # merges runs that might build different artifacts.
+        return True
+
+
+def construction_values(experiment: str, params: Mapping[str, Any]) -> Tuple[str, ...]:
+    """The construction-relevant parameter values of one run, repr-rendered
+    (sortable across heterogeneous axes)."""
+    names = CONSTRUCTION_PARAMS.get(experiment, ())
+    return tuple(repr(params.get(name)) for name in names)
+
+
+def construction_affinity_key(
+    experiment: str,
+    propagation: Optional[str],
+    seed: int,
+    params: Mapping[str, Any],
+    *,
+    values: Optional[Tuple[str, ...]] = None,
+    seed_dependent: Optional[bool] = None,
+) -> Tuple[Any, ...]:
+    """Sortable grouping key: runs with equal keys share construction artifacts.
+
+    A conservative over-approximation of
+    :meth:`repro.scenario.config.ScenarioConfig.cache_key` computed from
+    campaign-level data alone: equal keys are guaranteed to share
+    artifacts, unequal keys merely *may* differ.
+
+    Seed-dependence is fully determined by ``(propagation, values)``, so
+    batch callers (``CampaignRunner._affinity_order``) may pass
+    precomputed ``values`` / ``seed_dependent`` to memoise the registry
+    lookups per distinct pair instead of per run — the key assembly
+    itself lives only here.
+    """
+    if values is None:
+        values = construction_values(experiment, params)
+    if seed_dependent is None:
+        seed_dependent = construction_seed_dependent(experiment, propagation, params)
+    seed_part: Tuple[int, int] = (1, seed) if seed_dependent else (0, 0)
+    return (propagation or "", values, seed_part)
 
 
 def _check_mac(mac: str) -> None:

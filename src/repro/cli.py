@@ -109,6 +109,15 @@ def _add_campaign_options(parser: argparse.ArgumentParser) -> None:
         "min 1; larger chunks amortise IPC for short runs)",
     )
     parser.add_argument(
+        "--no-build-cache",
+        dest="build_cache",
+        action="store_false",
+        default=True,
+        help="rebuild topology/links/PER rows for every run instead of "
+        "reusing cached construction artifacts across runs that share a "
+        "configuration (results are bit-identical either way)",
+    )
+    parser.add_argument(
         "--json", dest="json_path", metavar="PATH", help="export per-run records as JSON"
     )
     parser.add_argument(
@@ -191,7 +200,9 @@ def cmd_fig7(args: argparse.Namespace) -> None:
         seeds=list(range(args.repetitions)),
         metrics=args.collectors,
     )
-    with CampaignRunner(jobs=args.jobs, chunksize=args.chunksize) as runner:
+    with CampaignRunner(
+        jobs=args.jobs, chunksize=args.chunksize, build_cache=args.build_cache
+    ) as runner:
         campaign = runner.run(sweep)
     by = ("delta", "mac")
     try:
@@ -250,7 +261,9 @@ def cmd_testbed(args: argparse.Namespace) -> None:
         seeds=[args.seed],
         metrics=args.collectors,
     )
-    with CampaignRunner(jobs=args.jobs, keep_raw=True, chunksize=args.chunksize) as runner:
+    with CampaignRunner(
+        jobs=args.jobs, keep_raw=True, chunksize=args.chunksize, build_cache=args.build_cache
+    ) as runner:
         campaign = runner.run(sweep)
     rows = []
     for record in campaign:
@@ -275,7 +288,9 @@ def cmd_fig21(args: argparse.Namespace) -> None:
         seeds=[args.seed],
         metrics=args.collectors,
     )
-    with CampaignRunner(jobs=args.jobs, chunksize=args.chunksize) as runner:
+    with CampaignRunner(
+        jobs=args.jobs, chunksize=args.chunksize, build_cache=args.build_cache
+    ) as runner:
         campaign = runner.run(sweep)
     records = {
         (record.scenario.params["rings"], record.scenario.mac): record for record in campaign
@@ -367,7 +382,9 @@ def cmd_sweep(args: argparse.Namespace) -> None:
         by += ("propagation",)
     by += sweep.axes
 
-    runner = CampaignRunner(jobs=args.jobs, chunksize=args.chunksize)
+    runner = CampaignRunner(
+        jobs=args.jobs, chunksize=args.chunksize, build_cache=args.build_cache
+    )
     # The effective pool configuration rides along in --json/--jsonl output
     # so throughput anomalies can be traced to their dispatch settings.
     pool_config = runner.pool_config(sweep.size)

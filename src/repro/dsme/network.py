@@ -10,7 +10,7 @@ of Fig. 21 / Fig. 22.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, TYPE_CHECKING
+from typing import Dict, Mapping, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.core.config import QmaConfig
 from repro.dsme.node import DsmeNode
@@ -106,6 +106,9 @@ class DsmeNetwork:
         csma_config: Optional[CsmaConfig] = None,
         cap_mac_config: Optional[object] = None,
         route_discovery_period: Optional[float] = 2.0,
+        link_error_rate: float = 0.0,
+        static_links: Optional[bool] = None,
+        prebuilt_links: Optional[Mapping[int, Sequence[Tuple[int, float]]]] = None,
     ) -> None:
         if cap_mac not in MAC_REGISTRY:
             raise ValueError(
@@ -124,7 +127,14 @@ class DsmeNetwork:
         self._csma_config = csma_config if csma_config is not None else CsmaConfig()
         self._cap_mac_config = cap_mac_config
 
-        self.network = Network(sim, topology, self._build_mac)
+        self.network = Network(
+            sim,
+            topology,
+            self._build_mac,
+            link_error_rate=link_error_rate,
+            static_links=static_links,
+            prebuilt_links=prebuilt_links,
+        )
         self.dsme_nodes: Dict[int, DsmeNode] = {}
         for node_id, node in self.network.nodes.items():
             dsme_node = DsmeNode(sim, node, self.config)

@@ -21,12 +21,16 @@ from repro.dsme.superframe import SuperframeConfig
 from repro.metrics.base import CollectionContext
 from repro.metrics.registry import build_collectors
 from repro.metrics.report import SimReport
-from repro.scenario.builder import ScenarioBuilder
+from repro.scenario.builder import ScenarioBuilder, topology_accepts_node_count
 from repro.scenario.config import ScenarioConfig
 from repro.traffic.generators import FluctuatingPoissonTraffic
 
 #: Ring counts of the paper, corresponding to 7 / 19 / 43 / 91 nodes.
 PAPER_RINGS = (1, 2, 3, 4)
+
+#: Node count of seeded/placement topologies when ``nodes`` is not given
+#: (matches the 2-ring concentric deployment of the paper).
+DEFAULT_TOPOLOGY_NODES = 19
 
 #: Collector composition reproducing the historical ``ScalabilityResult``
 #: metrics (scalars are numerically identical for fixed seeds).
@@ -54,6 +58,8 @@ def run_scalability(
     seed: int = 0,
     config: Optional[SuperframeConfig] = None,
     route_discovery_period: Optional[float] = 2.0,
+    topology: str = "concentric",
+    nodes: Optional[int] = None,
     propagation: Optional[str] = None,
     propagation_params: Optional[Mapping[str, Any]] = None,
     collectors: Optional[Sequence[str]] = None,
@@ -65,15 +71,41 @@ def run_scalability(
     The paper uses a warm-up of 200 s for network formation and alternating
     per-node rates of δ = 1 and δ = 10 packets/s every 5 s; ``duration`` is the
     total simulated time including the warm-up.
+
+    ``topology`` names any registered data-collection topology (default:
+    the paper's ``concentric`` rings, sized by ``rings``).  Count-sized
+    topologies — e.g. ``random`` uniform placement — are sized by
+    ``nodes`` (default :data:`DEFAULT_TOPOLOGY_NODES`); fixed-size
+    topologies (``iotlab-tree``/``iotlab-star``/``hidden-node``) take
+    neither knob and reject an explicit ``nodes``.  Mixed
+    ``--grid topology=...`` sweeps stay convenient: ``rings`` only sizes
+    ``concentric`` grid points and ``nodes`` only count-sized ones, each
+    ignored where not applicable.  Seeded placement factories receive the
+    scenario seed, so the deployment is a deterministic function of the
+    seed (and part of the construction cache key).
     """
-    if rings < 1:
-        raise ValueError("rings must be at least 1")
     if duration <= warmup:
         raise ValueError("duration must exceed the warm-up time")
+    if topology == "concentric":
+        if rings < 1:
+            raise ValueError("rings must be at least 1")
+        topology_params: Dict[str, Any] = {"rings": rings}
+    elif topology_accepts_node_count(topology):
+        node_count = DEFAULT_TOPOLOGY_NODES if nodes is None else int(nodes)
+        if node_count < 2:
+            raise ValueError("nodes must be at least 2 (a sink and one source)")
+        topology_params = {"num_nodes": node_count}
+    else:
+        if nodes is not None:
+            raise ValueError(
+                f"topology {topology!r} has a fixed size; the nodes parameter "
+                "only applies to count-sized topologies such as 'random'"
+            )
+        topology_params = {}
 
     scenario = ScenarioConfig(
-        topology="concentric",
-        topology_params={"rings": rings},
+        topology=topology,
+        topology_params=topology_params,
         mac=mac,
         propagation=propagation,
         propagation_params=dict(propagation_params or {}),
@@ -113,11 +145,19 @@ def run_scalability(
     dsme.start()
     sim.run_until(duration)
 
+    report_params: Dict[str, Any] = {
+        "rings": rings, "duration": duration, "warmup": warmup, "seed": seed,
+    }
+    if scenario.topology != "concentric":
+        # Non-default topologies record their axis; the concentric default
+        # keeps the historical parameter set for report parity.
+        report_params["topology"] = scenario.topology
+        report_params.update(scenario.topology_params)
     report = SimReport(
         experiment="scalability",
         mac=mac,
         topology=topology.name,
-        params={"rings": rings, "duration": duration, "warmup": warmup, "seed": seed},
+        params=report_params,
         duration=sim.now,
         trace_dropped=ctx.trace_dropped(),
         legacy=dict(_LEGACY_ATTRS),

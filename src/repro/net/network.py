@@ -8,7 +8,7 @@ attempts) that the experiment runners report.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, TYPE_CHECKING
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.net.node import Node
 from repro.phy.channel import WirelessChannel
@@ -35,6 +35,7 @@ class Network:
         phy: Optional[PhyParameters] = None,
         link_error_rate: float = 0.0,
         static_links: Optional[bool] = None,
+        prebuilt_links: Optional[Mapping[int, Sequence[Tuple[int, float]]]] = None,
     ) -> None:
         self.sim = sim
         self.topology = topology
@@ -56,11 +57,20 @@ class Network:
                 sink_id=topology.sink,
             )
 
+        # This wiring sequence (node-id-ordered set creation above, link-set
+        # iteration order here) defines the channel's delivery order;
+        # repro.scenario.artifacts.link_table_skeleton replays it verbatim,
+        # and the build-cache test suite pins the parity per topology.
         for link in topology.links:
             a, b = tuple(link)
             self.channel.connect(a, b)
             if link_error_rate > 0.0:
                 self.channel.set_link_error_rate(a, b, link_error_rate)
+        if prebuilt_links is not None:
+            # Cached construction artifacts: the channel's first transmission
+            # maps these shared (receiver, PER) rows onto this run's radios
+            # instead of re-deriving receiver order from the neighbour sets.
+            self.channel.preset_link_table(prebuilt_links)
 
     # ------------------------------------------------------------------ control
     def start(self) -> None:

@@ -38,12 +38,36 @@ caller cooperation.  Channels can also be created with
 ``static_links=False`` to opt out up front.  Transmissions in flight at
 demotion time lose their row snapshot and finish on the dynamic path, so
 the static and dynamic modes agree even across the mutating event itself.
+
+Prebuilt skeleton
+-----------------
+The construction cache (:mod:`repro.scenario.artifacts`) shares one
+link-table *skeleton* — per sender, the ordered ``(receiver_id, PER)``
+pairs — across every run of a sweep.  :meth:`WirelessChannel.preset_link_table`
+installs such a skeleton after wiring; the first transmission then maps it
+onto this run's radios and arriving lists instead of re-deriving the
+receiver order from the neighbour sets.  The skeleton is read-only and
+shared: any mutation simply *drops this channel's reference* (before first
+use the table is later derived from the live wiring, after first use the
+channel demotes to the dynamic path as usual), so a demoting run never
+corrupts the bundle other runs still consume (copy-on-demote).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import AbstractSet, Dict, Iterable, List, Optional, Sequence, Set, Tuple, TYPE_CHECKING
+from typing import (
+    AbstractSet,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    TYPE_CHECKING,
+)
 
 from repro.phy.frames import Frame
 from repro.phy.params import PhyParameters
@@ -109,6 +133,9 @@ class WirelessChannel:
             self.DEFAULT_STATIC_LINKS if static_links is None else bool(static_links)
         )
         self._link_table: Optional[Dict[int, Tuple[_LinkRow, ...]]] = None
+        #: Shared (receiver_id, PER) skeleton installed by preset_link_table;
+        #: read-only — mutations drop the reference, never edit it.
+        self._skeleton: Optional[Mapping[int, Sequence[Tuple[int, float]]]] = None
         # statistics
         self.transmissions_started = 0
         self.frames_delivered = 0
@@ -197,18 +224,42 @@ class WirelessChannel:
         """True while deliveries run over the precomputed link table."""
         return self._static
 
+    def preset_link_table(
+        self, skeleton: Mapping[int, Sequence[Tuple[int, float]]]
+    ) -> None:
+        """Install a shared prebuilt ``sender -> ((receiver, PER), ...)`` skeleton.
+
+        Called by :class:`~repro.net.network.Network` after wiring when the
+        scenario builder supplied cached construction artifacts; the first
+        transmission then maps the skeleton onto this run's radios and
+        arriving lists instead of re-deriving receiver order from the
+        neighbour sets.  The skeleton must describe exactly the current
+        wiring — any later mutation discards it (see
+        :meth:`invalidate_link_table`).  Dynamic channels ignore presets.
+        """
+        if not self._static:
+            return
+        if self._link_table is not None:
+            raise RuntimeError("cannot preset the link table after its first use")
+        self._skeleton = skeleton
+
     def invalidate_link_table(self) -> None:
         """Drop the precomputed delivery rows after a topology change.
 
         Called automatically by every mutating method.  Before the table's
-        first use this is free (construction-time wiring); *after* first
+        first use this is free (construction-time wiring) — though a preset
+        skeleton no longer matching the wiring is dropped, falling back to
+        deriving the table from the live neighbour sets; *after* first
         use the channel permanently falls back to the dynamic path, which
         re-reads the neighbour sets per delivery — the correct semantics
         for mobile/mutating topologies.  Transmissions in flight at
         demotion time lose their row snapshot and finish on the dynamic
         path too, so a mid-flight mutation behaves exactly like a channel
-        that ran dynamic from the start.
+        that ran dynamic from the start.  A shared skeleton is never
+        edited, only dereferenced — other runs consuming the same bundle
+        are unaffected (copy-on-demote).
         """
+        self._skeleton = None
         if self._link_table is not None:
             self._link_table = None
             self._static = False
@@ -220,19 +271,29 @@ class WirelessChannel:
         """Precompute per-sender delivery rows (neighbour-set order kept)."""
         radios = self._radios
         arriving = self._arriving
-        link_error = self._link_error
-        table = {
-            sender_id: tuple(
-                (
-                    receiver_id,
-                    radios[receiver_id],
-                    arriving[receiver_id],
-                    link_error.get((sender_id, receiver_id), 0.0),
+        skeleton = self._skeleton
+        if skeleton is not None:
+            table = {
+                sender_id: tuple(
+                    (receiver_id, radios[receiver_id], arriving[receiver_id], per)
+                    for receiver_id, per in skeleton.get(sender_id, ())
                 )
-                for receiver_id in self._neighbours.get(sender_id, ())
-            )
-            for sender_id in radios
-        }
+                for sender_id in radios
+            }
+        else:
+            link_error = self._link_error
+            table = {
+                sender_id: tuple(
+                    (
+                        receiver_id,
+                        radios[receiver_id],
+                        arriving[receiver_id],
+                        link_error.get((sender_id, receiver_id), 0.0),
+                    )
+                    for receiver_id in self._neighbours.get(sender_id, ())
+                )
+                for sender_id in radios
+            }
         self._link_table = table
         return table
 

@@ -9,22 +9,40 @@ layers over this pipeline: they declare a config, attach figure-specific
 traffic, run, and collect metrics.
 """
 
+from repro.scenario.artifacts import (
+    ARTIFACT_CACHE,
+    ArtifactCache,
+    ScenarioArtifacts,
+    artifact_cache_stats,
+    configure_artifact_cache,
+    link_table_skeleton,
+)
 from repro.scenario.builder import (
     BuiltDsmeScenario,
     BuiltScenario,
     ScenarioBuilder,
     TOPOLOGY_REGISTRY,
     build_scenario,
+    topology_accepts_node_count,
+    topology_accepts_seed,
     topology_kinds,
 )
 from repro.scenario.config import ScenarioConfig
 
 __all__ = [
+    "ARTIFACT_CACHE",
+    "ArtifactCache",
     "BuiltDsmeScenario",
     "BuiltScenario",
+    "ScenarioArtifacts",
     "ScenarioBuilder",
     "ScenarioConfig",
     "TOPOLOGY_REGISTRY",
+    "artifact_cache_stats",
     "build_scenario",
+    "configure_artifact_cache",
+    "link_table_skeleton",
+    "topology_accepts_node_count",
+    "topology_accepts_seed",
     "topology_kinds",
 ]

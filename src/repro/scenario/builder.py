@@ -10,19 +10,27 @@ campaign layer and the CLI without touching any of them.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
-from typing import Any, Optional, Sequence, Tuple, TYPE_CHECKING
+from functools import lru_cache
+from typing import Any, Callable, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.mac.registry import get_mac_spec
 from repro.net.network import MacFactory, Network
 from repro.phy.registry import get_propagation_spec
 from repro.registry import Registry
+from repro.scenario.artifacts import (
+    ARTIFACT_CACHE,
+    ScenarioArtifacts,
+    link_table_skeleton,
+)
 from repro.scenario.config import ScenarioConfig
 from repro.sim.engine import Simulator
 from repro.topology.base import Topology
 from repro.topology.concentric import concentric_topology
 from repro.topology.hidden_node import hidden_node_topology
 from repro.topology.iotlab import iot_lab_star_topology, iot_lab_tree_topology
+from repro.topology.random_topo import random_topology
 from repro.traffic.generators import (
     FluctuatingPoissonTraffic,
     PeriodicTraffic,
@@ -39,11 +47,38 @@ TOPOLOGY_REGISTRY.register("hidden-node", hidden_node_topology)
 TOPOLOGY_REGISTRY.register("iotlab-tree", iot_lab_tree_topology)
 TOPOLOGY_REGISTRY.register("iotlab-star", iot_lab_star_topology)
 TOPOLOGY_REGISTRY.register("concentric", concentric_topology)
+TOPOLOGY_REGISTRY.register("random", random_topology)
 
 
 def topology_kinds() -> Tuple[str, ...]:
     """Names of all registered topologies (sorted, deterministic)."""
     return tuple(sorted(TOPOLOGY_REGISTRY.names()))
+
+
+@lru_cache(maxsize=None)
+def _factory_parameters(factory: Callable[..., Any]) -> Tuple[str, ...]:
+    """Keyword parameter names of a topology factory (signature-cached)."""
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):  # pragma: no cover - builtins without signature
+        return ()
+    return tuple(signature.parameters)
+
+
+def topology_accepts_seed(name: str) -> bool:
+    """Whether the named topology factory is seeded (placement RNG input).
+
+    Seeded factories (e.g. ``random``) receive the scenario seed from the
+    builder unless ``topology_params`` pins one — making the placement seed
+    part of the configuration and hence of the construction cache key.
+    """
+    return "seed" in _factory_parameters(TOPOLOGY_REGISTRY.get(name))
+
+
+def topology_accepts_node_count(name: str) -> bool:
+    """Whether the named topology factory is sized by a ``num_nodes`` count
+    (e.g. ``random``), as opposed to fixed-size or ring-sized factories."""
+    return "num_nodes" in _factory_parameters(TOPOLOGY_REGISTRY.get(name))
 
 
 @dataclass
@@ -166,6 +201,10 @@ class ScenarioBuilder:
     def make_topology(self) -> Topology:
         """Build the topology; with a propagation model, re-derive its links.
 
+        Seeded topology factories (a ``seed`` keyword, e.g. ``random``
+        placement) receive the scenario seed unless ``topology_params``
+        pins one, so placements are deterministic per scenario seed.
+
         Stochastic models (a ``seed`` parameter the builder injects itself)
         may disconnect the topology from its sink; following the usual
         topology-construction procedure the links are then redrawn with a
@@ -175,7 +214,10 @@ class ScenarioBuilder:
         never resampled: a disconnecting pinned draw raises.
         """
         factory = TOPOLOGY_REGISTRY.get(self.config.topology)
-        topology = factory(**self.config.topology_params)
+        topology_params = dict(self.config.topology_params)
+        if "seed" not in topology_params and "seed" in _factory_parameters(factory):
+            topology_params["seed"] = self.config.seed
+        topology = factory(**topology_params)
         if self.config.propagation is None:
             return topology
 
@@ -239,17 +281,89 @@ class ScenarioBuilder:
 
         return factory
 
-    # ------------------------------------------------------------- assembly
-    def build(self) -> BuiltScenario:
-        """Assemble simulator, topology, MACs and network."""
-        sim = self.make_simulator()
+    # ------------------------------------------------------------- artifacts
+    def build_artifacts(self, freeze: bool = True) -> ScenarioArtifacts:
+        """Build the run-independent construction artifacts of this config.
+
+        The expensive half of assembly: topology factory, O(n²)
+        propagation-derived links (with connectivity redraws), routing tree
+        and the channel's link-table skeleton.  With ``freeze`` (the
+        default for cached bundles) the topology is sealed so sharing it
+        across runs is safe; pass ``freeze=False`` to keep it mutable —
+        the version counter then guards consumers against stale skeletons.
+        """
         topology = self.make_topology()
+        skeleton = link_table_skeleton(topology, self.config.link_error_rate)
+        if freeze:
+            topology.freeze()
+        return ScenarioArtifacts(
+            key=self.config.cache_key(),
+            topology=topology,
+            topology_version=topology.version,
+            link_table=skeleton,
+            topology_kind=self.config.topology,
+        )
+
+    def resolve_artifacts(
+        self, artifacts: Optional[ScenarioArtifacts] = None
+    ) -> ScenarioArtifacts:
+        """The artifact bundle a build should consume.
+
+        Explicit ``artifacts`` are validated against this config's cache
+        key (a mismatch means they were built for a different scenario);
+        for uncacheable configs (key None) the bundle's recorded topology
+        kind still guards against cross-config reuse.  Hand-assembled
+        bundles with neither field opt out of validation — the caller
+        vouches for them.  Otherwise the process-wide
+        :data:`ARTIFACT_CACHE` is consulted when enabled; misses build
+        (and cache) a frozen bundle, uncacheable configs build a fresh
+        mutable bundle per run.
+        """
+        if artifacts is not None:
+            key = self.config.cache_key()
+            if artifacts.key is not None and key is not None and artifacts.key != key:
+                raise ValueError(
+                    "artifact bundle was built for a different scenario "
+                    "configuration (cache keys differ)"
+                )
+            if (
+                artifacts.topology_kind is not None
+                and artifacts.topology_kind != self.config.topology
+            ):
+                raise ValueError(
+                    f"artifact bundle was built for topology "
+                    f"{artifacts.topology_kind!r}, not {self.config.topology!r}"
+                )
+            return artifacts
+        key = self.config.cache_key() if ARTIFACT_CACHE.enabled else None
+        if key is None:
+            return self.build_artifacts(freeze=False)
+        cached = ARTIFACT_CACHE.get(key)
+        if cached is not None:
+            return cached
+        artifacts = self.build_artifacts(freeze=True)
+        ARTIFACT_CACHE.put(key, artifacts)
+        return artifacts
+
+    # ------------------------------------------------------------- assembly
+    def build(self, artifacts: Optional[ScenarioArtifacts] = None) -> BuiltScenario:
+        """Assemble simulator, topology, MACs and network.
+
+        Per-run assembly consumes an artifact bundle (cached, explicit via
+        ``artifacts``, or freshly built) and only creates the stateful
+        objects: Simulator, radios, MAC instances, nodes and RNG streams.
+        Results are bit-identical with and without the cache.
+        """
+        artifacts = self.resolve_artifacts(artifacts)
+        sim = self.make_simulator()
+        topology = artifacts.topology
         network = Network(
             sim,
             topology,
             self.make_mac_factory(),
             link_error_rate=self.config.link_error_rate,
             static_links=self.config.static_links,
+            prebuilt_links=artifacts.current_link_table(),
         )
         return BuiltScenario(config=self.config, sim=sim, topology=topology, network=network)
 
@@ -257,16 +371,20 @@ class ScenarioBuilder:
         self,
         superframe_config: Optional["SuperframeConfig"] = None,
         route_discovery_period: Optional[float] = 2.0,
+        artifacts: Optional[ScenarioArtifacts] = None,
     ) -> BuiltDsmeScenario:
         """Assemble a DSME network whose CAP uses the configured MAC.
 
         ``mac_config`` is forwarded as the CAP MAC's config; the DSME layer
         owns the activity gate confining contention traffic to the CAP.
+        Construction artifacts are cached/consumed exactly as in
+        :meth:`build`.
         """
         from repro.dsme.network import DsmeNetwork
 
+        artifacts = self.resolve_artifacts(artifacts)
         sim = self.make_simulator()
-        topology = self.make_topology()
+        topology = artifacts.topology
         dsme = DsmeNetwork(
             sim,
             topology,
@@ -274,6 +392,9 @@ class ScenarioBuilder:
             config=superframe_config,
             cap_mac_config=self.config.mac_config,
             route_discovery_period=route_discovery_period,
+            link_error_rate=self.config.link_error_rate,
+            static_links=self.config.static_links,
+            prebuilt_links=artifacts.current_link_table(),
         )
         return BuiltDsmeScenario(config=self.config, sim=sim, topology=topology, dsme=dsme)
 

@@ -11,7 +11,24 @@ or channel model works the moment the providing module is imported.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
+
+
+def _hashable(value: Any) -> Any:
+    """Recursively normalise a parameter value into a hashable equivalent.
+
+    Dicts become sorted item tuples, sequences become tuples, sets become
+    repr-sorted tuples.  Raises TypeError for values that stay unhashable —
+    the caller then treats the configuration as uncacheable.
+    """
+    if isinstance(value, dict):
+        return tuple((key, _hashable(item)) for key, item in sorted(value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_hashable(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted((_hashable(item) for item in value), key=repr))
+    hash(value)  # TypeError for unhashable leaves
+    return value
 
 
 @dataclass
@@ -83,3 +100,49 @@ class ScenarioConfig:
             raise ValueError("link_error_rate must lie in [0, 1]")
         if self.trace_limit is not None and self.trace_limit < 0:
             raise ValueError("trace_limit must be non-negative (or None for unbounded)")
+
+    # -------------------------------------------------------------- caching
+    def cache_key(self) -> Optional[Tuple[Any, ...]]:
+        """Deterministic key of the construction-relevant half of the config.
+
+        Two configs with equal keys build identical construction artifacts
+        (topology, link set, PER rows) — so artifacts can be cached under
+        the key and shared across runs.  The key covers topology,
+        topology params, propagation model/params, link error rate and the
+        channel mode; it deliberately *excludes* the master ``seed``, the
+        MAC axis and tracing, which only shape per-run state.
+
+        The seed re-enters the key exactly where it feeds construction:
+        when the topology factory or the propagation model accepts a
+        ``seed`` the builder injects the scenario seed (unless the params
+        pin one), so the effective construction seed is part of the key —
+        seeded random topologies and unpinned ``fading`` links are cached
+        per seed, never shared across different draws.
+
+        Returns None for uncacheable configs (unhashable parameter values
+        or an unregistered topology); the builder then skips the cache.
+        """
+        from repro.phy.registry import get_propagation_spec
+        from repro.registry import RegistryError
+        from repro.scenario.builder import topology_accepts_seed
+
+        try:
+            topology_params = _hashable(self.topology_params)
+            propagation_params = _hashable(self.propagation_params)
+            topology_seeded = (
+                "seed" not in self.topology_params and topology_accepts_seed(self.topology)
+            )
+        except (TypeError, RegistryError):
+            return None
+        parts: list = ["scenario-artifacts/1", self.topology, topology_params]
+        if topology_seeded:
+            parts.append(("topology-seed", self.seed))
+        parts.append(self.propagation)
+        if self.propagation is not None:
+            parts.append(propagation_params)
+            spec = get_propagation_spec(self.propagation)
+            if "seed" not in self.propagation_params and spec.accepts_seed():
+                parts.append(("propagation-seed", self.seed))
+        parts.append(self.link_error_rate)
+        parts.append(self.static_links)
+        return tuple(parts)

@@ -13,13 +13,14 @@
   from positions, transmit power and sensitivity.
 """
 
-from repro.topology.base import Topology, build_routing_tree
+from repro.topology.base import FrozenTopologyError, Topology, build_routing_tree
 from repro.topology.hidden_node import hidden_node_topology
 from repro.topology.iotlab import iot_lab_star_topology, iot_lab_tree_topology
 from repro.topology.concentric import concentric_node_count, concentric_topology
 from repro.topology.random_topo import random_topology
 
 __all__ = [
+    "FrozenTopologyError",
     "Topology",
     "build_routing_tree",
     "concentric_node_count",

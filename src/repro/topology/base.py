@@ -6,6 +6,20 @@ towards the sink).  Connectivity can either be declared explicitly (the
 hidden-node and IoT-LAB scenarios) or derived from positions and a
 propagation model, following the procedure of Kauer & Turau that the paper
 uses to construct its testbed topologies.
+
+Topologies double as shareable *construction artifacts*: building one
+(positions, O(n²) link derivation, routing tree) is the expensive part of
+scenario assembly, so the scenario layer caches built topologies and reuses
+them across runs of a sweep.  Two mechanisms make that sharing safe:
+
+* every mutating method bumps :attr:`Topology.version`, so a consumer that
+  snapshotted derived state (e.g. the channel's link-table skeleton) can
+  detect that the topology changed underneath it and invalidate the
+  snapshot instead of serving stale rows;
+* :meth:`Topology.freeze` seals the topology — further calls to mutating
+  methods raise :class:`FrozenTopologyError` — and makes :func:`hash`
+  stable, so frozen topologies are safe dictionary keys and safe to hand to
+  concurrent runs.
 """
 
 from __future__ import annotations
@@ -19,6 +33,10 @@ from repro.phy.propagation import PropagationModel, distance
 Position = Tuple[float, float]
 
 
+class FrozenTopologyError(RuntimeError):
+    """Raised when a mutating method is called on a frozen topology."""
+
+
 @dataclass
 class Topology:
     """Node positions, links and (optional) routing tree."""
@@ -28,6 +46,60 @@ class Topology:
     sink: Optional[int] = None
     parents: Dict[int, int] = field(default_factory=dict)
     name: str = "topology"
+    #: Bumped by every mutating method; lets artifact caches detect that a
+    #: shared topology changed after their derived state was snapshotted.
+    version: int = field(default=0, init=False, compare=False, repr=False)
+    _frozen: bool = field(default=False, init=False, compare=False, repr=False)
+    _hash: Optional[int] = field(default=None, init=False, compare=False, repr=False)
+
+    # ------------------------------------------------------------- mutability
+    @property
+    def frozen(self) -> bool:
+        """True once :meth:`freeze` sealed the topology."""
+        return self._frozen
+
+    def freeze(self) -> "Topology":
+        """Seal the topology: mutating methods now raise, :func:`hash` is stable.
+
+        Returns ``self`` so construction chains read naturally
+        (``factory(**params).freeze()``).  Freezing is idempotent.  Note
+        that only the *methods* are guarded — writing to ``topology.links``
+        or ``topology.positions`` directly bypasses both the guard and the
+        version counter, which is why all construction code goes through
+        the methods.
+        """
+        self._frozen = True
+        return self
+
+    def _mutating(self) -> None:
+        """Guard + version bump shared by every mutating method."""
+        if self._frozen:
+            raise FrozenTopologyError(
+                f"topology {self.name!r} is frozen (shared as a cached construction "
+                "artifact); build a fresh topology instead of mutating it"
+            )
+        self.version += 1
+        self._hash = None
+
+    def fingerprint(self) -> Tuple:
+        """Canonical content tuple (positions, links, sink, parents)."""
+        return (
+            self.name,
+            tuple(sorted(self.positions.items())),
+            tuple(sorted(tuple(sorted(link)) for link in self.links)),
+            self.sink,
+            tuple(sorted(self.parents.items())),
+        )
+
+    def __hash__(self) -> int:
+        # Content-based so equal frozen topologies hash equally; cached only
+        # once frozen (a mutable topology's hash may still change).
+        if self._frozen and self._hash is not None:
+            return self._hash
+        value = hash(self.fingerprint())
+        if self._frozen:
+            self._hash = value
+        return value
 
     # ------------------------------------------------------------------ nodes
     @property
@@ -49,6 +121,7 @@ class Topology:
             raise ValueError("self-links are not allowed")
         if a not in self.positions or b not in self.positions:
             raise KeyError("both endpoints must exist in the topology")
+        self._mutating()
         self.links.add(frozenset((a, b)))
 
     def connected(self, a: int, b: int) -> bool:
@@ -65,6 +138,7 @@ class Topology:
 
     def derive_links(self, model: PropagationModel) -> None:
         """(Re-)derive the link set from positions using a propagation model."""
+        self._mutating()
         self.links.clear()
         ids = self.node_ids
         for i, a in enumerate(ids):
@@ -78,6 +152,7 @@ class Topology:
         root = sink if sink is not None else self.sink
         if root is None:
             raise ValueError("a sink must be given to build a routing tree")
+        self._mutating()
         self.sink = root
         self.parents = build_routing_tree(self.positions, self.links, root)
         return self.parents

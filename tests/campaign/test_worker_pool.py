@@ -70,10 +70,12 @@ class TestChunksize:
     def test_pool_config_reports_effective_settings(self):
         runner = CampaignRunner(jobs=4, chunksize="auto")
         assert runner.pool_config(500) == {
-            "jobs": 4, "chunksize": 15, "pool": "persistent",
+            "jobs": 4, "chunksize": 15, "pool": "persistent", "build_cache": True,
         }
         serial = CampaignRunner(jobs=1)
         assert serial.pool_config(500)["pool"] == "serial"
+        cold = CampaignRunner(jobs=4, build_cache=False)
+        assert cold.pool_config(500)["build_cache"] is False
 
 
 class TestPersistentPool:

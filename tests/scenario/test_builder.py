@@ -39,6 +39,7 @@ class TestTopologyRegistry:
             "iotlab-tree",
             "iotlab-star",
             "concentric",
+            "random",
         }
 
     def test_factories_accept_params(self):

@@ -133,7 +133,9 @@ def test_sweep_command_streams_jsonl(tmp_path, capsys):
     # Leading _meta line (effective pool configuration) plus one line per record.
     assert len(lines) == 3
     meta = json_module.loads(lines[0])["_meta"]
-    assert meta["pool"] == {"jobs": 1, "chunksize": 1, "pool": "serial"}
+    assert meta["pool"] == {
+        "jobs": 1, "chunksize": 1, "pool": "serial", "build_cache": True,
+    }
     entry = json_module.loads(lines[1])
     assert entry["scenario"]["metrics"] == ["pdr", "delay"]
     assert "pdr" in entry["metrics"] and "average_delay" in entry["metrics"]
@@ -320,8 +322,30 @@ def test_sweep_command_chunksize_and_pool_config(tmp_path, capsys):
     output = capsys.readouterr().out
     assert "jobs=2 chunksize=2 pool=persistent" in output
     document = json_module.loads(json_path.read_text())
-    assert document["meta"]["pool"] == {"jobs": 2, "chunksize": 2, "pool": "persistent"}
+    assert document["meta"]["pool"] == {
+        "jobs": 2, "chunksize": 2, "pool": "persistent", "build_cache": True,
+    }
     assert len(document["records"]) == 4
+
+
+def test_sweep_command_no_build_cache(tmp_path, capsys):
+    """--no-build-cache runs (bit-identical) and is reported in the meta."""
+    import json as json_module
+
+    docs = {}
+    for flag, label in (((), "on"), (("--no-build-cache",), "off")):
+        json_path = tmp_path / f"records-{label}.json"
+        args = [
+            "sweep", "hidden-node", "--macs", "qma",
+            "--grid", "delta=10",
+            "--set", "packets_per_node=6", "--set", "warmup=2",
+            "--seeds", "2", "--json", str(json_path), *flag,
+        ]
+        assert main(args) == 0
+        docs[label] = json_module.loads(json_path.read_text())
+    assert docs["on"]["meta"]["pool"]["build_cache"] is True
+    assert docs["off"]["meta"]["pool"]["build_cache"] is False
+    assert docs["on"]["records"] == docs["off"]["records"]
 
 
 def test_sweep_command_rejects_bad_chunksize():
