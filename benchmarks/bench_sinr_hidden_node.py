@@ -1,0 +1,186 @@
+"""SINR interference PHY benchmark: throughput vs. collision, plus physics.
+
+Two claims are tracked for the PR 6 interference overhaul:
+
+* **Throughput**: the SINR model on the static link-table fast path —
+  per-receiver interference sums, capture re-evaluation at every
+  transmission start, sensed-only carrier-sense rows — must stay within
+  **25 %** of the legacy collision model's events/s on the same topology,
+  traffic and seed (``SINR_THROUGHPUT_FLOOR = 0.75``).
+* **Physics**: the ``sinr-hidden-node`` scenario reproduces the
+  asymmetric-link regime — the hidden node *receives* frames (overheard
+  relay traffic decodes) and *senses* undecodable ones, yet its own
+  SINR-starved uplink never delivers a single packet to the sink.
+
+Run under pytest-benchmark (``pytest benchmarks/bench_sinr_hidden_node.py``)
+or directly (``python benchmarks/bench_sinr_hidden_node.py --quick``).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments.sinr_hidden_node import run_sinr_hidden_node
+from repro.scenario import ScenarioBuilder, ScenarioConfig
+from repro.topology.sinr_hidden_node import (
+    CARRIER_SENSE_RANGE,
+    COMMUNICATION_RANGE,
+    HIDDEN,
+    NEAR,
+    RELAY,
+)
+
+#: SINR events/s may be at most 25 % below collision events/s.
+SINR_THROUGHPUT_FLOOR = 0.75
+
+#: Saturating workload on the 4-node line (sources: NEAR, RELAY, HIDDEN).
+BENCH_PACKETS = 1500
+SMOKE_PACKETS = 400
+
+DELTA = 25.0
+WARMUP = 5.0
+REPEATS = 3
+
+_SOURCES = (NEAR, RELAY, HIDDEN)
+
+
+def _one_run(interference: str, packets: int, seed: int = 1):
+    """Run one scenario and return ``(events_per_s, events_executed)``.
+
+    Both interference models run the *same* topology, propagation
+    parameters, traffic and seed — only the channel's loss model differs,
+    so the events/s ratio isolates the SINR bookkeeping cost.
+    """
+    config = ScenarioConfig(
+        topology="sinr-hidden-node",
+        mac="unslotted-csma",
+        propagation="unit-disk",
+        propagation_params={
+            "communication_range": COMMUNICATION_RANGE,
+            "carrier_sense_range": CARRIER_SENSE_RANGE,
+        },
+        interference=interference,
+        seed=seed,
+    )
+    built = ScenarioBuilder(config).build()
+    for node_id in _SOURCES:
+        built.poisson_source(
+            node_id,
+            rate=DELTA,
+            start_time=WARMUP,
+            max_packets=packets,
+            rng_name=f"data-{node_id}",
+            start_at=WARMUP,
+        )
+    built.network.start()
+    horizon = WARMUP + packets / DELTA + 5.0
+    start = time.perf_counter()
+    built.sim.run_until(horizon)
+    wall = time.perf_counter() - start
+    executed = built.sim.events_executed
+    return (executed / wall if wall > 0 else 0.0), executed
+
+
+def measure_throughput(packets: int) -> dict:
+    """Interleaved best-of-N events/s for both models and their ratio."""
+    collision = sinr = 0.0
+    collision_events = sinr_events = 0
+    for _ in range(REPEATS):
+        rate, events = _one_run("collision", packets)
+        if rate > collision:
+            collision, collision_events = rate, events
+        rate, events = _one_run("sinr", packets)
+        if rate > sinr:
+            sinr, sinr_events = rate, events
+    return {
+        "collision_events_per_s": collision,
+        "sinr_events_per_s": sinr,
+        "sinr_throughput_ratio": sinr / collision if collision > 0 else 0.0,
+        "collision_events": collision_events,
+        "sinr_events": sinr_events,
+    }
+
+
+def measure_physics(packets: int = 60) -> dict:
+    """The asymmetric-delivery scalars of a quick SINR hidden-node run.
+
+    Raises if the regime is broken — the physics claim is deterministic,
+    not a noisy perf number, so it is enforced wherever it is measured.
+    """
+    report = run_sinr_hidden_node(
+        mac="unslotted-csma", delta=DELTA, packets_per_node=packets,
+        warmup=WARMUP, seed=0,
+    )
+    scalars = report.scalars
+    if scalars["hidden_delivered"] != 0.0:
+        raise RuntimeError(
+            f"SINR physics broken: hidden node delivered "
+            f"{scalars['hidden_delivered']} packets (expected 0)"
+        )
+    if scalars["hidden_frames_received"] <= 0:
+        raise RuntimeError("SINR physics broken: hidden node decoded nothing")
+    if scalars["hidden_cca_sensed_only"] <= 0:
+        raise RuntimeError("SINR physics broken: no sensed-only CCA at hidden node")
+    return {
+        "hidden_delivered": scalars["hidden_delivered"],
+        "hidden_frames_received": scalars["hidden_frames_received"],
+        "hidden_cca_sensed_only": scalars["hidden_cca_sensed_only"],
+        "near_pdr": scalars["near_pdr"],
+        "delivery_asymmetry": scalars["delivery_asymmetry"],
+    }
+
+
+def test_bench_sinr_hidden_node(benchmark):
+    """SINR stays within 25 % of collision throughput; physics holds."""
+
+    def run():
+        return measure_throughput(BENCH_PACKETS)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    physics = measure_physics()
+    benchmark.extra_info.update(
+        {
+            "collision_events_per_s": round(result["collision_events_per_s"]),
+            "sinr_events_per_s": round(result["sinr_events_per_s"]),
+            "sinr_throughput_ratio": round(result["sinr_throughput_ratio"], 3),
+            "delivery_asymmetry": round(physics["delivery_asymmetry"], 3),
+        }
+    )
+    assert result["sinr_throughput_ratio"] >= SINR_THROUGHPUT_FLOOR, (
+        f"SINR throughput ratio {result['sinr_throughput_ratio']:.2f} below "
+        f"the {SINR_THROUGHPUT_FLOOR} floor"
+    )
+
+
+def main(argv=None) -> int:
+    quick = "--quick" in (argv if argv is not None else sys.argv[1:])
+    packets = SMOKE_PACKETS if quick else BENCH_PACKETS
+
+    physics = measure_physics()
+    print(
+        "sinr physics: hidden_delivered=%g hidden_frames_received=%g "
+        "hidden_cca_sensed_only=%g near_pdr=%.3f delivery_asymmetry=%.3f"
+        % (
+            physics["hidden_delivered"],
+            physics["hidden_frames_received"],
+            physics["hidden_cca_sensed_only"],
+            physics["near_pdr"],
+            physics["delivery_asymmetry"],
+        )
+    )
+    result = measure_throughput(packets)
+    print(
+        f"sinr throughput ({packets} packets/node): collision "
+        f"{result['collision_events_per_s']:,.0f} events/s, sinr "
+        f"{result['sinr_events_per_s']:,.0f} events/s -> ratio "
+        f"{result['sinr_throughput_ratio']:.3f} (floor {SINR_THROUGHPUT_FLOOR})"
+    )
+    if result["sinr_throughput_ratio"] < SINR_THROUGHPUT_FLOOR:
+        print("FAIL: SINR throughput below the floor", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,6 +44,7 @@ import sys
 import bench_build_cache as cache_bench
 import bench_engine_hotpath as engine_bench
 import bench_metrics_overhead as metrics_bench
+import bench_sinr_hidden_node as sinr_bench
 import bench_sweep_orchestration as sweep_bench
 
 #: Metric -> (kind, direction, tolerance factor).  ``ratio`` metrics are
@@ -72,6 +73,9 @@ METRIC_SPECS = {
     "construction_overhead_pct": ("absolute", "lower", 1.0),
     "collector_overhead_pct": ("pct_points", "lower", 1.0),
     "scalability_wall_s": ("absolute", "lower", 1.0),
+    "sinr_events_per_s": ("absolute", "higher", 1.0),
+    "sinr_collision_events_per_s": ("absolute", "higher", 1.0),
+    "sinr_throughput_ratio": ("ratio", "higher", 2.0),
 }
 
 #: Collector overhead may drift this many percentage points before the
@@ -156,6 +160,24 @@ def collect(quick: bool) -> dict:
     packets = metrics_bench.SMOKE_PACKETS if quick else metrics_bench.BENCH_PACKETS
     _, _, overhead = metrics_bench.measure_overhead(packets)
     metrics["collector_overhead_pct"] = round(overhead * 100, 2)
+
+    # SINR interference PHY: events/s on the static-table fast path vs.
+    # the collision model on the same topology/traffic/seed, plus the
+    # deterministic physics scalars of the hidden-node regime (the
+    # measure itself raises if the hidden node ever delivers).
+    sinr_packets = sinr_bench.SMOKE_PACKETS if quick else sinr_bench.BENCH_PACKETS
+    sinr = sinr_bench.measure_throughput(sinr_packets)
+    physics = sinr_bench.measure_physics()
+    if sinr["sinr_throughput_ratio"] < sinr_bench.SINR_THROUGHPUT_FLOOR:
+        raise RuntimeError(
+            f"SINR throughput ratio {sinr['sinr_throughput_ratio']:.3f} below "
+            f"the {sinr_bench.SINR_THROUGHPUT_FLOOR} floor"
+        )
+    metrics["sinr_collision_events_per_s"] = round(sinr["collision_events_per_s"])
+    metrics["sinr_events_per_s"] = round(sinr["sinr_events_per_s"])
+    metrics["sinr_throughput_ratio"] = round(sinr["sinr_throughput_ratio"], 3)
+    metrics["sinr_hidden_delivered"] = physics["hidden_delivered"]
+    metrics["sinr_delivery_asymmetry"] = round(physics["delivery_asymmetry"], 3)
 
     rings = engine_bench.SMOKE_RINGS if quick else engine_bench.BENCH_RINGS
     duration = engine_bench.SMOKE_DURATION if quick else engine_bench.BENCH_DURATION

@@ -70,9 +70,10 @@ from repro.campaign.spec import (
     construction_seed_dependent,
     construction_values,
 )
-from repro.experiments import hidden_node, scalability, testbed
+from repro.experiments import hidden_node, scalability, sinr_hidden_node, testbed
 from repro.experiments.hidden_node import run_hidden_node
 from repro.experiments.scalability import run_scalability
+from repro.experiments.sinr_hidden_node import run_sinr_hidden_node
 from repro.experiments.testbed import run_star, run_tree
 from repro.metrics.registry import build_collectors
 from repro.metrics.report import SimReport
@@ -130,6 +131,21 @@ def _run_hidden_node(scenario: Scenario) -> SimReport:
     )
 
 
+def _run_sinr_hidden_node(scenario: Scenario) -> SimReport:
+    kwargs = _campaign_params(scenario)
+    if scenario.propagation is not None:
+        # The runner's own default ("unit-disk" with a decoupled
+        # carrier-sense range) applies when the sweep leaves the
+        # propagation axis at None — SINR always needs a model.
+        kwargs["propagation"] = scenario.propagation
+    return run_sinr_hidden_node(
+        mac=scenario.mac,
+        seed=scenario.seed,
+        collectors=scenario.metrics,
+        **kwargs,
+    )
+
+
 def _run_testbed_tree(scenario: Scenario) -> SimReport:
     return run_tree(
         mac=scenario.mac,
@@ -163,6 +179,7 @@ def _run_scalability(scenario: Scenario) -> SimReport:
 #: Experiment family -> runner returning the scenario's :class:`SimReport`.
 _ADAPTERS: Dict[str, Callable[[Scenario], SimReport]] = {
     "hidden-node": _run_hidden_node,
+    "sinr-hidden-node": _run_sinr_hidden_node,
     "testbed-tree": _run_testbed_tree,
     "testbed-star": _run_testbed_star,
     "scalability": _run_scalability,
@@ -171,6 +188,10 @@ _ADAPTERS: Dict[str, Callable[[Scenario], SimReport]] = {
 #: Experiment family -> (default collector names, per-collector overrides).
 _EXPERIMENT_COLLECTORS: Dict[str, Tuple[Tuple[str, ...], Dict[str, Dict[str, Any]]]] = {
     "hidden-node": (hidden_node.DEFAULT_COLLECTORS, hidden_node.COLLECTOR_OVERRIDES),
+    "sinr-hidden-node": (
+        sinr_hidden_node.DEFAULT_COLLECTORS,
+        sinr_hidden_node.COLLECTOR_OVERRIDES,
+    ),
     "testbed-tree": (testbed.DEFAULT_COLLECTORS, testbed.COLLECTOR_OVERRIDES),
     "testbed-star": (testbed.DEFAULT_COLLECTORS, testbed.COLLECTOR_OVERRIDES),
     "scalability": (scalability.DEFAULT_COLLECTORS, scalability.COLLECTOR_OVERRIDES),

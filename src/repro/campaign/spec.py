@@ -30,7 +30,13 @@ from repro.scenario.builder import topology_accepts_seed
 #: Experiment families runnable by the campaign layer.  Each fixes a
 #: topology and traffic model; see :mod:`repro.campaign.runner` for the
 #: mapping onto the experiment runners.
-EXPERIMENT_KINDS = ("hidden-node", "testbed-tree", "testbed-star", "scalability")
+EXPERIMENT_KINDS = (
+    "hidden-node",
+    "sinr-hidden-node",
+    "testbed-tree",
+    "testbed-star",
+    "scalability",
+)
 
 #: Scenario fields that cannot double as sweep parameters.
 _RESERVED_PARAMS = ("mac", "seed", "propagation", "metrics")
@@ -43,16 +49,27 @@ _RESERVED_PARAMS = ("mac", "seed", "propagation", "metrics")
 #: parameters (``delta``, ``packets_per_node``, durations, ...) are
 #: deliberately absent: they never split an artifact group.
 CONSTRUCTION_PARAMS: Dict[str, Tuple[str, ...]] = {
-    "hidden-node": ("link_distance", "propagation_params"),
-    "testbed-tree": ("link_error_rate", "propagation_params"),
-    "testbed-star": ("link_error_rate", "propagation_params"),
-    "scalability": ("topology", "nodes", "rings", "propagation_params"),
+    "hidden-node": (
+        "link_distance", "propagation_params", "interference", "sinr_threshold_db",
+    ),
+    "sinr-hidden-node": ("propagation_params", "sinr_threshold_db"),
+    "testbed-tree": (
+        "link_error_rate", "propagation_params", "interference", "sinr_threshold_db",
+    ),
+    "testbed-star": (
+        "link_error_rate", "propagation_params", "interference", "sinr_threshold_db",
+    ),
+    "scalability": (
+        "topology", "nodes", "rings", "propagation_params",
+        "interference", "sinr_threshold_db",
+    ),
 }
 
 #: The topology each experiment family builds when no ``topology``
 #: parameter overrides it (used to decide seed-dependence below).
 _DEFAULT_TOPOLOGY: Dict[str, str] = {
     "hidden-node": "hidden-node",
+    "sinr-hidden-node": "sinr-hidden-node",
     "testbed-tree": "iotlab-tree",
     "testbed-star": "iotlab-star",
     "scalability": "concentric",

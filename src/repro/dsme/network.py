@@ -108,7 +108,11 @@ class DsmeNetwork:
         route_discovery_period: Optional[float] = 2.0,
         link_error_rate: float = 0.0,
         static_links: Optional[bool] = None,
-        prebuilt_links: Optional[Mapping[int, Sequence[Tuple[int, float]]]] = None,
+        interference: str = "collision",
+        sinr_threshold_db: float = 10.0,
+        propagation_model: Optional[object] = None,
+        prebuilt_links: Optional[Mapping[int, Sequence[Tuple[int, float, float]]]] = None,
+        prebuilt_cs: Optional[Mapping[int, Sequence[Tuple[int, float]]]] = None,
     ) -> None:
         if cap_mac not in MAC_REGISTRY:
             raise ValueError(
@@ -133,7 +137,11 @@ class DsmeNetwork:
             self._build_mac,
             link_error_rate=link_error_rate,
             static_links=static_links,
+            interference=interference,
+            sinr_threshold_db=sinr_threshold_db,
+            propagation_model=propagation_model,
             prebuilt_links=prebuilt_links,
+            prebuilt_cs=prebuilt_cs,
         )
         self.dsme_nodes: Dict[int, DsmeNode] = {}
         for node_id, node in self.network.nodes.items():

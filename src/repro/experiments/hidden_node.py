@@ -69,6 +69,8 @@ def _build(
     link_distance: float,
     trace: bool = False,
     trace_limit: Optional[int] = None,
+    interference: str = "collision",
+    sinr_threshold_db: float = 10.0,
 ) -> BuiltScenario:
     """Assemble the hidden-node scenario through the builder."""
     scenario = ScenarioConfig(
@@ -77,6 +79,8 @@ def _build(
         mac=mac,
         propagation=propagation,
         propagation_params=dict(propagation_params or {}),
+        interference=interference,
+        sinr_threshold_db=sinr_threshold_db,
         seed=seed,
         trace=trace,
         trace_limit=trace_limit,
@@ -99,6 +103,8 @@ def run_hidden_node(
     link_distance: float = 50.0,
     propagation: Optional[str] = None,
     propagation_params: Optional[Mapping[str, Any]] = None,
+    interference: str = "collision",
+    sinr_threshold_db: float = 10.0,
     collectors: Optional[Sequence[str]] = None,
     trace: bool = False,
     trace_limit: Optional[int] = None,
@@ -107,7 +113,9 @@ def run_hidden_node(
 
     ``packets_per_node`` and ``warmup`` default to the paper values (1000
     packets, 100 s); benchmarks pass smaller values.  ``collectors`` names
-    registered metric collectors (default: :data:`DEFAULT_COLLECTORS`).
+    registered metric collectors (default: :data:`DEFAULT_COLLECTORS`);
+    ``interference="sinr"`` (with a propagation model) swaps in the
+    SINR/capture channel.
     """
     if delta <= 0:
         raise ValueError("delta must be positive")
@@ -117,6 +125,7 @@ def run_hidden_node(
     built = _build(
         mac, seed, qma_config, propagation, propagation_params, link_distance,
         trace=trace, trace_limit=trace_limit,
+        interference=interference, sinr_threshold_db=sinr_threshold_db,
     )
     sim, network = built.sim, built.network
 

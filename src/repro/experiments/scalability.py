@@ -62,6 +62,8 @@ def run_scalability(
     nodes: Optional[int] = None,
     propagation: Optional[str] = None,
     propagation_params: Optional[Mapping[str, Any]] = None,
+    interference: str = "collision",
+    sinr_threshold_db: float = 10.0,
     collectors: Optional[Sequence[str]] = None,
     trace: bool = False,
     trace_limit: Optional[int] = None,
@@ -109,6 +111,8 @@ def run_scalability(
         mac=mac,
         propagation=propagation,
         propagation_params=dict(propagation_params or {}),
+        interference=interference,
+        sinr_threshold_db=sinr_threshold_db,
         seed=seed,
         trace=trace,
         trace_limit=trace_limit,

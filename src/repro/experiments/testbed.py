@@ -61,6 +61,8 @@ def _run_topology(
     link_error_rate: float,
     propagation: Optional[str] = None,
     propagation_params: Optional[Mapping[str, Any]] = None,
+    interference: str = "collision",
+    sinr_threshold_db: float = 10.0,
     collectors: Optional[Sequence[str]] = None,
     trace: bool = False,
     trace_limit: Optional[int] = None,
@@ -71,6 +73,8 @@ def _run_topology(
         propagation=propagation,
         propagation_params=dict(propagation_params or {}),
         link_error_rate=link_error_rate,
+        interference=interference,
+        sinr_threshold_db=sinr_threshold_db,
         seed=seed,
         trace=trace,
         trace_limit=trace_limit,
@@ -159,6 +163,8 @@ def run_tree(
     link_error_rate: float = 0.02,
     propagation: Optional[str] = None,
     propagation_params: Optional[Mapping[str, Any]] = None,
+    interference: str = "collision",
+    sinr_threshold_db: float = 10.0,
     collectors: Optional[Sequence[str]] = None,
     trace: bool = False,
     trace_limit: Optional[int] = None,
@@ -176,6 +182,8 @@ def run_tree(
         link_error_rate,
         propagation=propagation,
         propagation_params=propagation_params,
+        interference=interference,
+        sinr_threshold_db=sinr_threshold_db,
         collectors=collectors,
         trace=trace,
         trace_limit=trace_limit,
@@ -193,6 +201,8 @@ def run_star(
     link_error_rate: float = 0.02,
     propagation: Optional[str] = None,
     propagation_params: Optional[Mapping[str, Any]] = None,
+    interference: str = "collision",
+    sinr_threshold_db: float = 10.0,
     collectors: Optional[Sequence[str]] = None,
     trace: bool = False,
     trace_limit: Optional[int] = None,
@@ -210,6 +220,8 @@ def run_star(
         link_error_rate,
         propagation=propagation,
         propagation_params=propagation_params,
+        interference=interference,
+        sinr_threshold_db=sinr_threshold_db,
         collectors=collectors,
         trace=trace,
         trace_limit=trace_limit,

@@ -326,3 +326,59 @@ class DsmeSecondaryCollector(MetricCollector):
         report.scalars["primary_pdr"] = ctx.dsme.primary_traffic_pdr()
         report.tables["secondary_counts"] = stats.as_scalars()
         report.details["secondary"] = stats
+
+
+@register_collector(
+    "link-asymmetry",
+    description="hidden-vs-near delivery asymmetry of the SINR regime",
+)
+class LinkAsymmetryCollector(MetricCollector):
+    """Quantifies the asymmetric-link regime of the SINR hidden-node scenario.
+
+    Two designated sources are compared: the *hidden* sender (geometrically
+    in range of the sink but SINR-starved) and the *near* sender (a strong
+    link that is captured over the hidden sender's frames).  The scalars
+    record both sides of the physics claim — the hidden node keeps
+    *receiving* (overheard relay traffic, ``hidden_frames_received``) and
+    keeps *sensing* undecodable energy (``hidden_cca_sensed_only``) while
+    its own uplink never delivers (``hidden_delivered``/``hidden_pdr``).
+    ``delivery_asymmetry`` is the near-minus-hidden PDR gap.
+    """
+
+    def __init__(self, hidden_node: int = 3, near_node: int = 1) -> None:
+        self.hidden_node = hidden_node
+        self.near_node = near_node
+
+    def provides(self) -> Tuple[str, ...]:
+        return (
+            "hidden_delivered",
+            "hidden_pdr",
+            "hidden_frames_received",
+            "hidden_frames_corrupted",
+            "hidden_cca_sensed_only",
+            "near_pdr",
+            "delivery_asymmetry",
+        )
+
+    def _pdr(self, ctx: CollectionContext, node_id: int) -> float:
+        generated = ctx.network.node(node_id).packets_generated
+        if generated == 0:
+            return 0.0
+        return ctx.network.sink.delivered_from(node_id) / generated
+
+    def finalize(self, ctx: CollectionContext, report: SimReport) -> None:
+        network = ctx.network
+        hidden_radio = network.radios[self.hidden_node]
+        hidden_pdr = self._pdr(ctx, self.hidden_node)
+        near_pdr = self._pdr(ctx, self.near_node)
+        report.scalars["hidden_delivered"] = float(
+            network.sink.delivered_from(self.hidden_node)
+        )
+        report.scalars["hidden_pdr"] = hidden_pdr
+        report.scalars["hidden_frames_received"] = float(hidden_radio.frames_received)
+        report.scalars["hidden_frames_corrupted"] = float(hidden_radio.frames_corrupted)
+        report.scalars["hidden_cca_sensed_only"] = float(
+            hidden_radio.cca_sensed_only_count
+        )
+        report.scalars["near_pdr"] = near_pdr
+        report.scalars["delivery_asymmetry"] = near_pdr - hidden_pdr

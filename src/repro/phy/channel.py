@@ -1,13 +1,35 @@
-"""The shared wireless channel and its collision model.
+"""The shared wireless channel and its interference models.
 
 The channel keeps track of every transmission that is currently on the air.
-A frame is delivered to a receiver if and only if
+Two interference models are available:
+
+**Collision model** (``interference="collision"``, the default — the
+paper's evaluation world).  A frame is delivered to a receiver if and only
+if
 
 * the receiver is within range of the sender,
 * no other transmission from a node within range of *that receiver*
   overlaps the frame in time (no capture effect),
 * the receiver is not itself transmitting during the frame, and
 * the per-link error process (if configured) does not drop the frame.
+
+**SINR model** (``interference="sinr"``).  Every directed link carries a
+received power (:meth:`WirelessChannel.set_link_power`, fed from the
+propagation model's ``received_power_dbm``).  A frame is decodable at a
+receiver while its signal power divided by (noise floor + the sum of every
+other concurrently arriving or sensed transmission's power at that
+receiver) stays at or above the capture threshold
+(``sinr_threshold_db``).  The strongest overlapping frame therefore
+*survives* overlap — the capture effect — while the collision model would
+destroy both.  Corruption is monotone: interference at a receiver only
+grows when a new transmitter starts, so frames are re-evaluated exactly at
+each transmission start; a transmitter stopping only lowers interference
+and can never corrupt, which makes the sticky per-receiver corruption flag
+equivalent to continuous re-evaluation.  Carrier sensing is decoupled from
+decoding: :meth:`connect_sensed` links (inside carrier-sense range, beyond
+communication range) contribute interference and drive CCA busy but are
+never synchronised on, so they produce neither deliveries nor
+``notify_corrupted_frame`` events.
 
 Because interference is evaluated per receiver, hidden terminals behave as
 in the paper: two senders that cannot hear each other will individually pass
@@ -42,15 +64,19 @@ the static and dynamic modes agree even across the mutating event itself.
 Prebuilt skeleton
 -----------------
 The construction cache (:mod:`repro.scenario.artifacts`) shares one
-link-table *skeleton* — per sender, the ordered ``(receiver_id, PER)``
-pairs — across every run of a sweep.  :meth:`WirelessChannel.preset_link_table`
-installs such a skeleton after wiring; the first transmission then maps it
-onto this run's radios and arriving lists instead of re-deriving the
-receiver order from the neighbour sets.  The skeleton is read-only and
-shared: any mutation simply *drops this channel's reference* (before first
-use the table is later derived from the live wiring, after first use the
-channel demotes to the dynamic path as usual), so a demoting run never
-corrupts the bundle other runs still consume (copy-on-demote).
+link-table *skeleton* — per sender, the ordered ``(receiver_id,
+rx_power_dbm, PER)`` rows — across every run of a sweep.
+:meth:`WirelessChannel.preset_link_table` installs such a skeleton after
+wiring; the first transmission then maps it onto this run's radios and
+arriving lists instead of re-deriving the receiver order from the
+neighbour sets.  The skeleton is read-only and shared: any mutation simply
+*drops this channel's reference* (before first use the table is later
+derived from the live wiring, after first use the channel demotes to the
+dynamic path as usual), so a demoting run never corrupts the bundle other
+runs still consume (copy-on-demote).  The SINR model rides the same fast
+path: its rows additionally carry the precomputed linear signal power, and
+a parallel *sense table* maps senders onto the sensing lists of their
+carrier-sense-only receivers.
 """
 
 from __future__ import annotations
@@ -77,8 +103,22 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checking
     from repro.phy.radio import Radio
     from repro.sim.engine import Simulator
 
-#: One precomputed delivery target: (receiver_id, radio, arriving, per).
-_LinkRow = Tuple[int, "Radio", List["ActiveTransmission"], float]
+#: One precomputed delivery target:
+#: (receiver_id, radio, arriving, per, signal_mw).  ``signal_mw`` is the
+#: linear received power of the directed link, 0.0 under the collision
+#: model (which never reads it).
+_LinkRow = Tuple[int, "Radio", List["ActiveTransmission"], float, float]
+
+#: One precomputed carrier-sense-only target: (receiver_id, sensing list).
+_SenseRow = Tuple[int, List["ActiveTransmission"]]
+
+#: Interference models accepted by :class:`WirelessChannel`.
+INTERFERENCE_MODELS = ("collision", "sinr")
+
+#: Default capture threshold of the SINR model, in dB.  A frame survives
+#: while its signal exceeds noise + interference by at least this margin —
+#: the usual O-QPSK co-channel rejection ballpark.
+DEFAULT_SINR_THRESHOLD_DB = 10.0
 
 
 @dataclass
@@ -93,6 +133,9 @@ class ActiveTransmission:
     #: Link-table rows snapshotted at transmission start (static path only;
     #: None when the channel runs on the dynamic fallback).
     rows: Optional[Sequence[_LinkRow]] = None
+    #: Sense-table rows snapshotted at transmission start (static SINR path
+    #: only; cleared together with ``rows`` on demotion).
+    sense_rows: Optional[Sequence[_SenseRow]] = None
 
 
 class WirelessChannel:
@@ -109,6 +152,15 @@ class WirelessChannel:
         attribute :attr:`DEFAULT_STATIC_LINKS`, True).  Pass False for
         topologies that mutate mid-run; a mutation after the first
         transmission demotes a static channel automatically.
+    interference:
+        ``"collision"`` (default) — the paper's binary overlap model;
+        ``"sinr"`` — signal-power interference with capture (see the
+        module docstring).  SINR channels need per-link received powers
+        (:meth:`set_link_power`); :class:`~repro.net.network.Network`
+        wires them from the propagation model or the cached skeleton.
+    sinr_threshold_db:
+        Capture threshold of the SINR model (ignored by the collision
+        model).
     """
 
     #: Process-wide default for the ``static_links`` constructor argument;
@@ -120,22 +172,44 @@ class WirelessChannel:
         sim: "Simulator",
         phy: Optional[PhyParameters] = None,
         static_links: Optional[bool] = None,
+        interference: str = "collision",
+        sinr_threshold_db: float = DEFAULT_SINR_THRESHOLD_DB,
     ) -> None:
+        if interference not in INTERFERENCE_MODELS:
+            raise ValueError(
+                f"unknown interference model {interference!r}; "
+                f"expected one of {INTERFERENCE_MODELS}"
+            )
         self.sim = sim
         self.phy = phy if phy is not None else PhyParameters()
+        self.interference = interference
+        self.sinr_threshold_db = sinr_threshold_db
+        self._sinr = interference == "sinr"
         self._radios: Dict[int, "Radio"] = {}
         self._neighbours: Dict[int, Set[int]] = {}
+        #: carrier-sense-only neighbours: sensed (energy, CCA) but not
+        #: decodable.  Disjoint from ``_neighbours`` by construction.
+        self._cs_neighbours: Dict[int, Set[int]] = {}
         self._link_error: Dict[tuple, float] = {}
+        #: linear received power (mW) per directed (sender, receiver) link,
+        #: covering communication and carrier-sense-only links alike.
+        self._power_mw: Dict[Tuple[int, int], float] = {}
         #: transmissions currently arriving at each radio (keyed by radio id)
         self._arriving: Dict[int, List[ActiveTransmission]] = {}
+        #: transmissions currently sensed-only at each radio
+        self._sensing: Dict[int, List[ActiveTransmission]] = {}
         self._rng = sim.rng.stream("channel")
         self._static = (
             self.DEFAULT_STATIC_LINKS if static_links is None else bool(static_links)
         )
         self._link_table: Optional[Dict[int, Tuple[_LinkRow, ...]]] = None
-        #: Shared (receiver_id, PER) skeleton installed by preset_link_table;
-        #: read-only — mutations drop the reference, never edit it.
-        self._skeleton: Optional[Mapping[int, Sequence[Tuple[int, float]]]] = None
+        self._sense_table: Optional[Dict[int, Tuple[_SenseRow, ...]]] = None
+        #: Shared (receiver_id, power_dbm, PER) skeleton installed by
+        #: preset_link_table; read-only — mutations drop the reference,
+        #: never edit it.
+        self._skeleton: Optional[Mapping[int, Sequence[Tuple[int, float, float]]]] = None
+        self._noise_mw = 10.0 ** (self.phy.noise_floor_dbm / 10.0)
+        self._capture_ratio = 10.0 ** (sinr_threshold_db / 10.0)
         # statistics
         self.transmissions_started = 0
         self.frames_delivered = 0
@@ -151,9 +225,11 @@ class WirelessChannel:
         self._neighbours.setdefault(radio.node_id, set())
         arriving: List[ActiveTransmission] = []
         self._arriving.setdefault(radio.node_id, arriving)
-        # The radio keeps a direct reference to its arriving list so CCA
-        # needs no dict lookups (see Radio.cca).
+        self._sensing.setdefault(radio.node_id, [])
+        # The radio keeps direct references to its arriving and sensing
+        # lists so CCA needs no dict lookups (see Radio.cca).
         radio._rx_arriving = self._arriving[radio.node_id]
+        radio._rx_sensing = self._sensing[radio.node_id]
         self.invalidate_link_table()
 
     def radios(self) -> Iterable["Radio"]:
@@ -218,6 +294,53 @@ class WirelessChannel:
             self._link_error[(b, a)] = per
         self.invalidate_link_table()
 
+    # ------------------------------------------------------ SINR link wiring
+    def set_link_power(self, sender: int, receiver: int, power_dbm: float) -> None:
+        """Set the received power of the directed link ``sender -> receiver``.
+
+        Consumed by the SINR interference model for both decodable links
+        (signal and interference) and sensed-only links (interference).
+        Harmless no-op data under the collision model.
+        """
+        self._power_mw[(sender, receiver)] = 10.0 ** (power_dbm / 10.0)
+        self.invalidate_link_table()
+
+    def connect_sensed(self, sender: int, receiver: int, power_dbm: float) -> None:
+        """Declare that ``receiver`` *senses* (but cannot decode) ``sender``.
+
+        Sensed-only transmissions contribute interference at the receiver
+        and drive its CCA busy, but are never delivered and never raise
+        ``notify_corrupted_frame`` — the receiver cannot synchronise on
+        them in the first place.
+        """
+        if sender == receiver:
+            raise ValueError("a node cannot sense itself")
+        if receiver in self._neighbours.get(sender, ()):
+            raise ValueError(
+                f"link {sender}->{receiver} is already a communication link"
+            )
+        self._cs_neighbours.setdefault(sender, set()).add(receiver)
+        self._power_mw[(sender, receiver)] = 10.0 ** (power_dbm / 10.0)
+        self.invalidate_link_table()
+
+    def disconnect_sensed(self, sender: int, receiver: int) -> None:
+        """Remove a sensed-only link.
+
+        Mirrors :meth:`disconnect`: sensed transmissions still in flight
+        are purged from the receiver's sensing list immediately, so a
+        removed link can never strand the sensed-energy book-keeping and
+        pin the receiver's CCA busy.
+        """
+        self.invalidate_link_table()
+        self._cs_neighbours.get(sender, set()).discard(receiver)
+        sensing = self._sensing.get(receiver)
+        if sensing:
+            sensing[:] = [tx for tx in sensing if tx.sender_id != sender]
+
+    def senses(self, receiver: int, sender: int) -> bool:
+        """True if ``receiver`` senses (without decoding) ``sender``."""
+        return receiver in self._cs_neighbours.get(sender, self._EMPTY_NEIGHBOURS)
+
     # ----------------------------------------------------------- link table
     @property
     def static_links(self) -> bool:
@@ -225,9 +348,9 @@ class WirelessChannel:
         return self._static
 
     def preset_link_table(
-        self, skeleton: Mapping[int, Sequence[Tuple[int, float]]]
+        self, skeleton: Mapping[int, Sequence[Tuple[int, float, float]]]
     ) -> None:
-        """Install a shared prebuilt ``sender -> ((receiver, PER), ...)`` skeleton.
+        """Install a shared ``sender -> ((receiver, power_dbm, PER), ...)`` skeleton.
 
         Called by :class:`~repro.net.network.Network` after wiring when the
         scenario builder supplied cached construction artifacts; the first
@@ -262,21 +385,40 @@ class WirelessChannel:
         self._skeleton = None
         if self._link_table is not None:
             self._link_table = None
+            self._sense_table = None
             self._static = False
             for arriving in self._arriving.values():
                 for tx in arriving:
                     tx.rows = None
+                    tx.sense_rows = None
+            for sensing in self._sensing.values():
+                for tx in sensing:
+                    tx.rows = None
+                    tx.sense_rows = None
 
     def _build_link_table(self) -> Dict[int, Tuple[_LinkRow, ...]]:
-        """Precompute per-sender delivery rows (neighbour-set order kept)."""
+        """Precompute per-sender delivery rows (neighbour-set order kept).
+
+        Signal powers come from the channel's own ``_power_mw`` wiring (the
+        skeleton's power column was already applied through
+        :meth:`set_link_power` at construction), so the skeleton-mapped and
+        live-derived tables agree by construction.
+        """
         radios = self._radios
         arriving = self._arriving
+        power = self._power_mw
         skeleton = self._skeleton
         if skeleton is not None:
             table = {
                 sender_id: tuple(
-                    (receiver_id, radios[receiver_id], arriving[receiver_id], per)
-                    for receiver_id, per in skeleton.get(sender_id, ())
+                    (
+                        receiver_id,
+                        radios[receiver_id],
+                        arriving[receiver_id],
+                        per,
+                        power.get((sender_id, receiver_id), 0.0),
+                    )
+                    for receiver_id, _power_dbm, per in skeleton.get(sender_id, ())
                 )
                 for sender_id in radios
             }
@@ -289,12 +431,22 @@ class WirelessChannel:
                         radios[receiver_id],
                         arriving[receiver_id],
                         link_error.get((sender_id, receiver_id), 0.0),
+                        power.get((sender_id, receiver_id), 0.0),
                     )
                     for receiver_id in self._neighbours.get(sender_id, ())
                 )
                 for sender_id in radios
             }
         self._link_table = table
+        if self._sinr:
+            sensing = self._sensing
+            self._sense_table = {
+                sender_id: tuple(
+                    (receiver_id, sensing[receiver_id])
+                    for receiver_id in self._cs_neighbours.get(sender_id, ())
+                )
+                for sender_id in radios
+            }
         return table
 
     _EMPTY_NEIGHBOURS: AbstractSet[int] = frozenset()
@@ -322,12 +474,15 @@ class WirelessChannel:
 
         The channel is busy if any transmission from a node within range of
         ``node_id`` is currently on the air, or if ``node_id`` itself is
-        transmitting.
+        transmitting.  Under the SINR model, sensed-only energy (inside
+        carrier-sense range, beyond decode range) also reads busy.
         """
         radio = self._radios[node_id]
         if radio.transmitting:
             return True
-        return bool(self._arriving.get(node_id))
+        if self._arriving.get(node_id):
+            return True
+        return bool(self._sensing.get(node_id))
 
     # --------------------------------------------------------- transmission
     def begin_transmission(self, sender: "Radio", frame: Frame, duration: float) -> None:
@@ -335,6 +490,10 @@ class WirelessChannel:
         now = self.sim.now
         tx = ActiveTransmission(sender.node_id, frame, now, now + duration)
         self.transmissions_started += 1
+        if self._sinr:
+            self._begin_sinr(sender, tx)
+            self.sim.schedule_fast(duration, self._end_transmission, tx)
+            return
         corrupted_for = tx.corrupted_for
         if self._static:
             table = self._link_table
@@ -342,7 +501,7 @@ class WirelessChannel:
                 table = self._build_link_table()
             rows = table[sender.node_id]
             tx.rows = rows
-            for receiver_id, radio, arriving, _ in rows:
+            for receiver_id, radio, arriving, _per, _signal in rows:
                 if arriving:
                     # Overlap with everything currently arriving at this receiver.
                     corrupted_for.add(receiver_id)
@@ -366,6 +525,82 @@ class WirelessChannel:
                 arriving.append(tx)
         self.sim.schedule_fast(duration, self._end_transmission, tx)
 
+    def _begin_sinr(self, sender: "Radio", tx: ActiveTransmission) -> None:
+        """Start a transmission under the SINR interference model.
+
+        The new frame is appended to the arriving list of each decodable
+        receiver and the sensing list of each carrier-sense-only receiver;
+        every receiver whose interference grew is re-evaluated once
+        (corruption is monotone, so starts are the only points where a
+        frame can newly fail the threshold).
+        """
+        sender_id = sender.node_id
+        corrupted_for = tx.corrupted_for
+        if self._static:
+            table = self._link_table
+            if table is None:
+                table = self._build_link_table()
+            rows = table[sender_id]
+            sense_rows = self._sense_table[sender_id]
+            tx.rows = rows
+            tx.sense_rows = sense_rows
+            for receiver_id, radio, arriving, _per, _signal in rows:
+                if radio.transmitting:
+                    # Half-duplex: a transmitting radio cannot receive.
+                    corrupted_for.add(receiver_id)
+                arriving.append(tx)
+                self._reevaluate(receiver_id, arriving)
+            for receiver_id, sensing in sense_rows:
+                sensing.append(tx)
+                arriving = self._arriving[receiver_id]
+                if arriving:
+                    self._reevaluate(receiver_id, arriving)
+        else:
+            radios = self._radios
+            arriving_map = self._arriving
+            for receiver_id in self.neighbours_view(sender_id):
+                if radios[receiver_id].transmitting:
+                    corrupted_for.add(receiver_id)
+                arriving = arriving_map[receiver_id]
+                arriving.append(tx)
+                self._reevaluate(receiver_id, arriving)
+            for receiver_id in self._cs_neighbours.get(sender_id, self._EMPTY_NEIGHBOURS):
+                self._sensing[receiver_id].append(tx)
+                arriving = arriving_map[receiver_id]
+                if arriving:
+                    self._reevaluate(receiver_id, arriving)
+
+    def _reevaluate(self, receiver_id: int, arriving: List[ActiveTransmission]) -> None:
+        """Re-apply the SINR threshold to every frame arriving at a receiver.
+
+        Interference is summed fresh over the arriving and sensing lists in
+        insertion (chronological) order — identical on the static and
+        dynamic paths, so float summation order can never diverge between
+        them.  Already-corrupted frames stay corrupted (sticky flag).
+        """
+        power = self._power_mw
+        noise = self._noise_mw
+        threshold = self._capture_ratio
+        if len(arriving) == 1 and not self._sensing[receiver_id]:
+            # Lone frame: only the noise floor opposes it.
+            tx = arriving[0]
+            if receiver_id not in tx.corrupted_for:
+                signal = power.get((tx.sender_id, receiver_id), 0.0)
+                if signal < threshold * noise:
+                    tx.corrupted_for.add(receiver_id)
+            return
+        total = noise
+        for other in arriving:
+            total += power.get((other.sender_id, receiver_id), 0.0)
+        for other in self._sensing[receiver_id]:
+            total += power.get((other.sender_id, receiver_id), 0.0)
+        for tx in arriving:
+            if receiver_id in tx.corrupted_for:
+                continue
+            signal = power.get((tx.sender_id, receiver_id), 0.0)
+            if signal < threshold * (total - signal):
+                tx.corrupted_for.add(receiver_id)
+
     def notify_transmit_start(self, node_id: int) -> None:
         """Called by a radio when it switches to transmit mode.
 
@@ -380,7 +615,7 @@ class WirelessChannel:
         if rows is not None:
             corrupted_for = tx.corrupted_for
             rng_random = self._rng.random
-            for receiver_id, receiver, arriving, per in rows:
+            for receiver_id, receiver, arriving, per, _signal in rows:
                 try:
                     arriving.remove(tx)
                 except ValueError:
@@ -402,6 +637,15 @@ class WirelessChannel:
                     continue
                 self.frames_delivered += 1
                 receiver.deliver(tx.frame)
+            if tx.sense_rows is not None:
+                # Sensed-only receivers just stop seeing the energy — no
+                # delivery, no corruption notification (they never
+                # synchronised on the frame).
+                for _receiver_id, sensing in tx.sense_rows:
+                    try:
+                        sensing.remove(tx)
+                    except ValueError:
+                        pass
         else:
             radios = self._radios
             arriving_map = self._arriving
@@ -427,4 +671,15 @@ class WirelessChannel:
                     continue
                 self.frames_delivered += 1
                 receiver.deliver(tx.frame)
+            if self._sinr:
+                for receiver_id in self._cs_neighbours.get(
+                    tx.sender_id, self._EMPTY_NEIGHBOURS
+                ):
+                    sensing = self._sensing[receiver_id]
+                    try:
+                        sensing.remove(tx)
+                    except ValueError:
+                        # The sensed link was removed while the frame was
+                        # on the air (disconnect_sensed purges eagerly).
+                        pass
         self._radios[tx.sender_id].transmission_finished(tx.frame)

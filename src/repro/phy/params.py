@@ -30,6 +30,10 @@ class PhyParameters:
     turnaround_symbols: int = 12
     unit_backoff_symbols: int = 20
     ack_wait_symbols: int = 54  # macAckWaitDuration for the 2.4 GHz PHY
+    #: Receiver noise floor: thermal noise over the 2 MHz O-QPSK channel
+    #: (-174 dBm/Hz + 63 dB) plus a ~11 dB transceiver noise figure.  Only
+    #: the SINR interference model reads it.
+    noise_floor_dbm: float = -100.0
 
     #: Air-time cache keyed by (kind is ACK, payload bytes).  Air time is a
     #: pure function of those two and the (frozen) timing fields, and the

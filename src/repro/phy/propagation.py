@@ -22,7 +22,7 @@ from __future__ import annotations
 import math
 import random
 from abc import ABC, abstractmethod
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 Position = Tuple[float, float]
 
@@ -39,7 +39,30 @@ class PropagationModel(ABC):
 
     @abstractmethod
     def in_range(self, a: Position, b: Position) -> bool:
-        """True if a transmission from ``a`` can be sensed/received at ``b``."""
+        """True if a transmission from ``a`` can be *decoded* at ``b``."""
+
+    def in_carrier_sense_range(self, a: Position, b: Position) -> bool:
+        """True if a transmission from ``a`` raises the energy seen at ``b``.
+
+        Energy detection reaches further than frame decoding on real
+        transceivers; models that distinguish the two override this.  The
+        default couples both ranges (carrier sense == communication range),
+        which is the paper's original binary-collision world.
+        """
+        return self.in_range(a, b)
+
+    def received_power_dbm(self, a: Position, b: Position) -> float:
+        """Received power at ``b`` for a transmission from ``a`` in dBm.
+
+        Required by the SINR interference model
+        (:class:`repro.phy.channel.WirelessChannel` with
+        ``interference="sinr"``); purely geometric models must synthesise a
+        consistent value (see :class:`UnitDiskPropagation`).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} defines no received power; "
+            "interference='sinr' needs a model with received_power_dbm()"
+        )
 
     def link_quality(self, a: Position, b: Position) -> float:
         """A value in [0, 1] describing link quality; 0 if out of range."""
@@ -52,12 +75,41 @@ class UnitDiskPropagation(PropagationModel):
     The default range of 60 m connects the adjacent links of the default
     scenario geometries (hidden-node spacing 50 m, concentric ring spacing
     40 m) without bridging their hidden-terminal pairs.
+
+    ``carrier_sense_range`` optionally decouples energy detection from
+    frame decoding: a transmitter between the two radii is *sensed* (CCA
+    busy, interference energy) but cannot be decoded.  None (the default)
+    keeps both ranges equal — the legacy coupled behaviour.
+
+    Although the disk model is purely geometric, it synthesises a received
+    power (a log-distance budget with the constants below) so the SINR
+    interference model serves all propagation models through one code path.
     """
 
-    def __init__(self, communication_range: float = 60.0) -> None:
+    #: Synthetic link budget of the disk model's received power.  The
+    #: constants mirror :class:`LogDistancePathLoss` defaults, so at the
+    #: default 60 m range the weakest decodable link still clears the
+    #: default capture threshold against the noise floor alone.
+    SYNTHETIC_TX_POWER_DBM = 0.0
+    SYNTHETIC_REFERENCE_LOSS_DB = 40.0
+    SYNTHETIC_PATH_LOSS_EXPONENT = 2.6
+
+    def __init__(
+        self,
+        communication_range: float = 60.0,
+        carrier_sense_range: Optional[float] = None,
+    ) -> None:
         if communication_range <= 0:
             raise ValueError("communication_range must be positive")
+        if carrier_sense_range is not None and carrier_sense_range < communication_range:
+            raise ValueError(
+                "carrier_sense_range must be >= communication_range "
+                f"({carrier_sense_range} < {communication_range})"
+            )
         self.communication_range = communication_range
+        self.carrier_sense_range = (
+            communication_range if carrier_sense_range is None else carrier_sense_range
+        )
 
     def in_range(self, a: Position, b: Position) -> bool:
         if len(a) == 2 and len(b) == 2:
@@ -69,6 +121,21 @@ class UnitDiskPropagation(PropagationModel):
             dy = a[1] - b[1]
             return math.sqrt(dx * dx + dy * dy) <= self.communication_range
         return distance(a, b) <= self.communication_range
+
+    def in_carrier_sense_range(self, a: Position, b: Position) -> bool:
+        if len(a) == 2 and len(b) == 2:
+            dx = a[0] - b[0]
+            dy = a[1] - b[1]
+            return math.sqrt(dx * dx + dy * dy) <= self.carrier_sense_range
+        return distance(a, b) <= self.carrier_sense_range
+
+    def received_power_dbm(self, a: Position, b: Position) -> float:
+        d = max(distance(a, b), 1.0)
+        return (
+            self.SYNTHETIC_TX_POWER_DBM
+            - self.SYNTHETIC_REFERENCE_LOSS_DB
+            - 10.0 * self.SYNTHETIC_PATH_LOSS_EXPONENT * math.log10(d)
+        )
 
     def link_quality(self, a: Position, b: Position) -> float:
         if not self.in_range(a, b):
@@ -82,6 +149,12 @@ class LogDistancePathLoss(PropagationModel):
 
     Received power is ``tx_power_dbm - pl0_db - 10 * n * log10(d / d0)``;
     a node is in range if the received power exceeds ``sensitivity_dbm``.
+
+    ``cca_sensitivity_dbm`` optionally decouples the energy-detection
+    threshold from the decode sensitivity: power between the two thresholds
+    is *sensed* (CCA busy, interference energy) but not decodable.  It must
+    lie at or below ``sensitivity_dbm`` (a lower threshold senses further);
+    None (the default) couples both thresholds — the legacy behaviour.
     """
 
     def __init__(
@@ -91,16 +164,25 @@ class LogDistancePathLoss(PropagationModel):
         path_loss_exponent: float = 2.6,
         reference_loss_db: float = 40.0,
         reference_distance_m: float = 1.0,
+        cca_sensitivity_dbm: Optional[float] = None,
     ) -> None:
         if path_loss_exponent <= 0:
             raise ValueError("path_loss_exponent must be positive")
         if reference_distance_m <= 0:
             raise ValueError("reference_distance_m must be positive")
+        if cca_sensitivity_dbm is not None and cca_sensitivity_dbm > sensitivity_dbm:
+            raise ValueError(
+                "cca_sensitivity_dbm must be <= sensitivity_dbm "
+                f"({cca_sensitivity_dbm} > {sensitivity_dbm})"
+            )
         self.tx_power_dbm = tx_power_dbm
         self.sensitivity_dbm = sensitivity_dbm
         self.path_loss_exponent = path_loss_exponent
         self.reference_loss_db = reference_loss_db
         self.reference_distance_m = reference_distance_m
+        self.cca_sensitivity_dbm = (
+            sensitivity_dbm if cca_sensitivity_dbm is None else cca_sensitivity_dbm
+        )
 
     def received_power_dbm(self, a: Position, b: Position) -> float:
         """Received power at ``b`` for a transmission from ``a``."""
@@ -113,6 +195,9 @@ class LogDistancePathLoss(PropagationModel):
     def in_range(self, a: Position, b: Position) -> bool:
         return self.received_power_dbm(a, b) >= self.sensitivity_dbm
 
+    def in_carrier_sense_range(self, a: Position, b: Position) -> bool:
+        return self.received_power_dbm(a, b) >= self.cca_sensitivity_dbm
+
     def link_quality(self, a: Position, b: Position) -> float:
         margin = self.received_power_dbm(a, b) - self.sensitivity_dbm
         if margin < 0:
@@ -122,6 +207,11 @@ class LogDistancePathLoss(PropagationModel):
     def max_range(self) -> float:
         """Distance at which the received power equals the sensitivity."""
         budget = self.tx_power_dbm - self.sensitivity_dbm - self.reference_loss_db
+        return self.reference_distance_m * 10.0 ** (budget / (10.0 * self.path_loss_exponent))
+
+    def carrier_sense_max_range(self) -> float:
+        """Distance at which the received power equals the CCA threshold."""
+        budget = self.tx_power_dbm - self.cca_sensitivity_dbm - self.reference_loss_db
         return self.reference_distance_m * 10.0 ** (budget / (10.0 * self.path_loss_exponent))
 
 
@@ -146,6 +236,7 @@ class ShadowingPropagation(LogDistancePathLoss):
         reference_distance_m: float = 1.0,
         shadowing_sigma_db: float = 4.0,
         seed: int = 0,
+        cca_sensitivity_dbm: Optional[float] = None,
     ) -> None:
         super().__init__(
             tx_power_dbm=tx_power_dbm,
@@ -153,6 +244,7 @@ class ShadowingPropagation(LogDistancePathLoss):
             path_loss_exponent=path_loss_exponent,
             reference_loss_db=reference_loss_db,
             reference_distance_m=reference_distance_m,
+            cca_sensitivity_dbm=cca_sensitivity_dbm,
         )
         if shadowing_sigma_db < 0:
             raise ValueError("shadowing_sigma_db must be non-negative")
@@ -161,8 +253,23 @@ class ShadowingPropagation(LogDistancePathLoss):
         self._shadowing_cache: Dict[Tuple[Position, Position], float] = {}
 
     def shadowing_db(self, a: Position, b: Position) -> float:
-        """The (cached) shadowing value of the unordered pair ``{a, b}``."""
-        key = (a, b) if a <= b else (b, a)
+        """The (cached) shadowing value of the unordered pair ``{a, b}``.
+
+        Symmetric by construction: ``shadowing_db(a, b) == shadowing_db(b,
+        a)`` for every position pair, so ``in_range``/``link_quality`` can
+        never disagree across the two directions of one link.  The pair is
+        canonicalised by numeric order; numerically *equal* but distinct
+        positions (``0.0`` vs ``-0.0``, ``50`` vs ``50.0``) compare equal
+        in both orders yet repr differently, so they are tie-broken by repr
+        — without the tie-break the seed string (and hence the draw) would
+        depend on the call direction.
+        """
+        if a < b:
+            key = (a, b)
+        elif b < a:
+            key = (b, a)
+        else:
+            key = (a, b) if repr(a) <= repr(b) else (b, a)
         cached = self._shadowing_cache.get(key)
         if cached is None:
             # random.Random seeded with a string hashes it via SHA-512, so

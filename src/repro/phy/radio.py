@@ -70,12 +70,17 @@ class Radio:
         #: channel's book-keeping list by ``channel.register`` so a CCA
         #: needs no dict lookups.
         self._rx_arriving: list = []
+        #: transmissions currently *sensed only* at this radio (inside
+        #: carrier-sense range, beyond decode range) — also bound by
+        #: ``channel.register``; always empty under the collision model.
+        self._rx_sensing: list = []
         # statistics
         self.frames_sent = 0
         self.frames_received = 0
         self.frames_corrupted = 0
         self.cca_count = 0
         self.cca_busy_count = 0
+        self.cca_sensed_only_count = 0
         self.tx_airtime = 0.0
         channel.register(self)
 
@@ -89,13 +94,20 @@ class Radio:
 
         Returns True if the channel is *clear* (idle) as seen by this radio.
         Mirrors :meth:`WirelessChannel.is_busy_for` over the radio's direct
-        view of its arriving transmissions (no per-call dict lookups).
+        view of its arriving and sensed-only transmissions (no per-call
+        dict lookups).  Energy the radio cannot decode still reads busy —
+        ``cca_sensed_only_count`` counts the assessments where undecodable
+        energy alone made the call.
         """
         self.cca_count += 1
-        busy = self.state is RadioState.TRANSMITTING or bool(self._rx_arriving)
-        if busy:
+        if self.state is RadioState.TRANSMITTING or self._rx_arriving:
             self.cca_busy_count += 1
-        return not busy
+            return False
+        if self._rx_sensing:
+            self.cca_busy_count += 1
+            self.cca_sensed_only_count += 1
+            return False
+        return True
 
     def transmit(self, frame: Frame, duration: Optional[float] = None) -> float:
         """Transmit a frame; returns the frame's air time in seconds.

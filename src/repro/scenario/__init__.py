@@ -12,8 +12,10 @@ traffic, run, and collect metrics.
 from repro.scenario.artifacts import (
     ARTIFACT_CACHE,
     ArtifactCache,
+    CarrierSenseSkeleton,
     ScenarioArtifacts,
     artifact_cache_stats,
+    carrier_sense_skeleton,
     configure_artifact_cache,
     link_table_skeleton,
 )
@@ -33,6 +35,7 @@ __all__ = [
     "ARTIFACT_CACHE",
     "ArtifactCache",
     "BuiltDsmeScenario",
+    "CarrierSenseSkeleton",
     "BuiltScenario",
     "ScenarioArtifacts",
     "ScenarioBuilder",
@@ -40,6 +43,7 @@ __all__ = [
     "TOPOLOGY_REGISTRY",
     "artifact_cache_stats",
     "build_scenario",
+    "carrier_sense_skeleton",
     "configure_artifact_cache",
     "link_table_skeleton",
     "topology_accepts_node_count",

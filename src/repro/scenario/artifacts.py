@@ -36,20 +36,34 @@ from __future__ import annotations
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterator, Optional, Tuple
+from typing import Dict, Hashable, Iterator, Optional, Tuple, TYPE_CHECKING
 
 from repro.topology.base import Topology
 
-#: Per-sender ordered delivery rows: sender id -> ((receiver id, PER), ...).
-LinkTableSkeleton = Dict[int, Tuple[Tuple[int, float], ...]]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checking
+    from repro.phy.propagation import PropagationModel
+
+#: Per-sender ordered delivery rows:
+#: sender id -> ((receiver id, rx power dBm, PER), ...).  The power column
+#: feeds the SINR interference model; collision-model runs carry 0.0.
+LinkTableSkeleton = Dict[int, Tuple[Tuple[int, float, float], ...]]
+
+#: Per-sender ordered carrier-sense-only rows:
+#: sender id -> ((receiver id, rx power dBm), ...).  Receivers that sense a
+#: sender's energy (CCA busy, interference) without being able to decode it.
+CarrierSenseSkeleton = Dict[int, Tuple[Tuple[int, float], ...]]
 
 #: Default LRU capacity: small on purpose — a sweep rarely interleaves more
 #: than a handful of construction configurations per worker.
 DEFAULT_CACHE_SIZE = 8
 
 
-def link_table_skeleton(topology: Topology, link_error_rate: float) -> LinkTableSkeleton:
-    """Precompute the channel's per-sender ``(receiver, PER)`` delivery rows.
+def link_table_skeleton(
+    topology: Topology,
+    link_error_rate: float,
+    model: Optional["PropagationModel"] = None,
+) -> LinkTableSkeleton:
+    """Precompute the channel's per-sender ``(receiver, power, PER)`` rows.
 
     The receiver order of each row reproduces exactly the neighbour-set
     iteration order a :class:`~repro.phy.channel.WirelessChannel` arrives at
@@ -59,6 +73,10 @@ def link_table_skeleton(topology: Topology, link_error_rate: float) -> LinkTable
     perform — so deliveries (and therefore per-link error draws, which
     consume the channel RNG in delivery order) are bit-identical whether
     the skeleton or the channel's own lazy build produced the table.
+
+    ``model`` (the settled propagation model the topology was derived from)
+    supplies each directed link's received power; without one the power
+    column is 0.0 — correct for the collision model, which never reads it.
     """
     neighbours: Dict[int, set] = {node_id: set() for node_id in topology.node_ids}
     for link in topology.links:
@@ -66,10 +84,54 @@ def link_table_skeleton(topology: Topology, link_error_rate: float) -> LinkTable
         neighbours[a].add(b)
         neighbours[b].add(a)
     per = float(link_error_rate)
+    if model is None:
+        return {
+            sender: tuple((receiver, 0.0, per) for receiver in neighbours[sender])
+            for sender in topology.node_ids
+        }
+    positions = topology.positions
     return {
-        sender: tuple((receiver, per) for receiver in neighbours[sender])
+        sender: tuple(
+            (
+                receiver,
+                model.received_power_dbm(positions[sender], positions[receiver]),
+                per,
+            )
+            for receiver in neighbours[sender]
+        )
         for sender in topology.node_ids
     }
+
+
+def carrier_sense_skeleton(
+    topology: Topology, model: "PropagationModel"
+) -> CarrierSenseSkeleton:
+    """Precompute per-sender carrier-sense-only rows for the SINR model.
+
+    A receiver is sensed-only for a sender when it lies inside the model's
+    carrier-sense range but shares no communication link with it in the
+    topology.  Pairs are enumerated in node-id order — the same ordered
+    iteration :meth:`Network` uses when wiring sensed links live, so the
+    channel's ``_cs_neighbours`` insertion order is identical either way.
+    """
+    linked: Dict[int, set] = {node_id: set() for node_id in topology.node_ids}
+    for link in topology.links:
+        a, b = tuple(link)
+        linked[a].add(b)
+        linked[b].add(a)
+    positions = topology.positions
+    ids = list(topology.node_ids)
+    sensed: Dict[int, list] = {node_id: [] for node_id in ids}
+    for i, a in enumerate(ids):
+        for b in ids[i + 1:]:
+            if b in linked[a]:
+                continue
+            pos_a, pos_b = positions[a], positions[b]
+            if model.in_carrier_sense_range(pos_a, pos_b):
+                sensed[a].append((b, model.received_power_dbm(pos_a, pos_b)))
+            if model.in_carrier_sense_range(pos_b, pos_a):
+                sensed[b].append((a, model.received_power_dbm(pos_b, pos_a)))
+    return {sender: tuple(rows) for sender, rows in sensed.items()}
 
 
 @dataclass(frozen=True)
@@ -91,6 +153,10 @@ class ScenarioArtifacts:
     #: (uncacheable configs).  None for hand-assembled bundles, which opt
     #: out of validation entirely.
     topology_kind: Optional[str] = None
+    #: Carrier-sense-only rows for SINR runs; None for collision-model
+    #: bundles (whose cache keys can never collide with SINR ones — the
+    #: interference model is part of the key).
+    cs_table: Optional[CarrierSenseSkeleton] = None
 
     def is_current(self) -> bool:
         """True while the topology still matches the snapshotted artifacts."""
@@ -104,6 +170,10 @@ class ScenarioArtifacts:
         falls back to deriving delivery rows from the live topology wiring.
         """
         return self.link_table if self.is_current() else None
+
+    def current_cs_table(self) -> Optional[CarrierSenseSkeleton]:
+        """The carrier-sense skeleton, guarded by the same staleness check."""
+        return self.cs_table if self.is_current() else None
 
 
 @dataclass

@@ -22,6 +22,7 @@ from repro.registry import Registry
 from repro.scenario.artifacts import (
     ARTIFACT_CACHE,
     ScenarioArtifacts,
+    carrier_sense_skeleton,
     link_table_skeleton,
 )
 from repro.scenario.config import ScenarioConfig
@@ -31,6 +32,7 @@ from repro.topology.concentric import concentric_topology
 from repro.topology.hidden_node import hidden_node_topology
 from repro.topology.iotlab import iot_lab_star_topology, iot_lab_tree_topology
 from repro.topology.random_topo import random_topology
+from repro.topology.sinr_hidden_node import sinr_hidden_node_topology
 from repro.traffic.generators import (
     FluctuatingPoissonTraffic,
     PeriodicTraffic,
@@ -48,6 +50,7 @@ TOPOLOGY_REGISTRY.register("iotlab-tree", iot_lab_tree_topology)
 TOPOLOGY_REGISTRY.register("iotlab-star", iot_lab_star_topology)
 TOPOLOGY_REGISTRY.register("concentric", concentric_topology)
 TOPOLOGY_REGISTRY.register("random", random_topology)
+TOPOLOGY_REGISTRY.register("sinr-hidden-node", sinr_hidden_node_topology)
 
 
 def topology_kinds() -> Tuple[str, ...]:
@@ -201,6 +204,14 @@ class ScenarioBuilder:
     def make_topology(self) -> Topology:
         """Build the topology; with a propagation model, re-derive its links.
 
+        See :meth:`make_topology_and_model`; this accessor discards the
+        settled model for callers that only need connectivity.
+        """
+        return self.make_topology_and_model()[0]
+
+    def make_topology_and_model(self) -> Tuple[Topology, Optional[Any]]:
+        """Build the topology plus the propagation model it settled on.
+
         Seeded topology factories (a ``seed`` keyword, e.g. ``random``
         placement) receive the scenario seed unless ``topology_params``
         pins one, so placements are deterministic per scenario seed.
@@ -212,6 +223,12 @@ class ScenarioBuilder:
         times — a pure function of the scenario seed, so parallel campaigns
         stay bit-identical.  A seed pinned via ``propagation_params`` is
         never resampled: a disconnecting pinned draw raises.
+
+        Returns the topology together with the model instance of the draw
+        that settled the links (None without a propagation model) — the
+        SINR artifacts derive per-link received powers from exactly this
+        instance, never from a fresh first-draw model whose shadowing seed
+        may differ after redraws.
         """
         factory = TOPOLOGY_REGISTRY.get(self.config.topology)
         topology_params = dict(self.config.topology_params)
@@ -219,7 +236,7 @@ class ScenarioBuilder:
             topology_params["seed"] = self.config.seed
         topology = factory(**topology_params)
         if self.config.propagation is None:
-            return topology
+            return topology, None
 
         spec = get_propagation_spec(self.config.propagation)
         params = dict(self.config.propagation_params)
@@ -229,12 +246,13 @@ class ScenarioBuilder:
         for draw in range(draws):
             if resample:
                 params["seed"] = self.config.seed + draw * self._RESEED_STRIDE
-            topology.derive_links(spec.build(**params))
+            model = spec.build(**params)
+            topology.derive_links(model)
             if topology.sink is None:
-                return topology
+                return topology, model
             try:
                 topology.build_routing_tree(topology.sink)
-                return topology
+                return topology, model
             except ValueError as exc:
                 last_error = exc
         raise ValueError(
@@ -292,8 +310,15 @@ class ScenarioBuilder:
         across runs is safe; pass ``freeze=False`` to keep it mutable —
         the version counter then guards consumers against stale skeletons.
         """
-        topology = self.make_topology()
-        skeleton = link_table_skeleton(topology, self.config.link_error_rate)
+        topology, model = self.make_topology_and_model()
+        sinr = self.config.interference == "sinr"
+        # The power column (and the carrier-sense rows) are only derived for
+        # SINR runs — collision-model bundles stay exactly as cheap (and as
+        # bit-identical) as before the column existed.
+        skeleton = link_table_skeleton(
+            topology, self.config.link_error_rate, model=model if sinr else None
+        )
+        cs_table = carrier_sense_skeleton(topology, model) if sinr else None
         if freeze:
             topology.freeze()
         return ScenarioArtifacts(
@@ -302,6 +327,7 @@ class ScenarioBuilder:
             topology_version=topology.version,
             link_table=skeleton,
             topology_kind=self.config.topology,
+            cs_table=cs_table,
         )
 
     def resolve_artifacts(
@@ -363,7 +389,10 @@ class ScenarioBuilder:
             self.make_mac_factory(),
             link_error_rate=self.config.link_error_rate,
             static_links=self.config.static_links,
+            interference=self.config.interference,
+            sinr_threshold_db=self.config.sinr_threshold_db,
             prebuilt_links=artifacts.current_link_table(),
+            prebuilt_cs=artifacts.current_cs_table(),
         )
         return BuiltScenario(config=self.config, sim=sim, topology=topology, network=network)
 
@@ -394,7 +423,10 @@ class ScenarioBuilder:
             route_discovery_period=route_discovery_period,
             link_error_rate=self.config.link_error_rate,
             static_links=self.config.static_links,
+            interference=self.config.interference,
+            sinr_threshold_db=self.config.sinr_threshold_db,
             prebuilt_links=artifacts.current_link_table(),
+            prebuilt_cs=artifacts.current_cs_table(),
         )
         return BuiltDsmeScenario(config=self.config, sim=sim, topology=topology, dsme=dsme)
 

@@ -54,6 +54,14 @@ class ScenarioConfig:
         overrides it.
     link_error_rate:
         Uniform per-link packet error rate applied to every link.
+    interference:
+        Channel interference model: ``"collision"`` (default, the paper's
+        binary overlap world) or ``"sinr"`` (signal-power interference with
+        capture and a decoupled carrier-sense range; see
+        :mod:`repro.phy.channel`).  SINR requires a propagation model —
+        received powers come from its ``received_power_dbm``.
+    sinr_threshold_db:
+        Capture threshold of the SINR model; ignored under ``collision``.
     static_links:
         Channel delivery mode: None (default) uses
         :attr:`repro.phy.channel.WirelessChannel.DEFAULT_STATIC_LINKS`
@@ -77,6 +85,8 @@ class ScenarioConfig:
     propagation: Optional[str] = None
     propagation_params: Dict[str, Any] = field(default_factory=dict)
     link_error_rate: float = 0.0
+    interference: str = "collision"
+    sinr_threshold_db: float = 10.0
     static_links: Optional[bool] = None
     seed: int = 0
     trace: bool = False
@@ -84,6 +94,7 @@ class ScenarioConfig:
 
     def __post_init__(self) -> None:
         from repro.mac.registry import MAC_REGISTRY
+        from repro.phy.channel import INTERFERENCE_MODELS
         from repro.phy.registry import PROPAGATION_REGISTRY
 
         if self.mac not in MAC_REGISTRY:
@@ -98,6 +109,16 @@ class ScenarioConfig:
             )
         if not 0.0 <= self.link_error_rate <= 1.0:
             raise ValueError("link_error_rate must lie in [0, 1]")
+        if self.interference not in INTERFERENCE_MODELS:
+            raise ValueError(
+                f"unknown interference model {self.interference!r}; "
+                f"expected one of {INTERFERENCE_MODELS}"
+            )
+        if self.interference == "sinr" and self.propagation is None:
+            raise ValueError(
+                "interference='sinr' needs a propagation model "
+                "(received powers come from received_power_dbm)"
+            )
         if self.trace_limit is not None and self.trace_limit < 0:
             raise ValueError("trace_limit must be non-negative (or None for unbounded)")
 
@@ -134,7 +155,9 @@ class ScenarioConfig:
             )
         except (TypeError, RegistryError):
             return None
-        parts: list = ["scenario-artifacts/1", self.topology, topology_params]
+        # Version bumped to /2 when the skeleton rows grew the received-power
+        # column — a /1-era bundle must never be served to this code.
+        parts: list = ["scenario-artifacts/2", self.topology, topology_params]
         if topology_seeded:
             parts.append(("topology-seed", self.seed))
         parts.append(self.propagation)
@@ -144,5 +167,14 @@ class ScenarioConfig:
             if "seed" not in self.propagation_params and spec.accepts_seed():
                 parts.append(("propagation-seed", self.seed))
         parts.append(self.link_error_rate)
+        # The interference model shapes the artifacts themselves (power
+        # column, carrier-sense rows), so a collision-era bundle can never
+        # be served to a SINR run or vice versa.  The carrier-sense range /
+        # CCA sensitivity is part of propagation_params and therefore
+        # already covered above; the SINR threshold only matters when the
+        # SINR model is active.
+        parts.append(("interference", self.interference))
+        if self.interference == "sinr":
+            parts.append(("sinr-threshold", self.sinr_threshold_db))
         parts.append(self.static_links)
         return tuple(parts)

@@ -269,6 +269,7 @@ class TestAdapters:
 
         tiny = {
             "hidden-node": {"delta": 10.0, "packets_per_node": 8, "warmup": 5.0},
+            "sinr-hidden-node": {"delta": 10.0, "packets_per_node": 8, "warmup": 2.0},
             "testbed-tree": {"delta": 2.0, "packets_per_node": 4, "warmup": 6.0},
             "testbed-star": {"delta": 2.0, "packets_per_node": 4, "warmup": 6.0},
             "scalability": {"rings": 1, "duration": 30.0, "warmup": 20.0},

@@ -68,6 +68,45 @@ class TestHiddenNodeRunner:
             run_hidden_node(packets_per_node=0)
 
 
+class TestSinrHiddenNodeRunner:
+    def test_asymmetric_delivery_regime(self):
+        """The hidden node overhears the network (sensed/received frames)
+        but its own uplink never clears the 10 dB SINR threshold."""
+        from repro.experiments.sinr_hidden_node import run_sinr_hidden_node
+
+        report = run_sinr_hidden_node(
+            mac="unslotted-csma", delta=10.0, packets_per_node=30, warmup=5.0, seed=0
+        )
+        assert report.experiment == "sinr-hidden-node"
+        scalars = report.scalars
+        assert scalars["hidden_delivered"] == 0.0
+        assert scalars["hidden_pdr"] == 0.0
+        assert scalars["hidden_frames_received"] > 0  # downlink still decodes
+        assert scalars["near_pdr"] > 0.8
+        assert scalars["delivery_asymmetry"] == pytest.approx(
+            scalars["near_pdr"] - scalars["hidden_pdr"]
+        )
+
+    def test_sensed_only_band_drives_cca(self):
+        """NEAR sits in HIDDEN's carrier-sense band (115 m < 250 m) but out
+        of communication range, so the hidden node's CCA reacts to frames
+        it can never decode."""
+        from repro.experiments.sinr_hidden_node import run_sinr_hidden_node
+
+        report = run_sinr_hidden_node(
+            mac="unslotted-csma", delta=25.0, packets_per_node=50, warmup=5.0, seed=1
+        )
+        assert report.scalars["hidden_cca_sensed_only"] > 0
+
+    def test_rejects_invalid_arguments(self):
+        from repro.experiments.sinr_hidden_node import run_sinr_hidden_node
+
+        with pytest.raises(ValueError):
+            run_sinr_hidden_node(delta=0)
+        with pytest.raises(ValueError):
+            run_sinr_hidden_node(packets_per_node=0)
+
+
 class TestConvergenceAndSlots:
     def test_convergence_histories_cover_the_run(self):
         result = run_convergence(delta=25, duration=40.0, warmup=10.0, seed=1)

@@ -4,7 +4,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.phy.propagation import LogDistancePathLoss, UnitDiskPropagation, distance
+from repro.phy.propagation import (
+    LogDistancePathLoss,
+    ShadowingPropagation,
+    UnitDiskPropagation,
+    distance,
+)
 
 
 def test_distance_euclidean():
@@ -58,3 +63,76 @@ class TestLogDistance:
             LogDistancePathLoss(path_loss_exponent=0.0)
         with pytest.raises(ValueError):
             LogDistancePathLoss(reference_distance_m=0.0)
+
+
+class TestCarrierSenseRange:
+    def test_unit_disk_decoupled_ranges(self):
+        model = UnitDiskPropagation(
+            communication_range=100.0, carrier_sense_range=250.0
+        )
+        assert model.in_range((0, 0), (100, 0))
+        assert not model.in_range((0, 0), (101, 0))
+        assert model.in_carrier_sense_range((0, 0), (250, 0))
+        assert not model.in_carrier_sense_range((0, 0), (251, 0))
+
+    def test_unit_disk_default_collapses_to_communication_range(self):
+        model = UnitDiskPropagation(100.0)
+        assert model.in_carrier_sense_range((0, 0), (100, 0))
+        assert not model.in_carrier_sense_range((0, 0), (100.01, 0))
+
+    def test_carrier_sense_cannot_be_narrower_than_communication(self):
+        with pytest.raises(ValueError):
+            UnitDiskPropagation(communication_range=100.0, carrier_sense_range=50.0)
+
+    def test_unit_disk_synthetic_power_monotone(self):
+        model = UnitDiskPropagation(100.0)
+        near = model.received_power_dbm((0, 0), (10, 0))
+        far = model.received_power_dbm((0, 0), (90, 0))
+        assert near > far
+
+    def test_log_distance_cca_sensitivity_widens_sense_range(self):
+        model = LogDistancePathLoss(
+            tx_power_dbm=0.0, sensitivity_dbm=-80.0, cca_sensitivity_dbm=-90.0
+        )
+        comm = model.max_range()
+        sense = model.carrier_sense_max_range()
+        assert sense > comm
+        between = ((comm + sense) / 2.0, 0.0)
+        assert not model.in_range((0, 0), between)
+        assert model.in_carrier_sense_range((0, 0), between)
+
+    def test_log_distance_cca_sensitivity_must_be_at_most_sensitivity(self):
+        with pytest.raises(ValueError):
+            LogDistancePathLoss(sensitivity_dbm=-90.0, cca_sensitivity_dbm=-80.0)
+
+
+class TestShadowingSymmetry:
+    def test_shadowing_symmetric_across_directions(self):
+        model = ShadowingPropagation(seed=5)
+        pairs = [((0.0, 0.0), (30.0, 10.0)), ((12.5, -4.0), (-7.0, 22.0))]
+        for a, b in pairs:
+            assert model.shadowing_db(a, b) == model.shadowing_db(b, a)
+            assert model.received_power_dbm(a, b) == pytest.approx(
+                model.received_power_dbm(b, a)
+            )
+
+    def test_shadowing_symmetric_for_repr_differing_equal_positions(self):
+        # Regression for the direction asymmetry: positions that compare
+        # equal numerically but differ in repr (int vs float, -0.0 vs 0.0)
+        # must still draw one shared value per unordered pair.
+        model = ShadowingPropagation(seed=11)
+        assert model.shadowing_db((0, 0), (30.0, 0.0)) == model.shadowing_db(
+            (30.0, 0.0), (0, 0)
+        )
+        assert model.shadowing_db((-0.0, 5.0), (0.0, 5.0)) == model.shadowing_db(
+            (0.0, 5.0), (-0.0, 5.0)
+        )
+
+    def test_shadowing_pure_function_of_seed_and_pair(self):
+        a, b = (0.0, 0.0), (40.0, 0.0)
+        first = ShadowingPropagation(seed=3).shadowing_db(a, b)
+        fresh = ShadowingPropagation(seed=3)
+        # Querying other pairs first must not perturb the draw.
+        fresh.shadowing_db((1.0, 1.0), (2.0, 2.0))
+        assert fresh.shadowing_db(b, a) == first
+        assert ShadowingPropagation(seed=4).shadowing_db(a, b) != first

@@ -41,7 +41,7 @@ def _rows(network):
     """The channel's delivery table reduced to comparable (id, per) rows."""
     table = network.channel._build_link_table()
     return {
-        sender: tuple((receiver, per) for receiver, _, _, per in rows)
+        sender: tuple((receiver, per) for receiver, _, _, per, _ in rows)
         for sender, rows in table.items()
     }
 
@@ -104,6 +104,94 @@ class TestCacheKey:
         a = ScenarioConfig(propagation="fading", propagation_params={"seed": 1}, seed=0)
         b = ScenarioConfig(propagation="fading", propagation_params={"seed": 1}, seed=9)
         assert a.cache_key() == b.cache_key()
+
+
+_SINR_PARAMS = {"communication_range": 100.0, "carrier_sense_range": 250.0}
+
+
+class TestInterferenceCacheKey:
+    """Regression (PR 6): the cache key must cover the interference model,
+    SINR threshold and carrier-sense range — a collision-model bundle served
+    to a SINR config (or vice versa) would silently drop the power column
+    and sensed-only links."""
+
+    def test_interference_model_splits_key(self):
+        collision = ScenarioConfig(propagation="unit-disk", propagation_params=_SINR_PARAMS)
+        sinr = ScenarioConfig(
+            propagation="unit-disk", propagation_params=_SINR_PARAMS, interference="sinr"
+        )
+        assert collision.cache_key() != sinr.cache_key()
+
+    def test_sinr_threshold_splits_key(self):
+        a = ScenarioConfig(
+            propagation="unit-disk", propagation_params=_SINR_PARAMS,
+            interference="sinr", sinr_threshold_db=10.0,
+        )
+        b = ScenarioConfig(
+            propagation="unit-disk", propagation_params=_SINR_PARAMS,
+            interference="sinr", sinr_threshold_db=3.0,
+        )
+        assert a.cache_key() != b.cache_key()
+
+    def test_carrier_sense_range_splits_key(self):
+        a = ScenarioConfig(
+            propagation="unit-disk", propagation_params=_SINR_PARAMS, interference="sinr"
+        )
+        b = ScenarioConfig(
+            propagation="unit-disk",
+            propagation_params={"communication_range": 100.0, "carrier_sense_range": 150.0},
+            interference="sinr",
+        )
+        assert a.cache_key() != b.cache_key()
+
+    def test_sinr_requires_propagation(self):
+        with pytest.raises(ValueError, match="propagation"):
+            ScenarioConfig(interference="sinr")
+        with pytest.raises(ValueError):
+            ScenarioConfig(interference="not-a-model")
+
+    def test_forced_eviction_keeps_sinr_and_collision_results_correct(self):
+        """Alternating collision and SINR builds through a single-slot LRU
+        must reproduce the uncached channel state bit-for-bit."""
+
+        def full_rows(network):
+            table = network.channel._build_link_table()
+            return {
+                sender: tuple(
+                    (receiver, per, signal)
+                    for receiver, _, _, per, signal in rows
+                )
+                for sender, rows in table.items()
+            }
+
+        def sensed(network):
+            return {
+                node: tuple(sorted(peers))
+                for node, peers in network.channel._cs_neighbours.items()
+            }
+
+        configs = [
+            ScenarioConfig(propagation="unit-disk", propagation_params=_SINR_PARAMS),
+            ScenarioConfig(
+                propagation="unit-disk", propagation_params=_SINR_PARAMS,
+                interference="sinr",
+            ),
+        ]
+        with ARTIFACT_CACHE.override(maxsize=1):
+            baselines = []
+            with ARTIFACT_CACHE.override(enabled=False):
+                for config in configs:
+                    network = ScenarioBuilder(config).build().network
+                    baselines.append((full_rows(network), sensed(network)))
+            # The collision baseline has no power column or sensed links.
+            assert all(s == 0.0 for rows in baselines[0][0].values() for _, _, s in rows)
+            assert baselines[0][1] == {}
+            assert any(s > 0.0 for rows in baselines[1][0].values() for _, _, s in rows)
+            for _ in range(3):  # alternate so each build evicts the other
+                for config, baseline in zip(configs, baselines):
+                    network = ScenarioBuilder(config).build().network
+                    assert (full_rows(network), sensed(network)) == baseline
+        assert ARTIFACT_CACHE.stats()["evictions"] >= 4
 
 
 class TestSeededTopologyBuilds:

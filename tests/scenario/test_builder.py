@@ -36,6 +36,7 @@ class TestTopologyRegistry:
     def test_all_paper_topologies_registered(self):
         assert set(topology_kinds()) == {
             "hidden-node",
+            "sinr-hidden-node",
             "iotlab-tree",
             "iotlab-star",
             "concentric",
