@@ -17,6 +17,7 @@ the CI smoke variant on a reduced workload.
 
 from __future__ import annotations
 
+import statistics
 import sys
 import time
 
@@ -25,35 +26,50 @@ from repro.experiments.hidden_node import run_hidden_node
 #: Overhead budget: full collectors may cost at most 5 % over no collectors.
 OVERHEAD_BUDGET = 0.05
 
+#: Quick-mode gate: the smoke workload is ~3x shorter, so timer granularity
+#: and 1-core-runner scheduling noise make single-digit percentages
+#: unreliable — the quick gate only guards against gross regressions.
+QUICK_OVERHEAD_BUDGET = 0.15
+
 #: Benchmark workload (hidden-node, 3 nodes, saturating load).
 BENCH_PACKETS = 4000
 SMOKE_PACKETS = 1200
 
 DELTA = 25.0
 WARMUP = 10.0
-REPEATS = 5
+REPEATS = 3
+TIMING_SAMPLES = 3
 
 
 def _one_run(collectors, packets: int) -> float:
-    start = time.perf_counter()
-    run_hidden_node(
-        mac="qma",
-        delta=DELTA,
-        packets_per_node=packets,
-        warmup=WARMUP,
-        seed=1,
-        collectors=collectors,
-    )
-    return time.perf_counter() - start
+    """Median wall time of ``TIMING_SAMPLES`` back-to-back runs.
+
+    A single sample is at the mercy of one scheduler preemption; the
+    median of three discards a one-off stall in either direction.
+    """
+    samples = []
+    for _ in range(TIMING_SAMPLES):
+        start = time.perf_counter()
+        run_hidden_node(
+            mac="qma",
+            delta=DELTA,
+            packets_per_node=packets,
+            warmup=WARMUP,
+            seed=1,
+            collectors=collectors,
+        )
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
 
 
 def measure_overhead(packets: int):
     """Return ``(bare_s, full_s, overhead_ratio)`` for the given workload.
 
     The two variants are interleaved and the minimum over ``REPEATS``
-    rounds is used per variant: scheduler/frequency noise only ever slows
-    a run down, so min-of-N interleaved is the most drift-robust estimate
-    of the true cost on shared CI machines.
+    rounds of median-of-``TIMING_SAMPLES`` timings is used per variant:
+    scheduler/frequency noise only ever slows a run down, so min-of-N
+    interleaved medians is the most drift-robust estimate of the true
+    cost on shared CI machines.
     """
     bare = full = float("inf")
     for _ in range(REPEATS):
@@ -100,14 +116,15 @@ def main(argv=None) -> int:
     """CI smoke entry point: measure the overhead once and enforce the budget."""
     quick = "--quick" in (argv if argv is not None else sys.argv[1:])
     packets = SMOKE_PACKETS if quick else BENCH_PACKETS
+    budget = QUICK_OVERHEAD_BUDGET if quick else OVERHEAD_BUDGET
 
     check_scalars_identical(packets=200)
     bare, full, overhead = measure_overhead(packets)
     print(
         f"metrics overhead ({packets} packets/node): bare {bare:.3f} s, "
-        f"full collectors {full:.3f} s -> {overhead:+.1%} (budget {OVERHEAD_BUDGET:.0%})"
+        f"full collectors {full:.3f} s -> {overhead:+.1%} (budget {budget:.0%})"
     )
-    if overhead > OVERHEAD_BUDGET:
+    if overhead > budget:
         print("FAIL: collector overhead exceeds the budget", file=sys.stderr)
         return 1
     return 0

@@ -368,14 +368,13 @@ def _execute_scenario_task(scenario: Scenario) -> RunRecord:
     return execute_scenario(scenario, keep_raw=_WORKER_STATE["keep_raw"])
 
 
-def _execute_delta_task(delta: Tuple[str, Optional[str], int, Dict[str, Any]]) -> RunRecord:
-    """Worker entry for sweep deltas: rebuild the scenario from the
-    initializer-shipped template plus ``(mac, propagation, seed, axes)``."""
+def _scenario_from_delta(
+    template: ScenarioTemplate, delta: Tuple[str, Optional[str], int, Dict[str, Any]]
+) -> Scenario:
     mac, propagation, seed, axis_params = delta
-    template: ScenarioTemplate = _WORKER_STATE["template"]
     params = dict(template.fixed)
     params.update(axis_params)
-    scenario = Scenario(
+    return Scenario(
         experiment=template.experiment,
         mac=mac,
         seed=seed,
@@ -383,7 +382,49 @@ def _execute_delta_task(delta: Tuple[str, Optional[str], int, Dict[str, Any]]) -
         propagation=propagation,
         metrics=template.metrics,
     )
+
+
+def _execute_delta_task(delta: Tuple[str, Optional[str], int, Dict[str, Any]]) -> RunRecord:
+    """Worker entry for sweep deltas: rebuild the scenario from the
+    initializer-shipped template plus ``(mac, propagation, seed, axes)``."""
+    scenario = _scenario_from_delta(_WORKER_STATE["template"], delta)
     return execute_scenario(scenario, keep_raw=_WORKER_STATE["keep_raw"])
+
+
+def _execute_batch_task(
+    deltas: Sequence[Tuple[str, Optional[str], int, Dict[str, Any]]]
+) -> List[RunRecord]:
+    """Worker entry for a same-configuration seed group: run the group's
+    scenarios through the lockstep seed-batch executor."""
+    from repro.campaign.batch_runner import execute_seed_batch
+
+    template: ScenarioTemplate = _WORKER_STATE["template"]
+    scenarios = [_scenario_from_delta(template, delta) for delta in deltas]
+    return execute_seed_batch(scenarios, keep_raw=_WORKER_STATE["keep_raw"])
+
+
+def _iter_delta_groups(
+    deltas: Iterable[Tuple[str, Optional[str], int, Dict[str, Any]]],
+    batch_seeds: int,
+) -> Iterator[List[Tuple[str, Optional[str], int, Dict[str, Any]]]]:
+    """Group consecutive deltas that differ only in the seed, ``batch_seeds``
+    apiece (the affinity sort already clusters same-configuration seeds)."""
+    group: List[Tuple[str, Optional[str], int, Dict[str, Any]]] = []
+    for delta in deltas:
+        if (
+            group
+            and len(group) < batch_seeds
+            and group[0][0] == delta[0]
+            and group[0][1] == delta[1]
+            and group[0][3] == delta[3]
+        ):
+            group.append(delta)
+            continue
+        if group:
+            yield group
+        group = [delta]
+    if group:
+        yield group
 
 
 def _shutdown_pool(pool: "multiprocessing.pool.Pool") -> None:
@@ -473,6 +514,15 @@ class CampaignRunner:
         capacity — in particular a serial run never shrinks (and thereby
         evicts from) a cache the caller enlarged via
         ``configure_artifact_cache``.
+    batch_seeds:
+        Run up to this many consecutive same-configuration seeds as one
+        lockstep batch through :class:`~repro.sim.batch.SeedBatchExecutor`
+        (``--batch-seeds`` on the CLI; default 1 = per-seed execution).
+        The affinity sort already clusters a sweep's same-configuration
+        seeds adjacently, so groups form naturally; records are re-emitted
+        in expansion order and stay bit-identical to per-seed runs —
+        configurations the batch kernel does not support fall back to
+        serial execution inside the executor.
 
     With ``jobs > 1`` the runner owns a persistent :class:`WorkerPool`
     created on first use and reused across ``run`` / ``iter_records`` /
@@ -488,6 +538,7 @@ class CampaignRunner:
         chunksize: Union[int, str] = "auto",
         build_cache: bool = True,
         cache_size: Optional[int] = None,
+        batch_seeds: int = 1,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.keep_raw = keep_raw
@@ -497,6 +548,9 @@ class CampaignRunner:
         if cache_size is not None and cache_size < 1:
             raise ValueError(f"cache_size must be positive, got {cache_size}")
         self.cache_size = cache_size
+        if batch_seeds < 1:
+            raise ValueError(f"batch_seeds must be positive, got {batch_seeds}")
+        self.batch_seeds = batch_seeds
         self._pool: Optional[WorkerPool] = None
 
     # ---------------------------------------------------------------- pool
@@ -526,6 +580,7 @@ class CampaignRunner:
             "chunksize": resolve_chunksize(self.chunksize, size, self.jobs) if parallel else 1,
             "pool": "persistent" if parallel else "serial",
             "build_cache": self.build_cache,
+            "batch_seeds": self.batch_seeds,
         }
 
     def _scenarios(self, sweep: Union[Sweep, Iterable[Scenario]]) -> List[Scenario]:
@@ -624,6 +679,18 @@ class CampaignRunner:
         if size == 0:
             return
         if self.jobs == 1 or size == 1:
+            if self.batch_seeds > 1:
+                from repro.campaign.batch_runner import execute_seed_batch, iter_seed_groups
+
+                for group in iter_seed_groups(
+                    (sweep if scenarios is None else scenarios), self.batch_seeds
+                ):
+                    with ARTIFACT_CACHE.override(
+                        enabled=self.build_cache, maxsize=self.cache_size
+                    ):
+                        records = execute_seed_batch(group, keep_raw=self.keep_raw)
+                    yield from records
+                return
             for scenario in (sweep if scenarios is None else scenarios):
                 # Scope the runner's cache configuration to the execution
                 # itself (not the yield) so caller code running between
@@ -645,6 +712,29 @@ class CampaignRunner:
             def delta_of(s: Scenario) -> Tuple:
                 return (s.mac, s.propagation, s.seed, {name: s.params[name] for name in axes})
 
+            from repro.campaign.batch_runner import batchable_experiment
+
+            batching = self.batch_seeds > 1 and batchable_experiment(sweep.experiment)
+
+            def dispatch(deltas: Iterable[Tuple]) -> Iterable[RunRecord]:
+                """imap the deltas, grouped into seed batches when enabled.
+
+                Flattening the groups' record lists restores one record per
+                delta in dispatch order, so the expansion-order re-emission
+                below is oblivious to batching.
+                """
+                if not batching:
+                    return pool.imap(_execute_delta_task, deltas, chunksize=chunk)
+                groups = _iter_delta_groups(deltas, self.batch_seeds)
+                group_chunk = resolve_chunksize(
+                    self.chunksize, max(1, size // self.batch_seeds), self.jobs
+                )
+                return (
+                    record
+                    for group in pool.imap(_execute_batch_task, groups, chunksize=group_chunk)
+                    for record in group
+                )
+
             order: Optional[List[int]] = None
             if self.build_cache and size <= AFFINITY_REORDER_LIMIT:
                 delta_list = [delta_of(s) for s in sweep]
@@ -653,14 +743,11 @@ class CampaignRunner:
                     dispatched = [delta_list[index] for index in order]
                 else:
                     dispatched = delta_list
-                results: Iterable[RunRecord] = pool.imap(
-                    _execute_delta_task, dispatched, chunksize=chunk
-                )
+                results: Iterable[RunRecord] = dispatch(dispatched)
                 if order is not None:
                     results = self._reorder(results, order)
             else:
-                deltas = (delta_of(s) for s in sweep)
-                results = pool.imap(_execute_delta_task, deltas, chunksize=chunk)
+                results = dispatch(delta_of(s) for s in sweep)
         else:
             pool = self._worker_pool().ensure(
                 None, self.keep_raw, self.build_cache, self.cache_size

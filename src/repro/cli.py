@@ -118,6 +118,15 @@ def _add_campaign_options(parser: argparse.ArgumentParser) -> None:
         "configuration (results are bit-identical either way)",
     )
     parser.add_argument(
+        "--batch-seeds",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run up to N consecutive same-configuration seeds as one "
+        "lockstep vectorized batch (testbed experiments; results are "
+        "bit-identical to per-seed execution; 1 disables batching)",
+    )
+    parser.add_argument(
         "--json", dest="json_path", metavar="PATH", help="export per-run records as JSON"
     )
     parser.add_argument(
@@ -201,7 +210,10 @@ def cmd_fig7(args: argparse.Namespace) -> None:
         metrics=args.collectors,
     )
     with CampaignRunner(
-        jobs=args.jobs, chunksize=args.chunksize, build_cache=args.build_cache
+        jobs=args.jobs,
+        chunksize=args.chunksize,
+        build_cache=args.build_cache,
+        batch_seeds=args.batch_seeds,
     ) as runner:
         campaign = runner.run(sweep)
     by = ("delta", "mac")
@@ -262,7 +274,11 @@ def cmd_testbed(args: argparse.Namespace) -> None:
         metrics=args.collectors,
     )
     with CampaignRunner(
-        jobs=args.jobs, keep_raw=True, chunksize=args.chunksize, build_cache=args.build_cache
+        jobs=args.jobs,
+        keep_raw=True,
+        chunksize=args.chunksize,
+        build_cache=args.build_cache,
+        batch_seeds=args.batch_seeds,
     ) as runner:
         campaign = runner.run(sweep)
     rows = []
@@ -289,7 +305,10 @@ def cmd_fig21(args: argparse.Namespace) -> None:
         metrics=args.collectors,
     )
     with CampaignRunner(
-        jobs=args.jobs, chunksize=args.chunksize, build_cache=args.build_cache
+        jobs=args.jobs,
+        chunksize=args.chunksize,
+        build_cache=args.build_cache,
+        batch_seeds=args.batch_seeds,
     ) as runner:
         campaign = runner.run(sweep)
     records = {
@@ -383,7 +402,10 @@ def cmd_sweep(args: argparse.Namespace) -> None:
     by += sweep.axes
 
     runner = CampaignRunner(
-        jobs=args.jobs, chunksize=args.chunksize, build_cache=args.build_cache
+        jobs=args.jobs,
+        chunksize=args.chunksize,
+        build_cache=args.build_cache,
+        batch_seeds=args.batch_seeds,
     )
     # The effective pool configuration rides along in --json/--jsonl output
     # so throughput anomalies can be traced to their dispatch settings.

@@ -15,15 +15,20 @@ returned as a typed :class:`~repro.metrics.report.SimReport`.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, TYPE_CHECKING
 
 from repro.core.config import QmaConfig
 from repro.mac.registry import get_mac_spec
 from repro.metrics.base import CollectionContext
 from repro.metrics.registry import build_collectors
 from repro.metrics.report import SimReport
-from repro.scenario.builder import ScenarioBuilder
+from repro.scenario.builder import BuiltScenario, ScenarioBuilder
 from repro.scenario.config import ScenarioConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.scenario.artifacts import ScenarioArtifacts
+    from repro.sim.engine import Simulator
 
 #: Collector composition reproducing the historical ``TestbedResult``
 #: metrics (scalars are numerically identical for fixed seeds).
@@ -49,7 +54,66 @@ _LEGACY_ATTRS = {
 TestbedResult = SimReport
 
 
-def _run_topology(
+@dataclass
+class PreparedTopologyRun:
+    """A fully assembled testbed run, stopped just short of draining events.
+
+    ``prepare_topology_run`` builds everything — scenario, traffic,
+    collectors, management-stop schedule — and returns this handle; the
+    caller then drives ``sim`` to ``end_time`` (the serial runner via
+    ``sim.run_until``, the batch executor in lockstep with other seeds)
+    and calls :meth:`finish` to finalize the collectors into the report.
+    """
+
+    built: BuiltScenario
+    end_time: float
+    _finalize: Callable[[], SimReport]
+
+    @property
+    def sim(self) -> "Simulator":
+        return self.built.sim
+
+    def finish(self) -> SimReport:
+        """Build the :class:`SimReport` (call once, after the run)."""
+        return self._finalize()
+
+    def run(self) -> SimReport:
+        """Serial execution: drain events to ``end_time`` and finish."""
+        self.sim.run_until(self.end_time)
+        return self.finish()
+
+
+def _scenario_config(
+    topology_name: str,
+    mac: str,
+    seed: int,
+    qma_config: Optional[QmaConfig],
+    link_error_rate: float,
+    propagation: Optional[str],
+    propagation_params: Optional[Mapping[str, Any]],
+    interference: str,
+    sinr_threshold_db: float,
+    trace: bool,
+    trace_limit: Optional[int],
+) -> ScenarioConfig:
+    scenario = ScenarioConfig(
+        topology=topology_name,
+        mac=mac,
+        propagation=propagation,
+        propagation_params=dict(propagation_params or {}),
+        link_error_rate=link_error_rate,
+        interference=interference,
+        sinr_threshold_db=sinr_threshold_db,
+        seed=seed,
+        trace=trace,
+        trace_limit=trace_limit,
+    )
+    if get_mac_spec(mac).config_cls is QmaConfig:
+        scenario.mac_config = qma_config if qma_config is not None else QmaConfig()
+    return scenario
+
+
+def prepare_topology_run(
     topology_name: str,
     mac: str,
     delta: float,
@@ -66,22 +130,22 @@ def _run_topology(
     collectors: Optional[Sequence[str]] = None,
     trace: bool = False,
     trace_limit: Optional[int] = None,
-) -> SimReport:
-    scenario = ScenarioConfig(
-        topology=topology_name,
-        mac=mac,
-        propagation=propagation,
-        propagation_params=dict(propagation_params or {}),
-        link_error_rate=link_error_rate,
-        interference=interference,
-        sinr_threshold_db=sinr_threshold_db,
-        seed=seed,
-        trace=trace,
-        trace_limit=trace_limit,
+    artifacts: Optional["ScenarioArtifacts"] = None,
+) -> PreparedTopologyRun:
+    scenario = _scenario_config(
+        topology_name,
+        mac,
+        seed,
+        qma_config,
+        link_error_rate,
+        propagation,
+        propagation_params,
+        interference,
+        sinr_threshold_db,
+        trace,
+        trace_limit,
     )
-    if get_mac_spec(mac).config_cls is QmaConfig:
-        scenario.mac_config = qma_config if qma_config is not None else QmaConfig()
-    built = ScenarioBuilder(scenario).build()
+    built = ScenarioBuilder(scenario).build(artifacts=artifacts)
     sim, network = built.sim, built.network
     sources = tuple(node.node_id for node in network.sources())
 
@@ -131,28 +195,34 @@ def _run_topology(
 
     expected = warmup + packets_per_node / delta + 10.0
     end_time = min(expected, max_duration) if max_duration else expected
-    sim.run_until(end_time)
 
-    report = SimReport(
-        experiment=f"testbed-{'tree' if topology_name == 'iotlab-tree' else 'star'}",
-        mac=mac,
-        topology=built.topology.name,
-        params={
-            "delta": delta,
-            "packets_per_node": packets_per_node,
-            "warmup": warmup,
-            "seed": seed,
-        },
-        duration=sim.now,
-        trace_dropped=ctx.trace_dropped(),
-        legacy=dict(_LEGACY_ATTRS),
-    )
-    for collector in active:
-        collector.finalize(ctx, report)
-    return report
+    def finalize() -> SimReport:
+        report = SimReport(
+            experiment=f"testbed-{'tree' if topology_name == 'iotlab-tree' else 'star'}",
+            mac=mac,
+            topology=built.topology.name,
+            params={
+                "delta": delta,
+                "packets_per_node": packets_per_node,
+                "warmup": warmup,
+                "seed": seed,
+            },
+            duration=sim.now,
+            trace_dropped=ctx.trace_dropped(),
+            legacy=dict(_LEGACY_ATTRS),
+        )
+        for collector in active:
+            collector.finalize(ctx, report)
+        return report
+
+    return PreparedTopologyRun(built=built, end_time=end_time, _finalize=finalize)
 
 
-def run_tree(
+def _run_topology(*args: Any, **kwargs: Any) -> SimReport:
+    return prepare_topology_run(*args, **kwargs).run()
+
+
+def prepare_tree(
     mac: str = "qma",
     delta: float = 10.0,
     packets_per_node: int = 1000,
@@ -168,9 +238,10 @@ def run_tree(
     collectors: Optional[Sequence[str]] = None,
     trace: bool = False,
     trace_limit: Optional[int] = None,
-) -> SimReport:
-    """The tree-topology verification of Fig. 18."""
-    return _run_topology(
+    artifacts: Optional["ScenarioArtifacts"] = None,
+) -> PreparedTopologyRun:
+    """Assemble (but do not run) the tree-topology verification of Fig. 18."""
+    return prepare_topology_run(
         "iotlab-tree",
         mac,
         delta,
@@ -187,10 +258,11 @@ def run_tree(
         collectors=collectors,
         trace=trace,
         trace_limit=trace_limit,
+        artifacts=artifacts,
     )
 
 
-def run_star(
+def prepare_star(
     mac: str = "qma",
     delta: float = 10.0,
     packets_per_node: int = 1000,
@@ -206,9 +278,10 @@ def run_star(
     collectors: Optional[Sequence[str]] = None,
     trace: bool = False,
     trace_limit: Optional[int] = None,
-) -> SimReport:
-    """The star-topology verification of Fig. 19."""
-    return _run_topology(
+    artifacts: Optional["ScenarioArtifacts"] = None,
+) -> PreparedTopologyRun:
+    """Assemble (but do not run) the star-topology verification of Fig. 19."""
+    return prepare_topology_run(
         "iotlab-star",
         mac,
         delta,
@@ -225,7 +298,18 @@ def run_star(
         collectors=collectors,
         trace=trace,
         trace_limit=trace_limit,
+        artifacts=artifacts,
     )
+
+
+def run_tree(mac: str = "qma", **kwargs: Any) -> SimReport:
+    """The tree-topology verification of Fig. 18."""
+    return prepare_tree(mac=mac, **kwargs).run()
+
+
+def run_star(mac: str = "qma", **kwargs: Any) -> SimReport:
+    """The star-topology verification of Fig. 19."""
+    return prepare_star(mac=mac, **kwargs).run()
 
 
 def sweep_testbed(

@@ -9,10 +9,10 @@ The generator retries until the network is connected.
 
 from __future__ import annotations
 
-import random
 from typing import Dict, Tuple
 
 from repro.phy.propagation import UnitDiskPropagation
+from repro.sim.rng import seed_substreams
 from repro.topology.base import Topology
 
 
@@ -28,12 +28,16 @@ def random_topology(
         raise ValueError("num_nodes must be at least 1")
     if area_size <= 0 or communication_range <= 0:
         raise ValueError("area_size and communication_range must be positive")
-    rng = random.Random(seed)
+    # Placement randomness comes from a SeedSequence substream, so a future
+    # second consumer of the topology seed (e.g. per-attempt jitter) gets its
+    # own independent substream instead of perturbing the placements.
+    (rng,) = seed_substreams(seed, 1)
     model = UnitDiskPropagation(communication_range)
     for _ in range(max_attempts):
         positions: Dict[int, Tuple[float, float]] = {0: (area_size / 2.0, area_size / 2.0)}
         for node in range(1, num_nodes):
-            positions[node] = (rng.uniform(0, area_size), rng.uniform(0, area_size))
+            x, y = rng.uniform(0.0, area_size, size=2)
+            positions[node] = (float(x), float(y))
         topology = Topology(positions=positions, sink=0, name=f"random-{num_nodes}")
         topology.derive_links(model)
         try:

@@ -1,0 +1,164 @@
+"""Seed-batch determinism suite: batched == serial, bit for bit.
+
+The lockstep batch executor is a pure orchestration optimisation — every
+scalar of every record must be identical whether seeds run one-per-process
+or many-per-batch, across the MAC × propagation (incl. ``fading``) ×
+interference matrix, at every batch size, for ragged tails (N not
+divisible by ``batch_seeds``) and across mid-campaign configuration
+switches.  This extends the cached==uncached contract of
+``test_build_cache_determinism.py`` to the batch dispatch tier.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.batch_runner import execute_seed_batch, iter_seed_groups
+from repro.campaign.runner import CampaignRunner, execute_scenario
+from repro.campaign.spec import Sweep
+from repro.experiments.base import MAC_KINDS
+from repro.scenario import ARTIFACT_CACHE
+
+#: Short testbed runs: traffic ends quickly and ``max_duration`` caps the
+#: post-traffic drain, so each matrix cell stays fast while still crossing
+#: warmup, data traffic, ACKs and the learning boundary path.
+FAST = {"packets_per_node": 2, "warmup": 0.5, "delta": 40.0, "max_duration": 4.0}
+
+
+@pytest.fixture(autouse=True)
+def _clean_cache():
+    ARTIFACT_CACHE.clear()
+    yield
+    ARTIFACT_CACHE.clear()
+
+
+def _records(sweep, **runner_kwargs):
+    with CampaignRunner(**runner_kwargs) as runner:
+        return runner.run(sweep).records
+
+
+def _assert_identical(sweep, batch_sizes=(4,), jobs=(1,)):
+    baseline = _records(sweep, jobs=1)
+    for job_count in jobs:
+        for batch_seeds in batch_sizes:
+            records = _records(sweep, jobs=job_count, batch_seeds=batch_seeds)
+            assert [r.scenario for r in records] == [r.scenario for r in baseline]
+            for got, expected in zip(records, baseline):
+                assert got.metrics == expected.metrics, (
+                    f"jobs={job_count} batch_seeds={batch_seeds} "
+                    f"diverged on {got.scenario.label}"
+                )
+    return baseline
+
+
+class TestBatchedEqualsSerial:
+    def test_all_mac_kinds(self):
+        """Every MAC kind: QMA runs the vector kernel, the rest exercise the
+        executor's exact serial fallback — both must match per-seed runs."""
+        sweep = Sweep(
+            experiment="testbed-star",
+            macs=MAC_KINDS,
+            fixed=dict(FAST),
+            seeds=(0, 1, 2, 3),
+        )
+        _assert_identical(sweep, batch_sizes=(4,))
+
+    @pytest.mark.parametrize(
+        "propagation,interference",
+        [
+            (None, "collision"),
+            ("unit-disk", "collision"),
+            ("fading", "collision"),
+            ("fading", "sinr"),
+            ("log-distance", "sinr"),
+        ],
+    )
+    def test_propagation_interference_matrix(self, propagation, interference):
+        sweep = Sweep(
+            experiment="testbed-star",
+            macs=("qma",),
+            propagations=(propagation,),
+            fixed={**FAST, "interference": interference},
+            seeds=(0, 1, 2, 3),
+        )
+        _assert_identical(sweep, batch_sizes=(1, 4))
+
+    def test_batch_sizes_and_ragged_tails(self):
+        """batch_seeds ∈ {1, 4, 16} over 18 seeds: 18 = 16 + 2 and
+        18 = 4 * 4 + 2, so both larger sizes leave a ragged tail group."""
+        sweep = Sweep(
+            experiment="testbed-tree",
+            macs=("qma",),
+            propagations=("fading",),
+            fixed=dict(FAST),
+            seeds=tuple(range(18)),
+        )
+        _assert_identical(sweep, batch_sizes=(1, 4, 16))
+
+    def test_mid_campaign_config_switch(self):
+        """Configuration changes mid-sweep (MAC and a parameter axis) break
+        the seed streaks; groups must respect the boundaries and records
+        stay identical."""
+        sweep = Sweep(
+            experiment="testbed-star",
+            macs=("qma", "unslotted-csma"),
+            grid={"delta": [20.0, 40.0]},
+            fixed={"packets_per_node": 2, "warmup": 0.5, "max_duration": 4.0},
+            seeds=(0, 1, 2),
+        )
+        _assert_identical(sweep, batch_sizes=(4,), jobs=(1, 2))
+
+    def test_parallel_batched_dispatch(self):
+        """Worker-pool batch tasks re-emit records in expansion order."""
+        sweep = Sweep(
+            experiment="testbed-star",
+            macs=("qma",),
+            propagations=("fading",),
+            fixed=dict(FAST),
+            seeds=(0, 1, 2, 3, 4),
+        )
+        _assert_identical(sweep, batch_sizes=(2,), jobs=(2,))
+
+
+class TestSeedGrouping:
+    def _scenarios(self, **kwargs):
+        sweep = Sweep(
+            experiment="testbed-star",
+            macs=("qma",),
+            fixed=dict(FAST),
+            **kwargs,
+        )
+        return sweep.scenarios()
+
+    def test_groups_are_consecutive_and_bounded(self):
+        scenarios = self._scenarios(seeds=tuple(range(7)))
+        groups = list(iter_seed_groups(scenarios, 3))
+        assert [len(g) for g in groups] == [3, 3, 1]
+        assert [s.seed for g in groups for s in g] == list(range(7))
+
+    def test_config_switch_splits_groups(self):
+        sweep = Sweep(
+            experiment="testbed-star",
+            macs=("qma", "unslotted-csma"),
+            fixed=dict(FAST),
+            seeds=(0, 1),
+        )
+        groups = list(iter_seed_groups(sweep.scenarios(), 8))
+        assert [len(g) for g in groups] == [2, 2]
+        assert all(len({s.mac for s in g}) == 1 for g in groups)
+
+    def test_non_batchable_experiments_pass_through(self):
+        sweep = Sweep(
+            experiment="hidden-node",
+            macs=("qma",),
+            grid={"delta": [25.0]},
+            fixed={"packets_per_node": 2, "warmup": 0.5},
+            seeds=(0, 1, 2),
+        )
+        scenarios = sweep.scenarios()
+        groups = list(iter_seed_groups(scenarios, 4))
+        assert [len(g) for g in groups] == [1, 1, 1]
+        # execute_seed_batch falls back to per-scenario execution for them.
+        records = execute_seed_batch(scenarios)
+        reference = [execute_scenario(s) for s in scenarios]
+        assert [r.metrics for r in records] == [r.metrics for r in reference]

@@ -71,11 +71,14 @@ class TestChunksize:
         runner = CampaignRunner(jobs=4, chunksize="auto")
         assert runner.pool_config(500) == {
             "jobs": 4, "chunksize": 15, "pool": "persistent", "build_cache": True,
+            "batch_seeds": 1,
         }
         serial = CampaignRunner(jobs=1)
         assert serial.pool_config(500)["pool"] == "serial"
         cold = CampaignRunner(jobs=4, build_cache=False)
         assert cold.pool_config(500)["build_cache"] is False
+        batched = CampaignRunner(jobs=4, batch_seeds=8)
+        assert batched.pool_config(500)["batch_seeds"] == 8
 
 
 class TestPersistentPool:

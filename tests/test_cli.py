@@ -135,6 +135,7 @@ def test_sweep_command_streams_jsonl(tmp_path, capsys):
     meta = json_module.loads(lines[0])["_meta"]
     assert meta["pool"] == {
         "jobs": 1, "chunksize": 1, "pool": "serial", "build_cache": True,
+        "batch_seeds": 1,
     }
     entry = json_module.loads(lines[1])
     assert entry["scenario"]["metrics"] == ["pdr", "delay"]
@@ -324,6 +325,7 @@ def test_sweep_command_chunksize_and_pool_config(tmp_path, capsys):
     document = json_module.loads(json_path.read_text())
     assert document["meta"]["pool"] == {
         "jobs": 2, "chunksize": 2, "pool": "persistent", "build_cache": True,
+        "batch_seeds": 1,
     }
     assert len(document["records"]) == 4
 
