@@ -5,7 +5,8 @@ micro-benchmark events/s (deep-heap and steady-state, generic and fast
 path), campaign sweep throughput (warm worker pool vs. the PR 3 dispatch),
 the construction-cache speedup on a build-dominated batched sweep (cache
 off vs. on, plus the construction share of a short run), metric-collector
-overhead and the 43-node scalability wall-clock — into one JSON document::
+overhead, checkpoint-journaling overhead and the 43-node scalability
+wall-clock — into one JSON document::
 
     PYTHONPATH=src python benchmarks/run_all.py --json BENCH_<rev>.json
 
@@ -42,6 +43,7 @@ import subprocess
 import sys
 
 import bench_build_cache as cache_bench
+import bench_checkpoint_overhead as checkpoint_bench
 import bench_engine_hotpath as engine_bench
 import bench_metrics_overhead as metrics_bench
 import bench_seed_batch as batch_bench
@@ -77,6 +79,9 @@ METRIC_SPECS = {
     "seed_batch_events_per_s": ("absolute", "higher", 1.0),
     "seed_batch_speedup": ("ratio", "higher", 2.5),
     "scalability_wall_s": ("absolute", "lower", 1.0),
+    "checkpoint_plain_s": ("absolute", "lower", 1.0),
+    "checkpoint_journal_s": ("absolute", "lower", 1.0),
+    "checkpoint_overhead": ("ratio", "lower", 2.5),
     "sinr_events_per_s": ("absolute", "higher", 1.0),
     "sinr_collision_events_per_s": ("absolute", "higher", 1.0),
     "sinr_throughput_ratio": ("ratio", "higher", 2.0),
@@ -186,6 +191,18 @@ def collect(quick: bool) -> dict:
         batch[f"batch{max(batch_sizes)}_events_per_s"]
     )
     metrics["seed_batch_speedup"] = round(batch["batch_speedup"], 3)
+
+    # Checkpoint journaling overhead: the batched short sweep with and
+    # without a journal, paired rounds, median ratio.  check_ceiling is
+    # the PR 8 acceptance gate (≤5 % full, ≤15 % on the noisier smoke
+    # workload) and raises instead of recording a bad number.
+    ckpt_runs = checkpoint_bench.SMOKE_RUNS if quick else checkpoint_bench.BENCH_RUNS
+    ckpt = checkpoint_bench.measure_checkpoint_overhead(ckpt_runs)
+    checkpoint_bench.check_ceiling(ckpt, quick)
+    metrics["checkpoint_runs"] = ckpt_runs
+    metrics["checkpoint_plain_s"] = round(ckpt["plain_s"], 3)
+    metrics["checkpoint_journal_s"] = round(ckpt["journal_s"], 3)
+    metrics["checkpoint_overhead"] = round(ckpt["overhead"], 3)
 
     # SINR interference PHY: events/s on the static-table fast path vs.
     # the collision model on the same topology/traffic/seed, plus the

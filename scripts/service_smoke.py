@@ -1,0 +1,194 @@
+"""CI smoke test for the campaign service: serve, submit, kill, resume.
+
+Exercises the full stack the way an operator would, using only
+subprocesses and the public CLI/HTTP surfaces:
+
+1. start ``qma-repro serve`` on an ephemeral port, parse the bound port
+   from its announcement line;
+2. submit a tiny sweep over HTTP, poll ``/status`` to completion, check
+   the live aggregates cover every run;
+3. start a checkpointed ``qma-repro sweep --checkpoint``, ``kill -9`` it
+   once the journal holds a few completion records, resume it with a
+   different worker count, and diff the journal's record set against an
+   uninterrupted cold run — byte-for-byte.
+
+Exit status 0 means all three passed.  Run from the repository root::
+
+    PYTHONPATH=src python scripts/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+
+SWEEP_ARGS = [
+    "hidden-node",
+    "--macs", "unslotted-csma",
+    "--grid", "delta=50,100",
+    "--set", "packets_per_node=2",
+    "--set", "warmup=0.2",
+    "--set", "drain_time=0.1",
+    "--set", "management_period=0.5",
+    "--seeds", "3",
+]
+
+#: Kill-resume victim: ~20 ms/run x 50 runs gives a ~1 s kill window on a
+#: serial sweep, so SIGKILL reliably lands mid-campaign.
+KILL_SWEEP_ARGS = [
+    "hidden-node",
+    "--macs", "unslotted-csma",
+    "--grid", "delta=50,100",
+    "--set", "packets_per_node=200",
+    "--set", "warmup=0.2",
+    "--seeds", "25",
+]
+KILL_SWEEP_RUNS = 50
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def cli(*args: str, **kwargs) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *args], env=_env(), **kwargs
+    )
+
+
+def run_cli(*args: str) -> str:
+    proc = cli(*args, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    out, _ = proc.communicate(timeout=600)
+    if proc.returncode != 0:
+        raise SystemExit(f"command {args} failed ({proc.returncode}):\n{out}")
+    return out
+
+
+def wait_for(predicate, timeout: float, what: str):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(0.1)
+    raise SystemExit(f"timed out waiting for {what}")
+
+
+def journal_record_set(path: str) -> dict:
+    """index -> record dict of every completion line (header skipped)."""
+    records = {}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            if not line.endswith("\n"):
+                continue  # torn tail from the kill — resume re-runs it
+            data = json.loads(line)
+            if "checkpoint" in data:
+                continue
+            records[data["index"]] = data["record"]
+    return records
+
+
+def smoke_service(workdir: str) -> None:
+    print("== service: serve / submit / status ==", flush=True)
+    root = os.path.join(workdir, "campaigns")
+    server = cli(
+        "serve", "--port", "0", "--root", root,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    try:
+        line = wait_for(
+            lambda: server.stdout.readline(), 30, "the serve announcement"
+        )
+        match = re.search(r"http://([\d.]+):(\d+)", line)
+        if not match:
+            raise SystemExit(f"cannot parse serve announcement: {line!r}")
+        host, port = match.group(1), match.group(2)
+        print(f"service on {host}:{port}", flush=True)
+        out = run_cli(
+            "submit", *SWEEP_ARGS, "--host", host, "--port", port,
+            "--wait", "--timeout", "300",
+        )
+        print(out, flush=True)
+        if "state" in out and "failed" in out:
+            raise SystemExit("service job failed")
+        if not re.search(r"job job-1: done 6/6", out):
+            raise SystemExit("submit --wait did not report a completed 6-run job")
+        if not re.search(r"\bpdr\s+6\b", out):
+            raise SystemExit("final aggregates do not cover all 6 runs")
+        status = run_cli("status", "--host", host, "--port", port)
+        print(status, flush=True)
+        if "done" not in status:
+            raise SystemExit("status does not list the finished job")
+    finally:
+        server.terminate()
+        server.wait(timeout=10)
+
+
+def smoke_kill_resume(workdir: str) -> None:
+    print("== checkpoint: kill -9 mid-sweep, resume, diff vs cold ==", flush=True)
+    total = KILL_SWEEP_RUNS
+    cold_journal = os.path.join(workdir, "cold.journal.jsonl")
+    run_cli("sweep", *KILL_SWEEP_ARGS, "--checkpoint", cold_journal, "--jobs", "4")
+    cold = journal_record_set(cold_journal)
+    if len(cold) != total:
+        raise SystemExit(f"cold run journalled {len(cold)} of {total} records")
+
+    killed_journal = os.path.join(workdir, "killed.journal.jsonl")
+    # Serial victim: ~1 s of wall clock, so the kill lands mid-campaign.
+    victim = cli(
+        "sweep", *KILL_SWEEP_ARGS, "--checkpoint", killed_journal,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+
+    def enough_progress():
+        try:
+            with open(killed_journal, "r", encoding="utf-8") as handle:
+                return sum(1 for line in handle if '"index"' in line) >= 2
+        except OSError:
+            return False
+
+    wait_for(enough_progress, 120, "2 journalled records before the kill")
+    os.kill(victim.pid, signal.SIGKILL)
+    victim.wait(timeout=10)
+    before = journal_record_set(killed_journal)
+    if not 0 < len(before) < total:
+        raise SystemExit(
+            f"kill landed outside the campaign: {len(before)} records journalled"
+        )
+    print(f"killed with {len(before)}/{total} records journalled", flush=True)
+
+    out = run_cli("resume", killed_journal, "--jobs", "2")
+    print(out, flush=True)
+    merged = journal_record_set(killed_journal)
+    if merged != cold:
+        diff = {i for i in set(merged) | set(cold) if merged.get(i) != cold.get(i)}
+        raise SystemExit(f"resumed journal differs from cold run at indices {sorted(diff)}")
+    for index, record in before.items():
+        if merged[index] != record:
+            raise SystemExit(f"resume rewrote pre-kill record {index}")
+    print("resumed record set is bit-identical to the cold run", flush=True)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="qma-smoke-") as workdir:
+        smoke_service(workdir)
+        smoke_kill_resume(workdir)
+    print("service smoke: OK", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

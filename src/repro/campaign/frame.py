@@ -23,7 +23,10 @@ whole file.
 from __future__ import annotations
 
 import csv
+import io
 import json
+import os
+import warnings
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.analysis.stats import StreamingStats
@@ -196,8 +199,23 @@ class JsonlRecordSink(RecordSink):
 
     def close(self) -> None:
         if self._owned and self._handle is not None:
+            # fsync before closing so a crash *after* a clean close can
+            # never lose flushed records — the checkpoint journal (and any
+            # resume logic reading this stream back) relies on closed
+            # files being durably complete.
+            self._handle.flush()
+            _fsync_handle(self._handle)
             self._handle.close()
             self._handle = None
+
+
+def _fsync_handle(handle: Any) -> None:
+    """Force a file handle's buffers to stable storage; no-op for
+    pseudo-files (StringIO and friends) that have no file descriptor."""
+    try:
+        os.fsync(handle.fileno())
+    except (AttributeError, OSError, ValueError, io.UnsupportedOperation):
+        pass
 
 
 class CsvRecordSink(RecordSink):
@@ -325,27 +343,56 @@ class TableAggregator(RecordSink):
         return result
 
 
+def iter_jsonl_objects(handle: Any, source: str = "<stream>") -> Iterator[Any]:
+    """Yield parsed JSON objects from a line-delimited stream.
+
+    A final line that fails to parse — the signature of a crash mid-write
+    (the producing process died between ``write`` and the newline hitting
+    disk) — is skipped with a :class:`RuntimeWarning` instead of raising,
+    so a truncated stream reads back as its complete prefix.  A malformed
+    line anywhere *before* the tail still raises: that is corruption, not
+    truncation.  Blank lines are ignored.  The checkpoint journal builds
+    on this exact behaviour.
+    """
+    previous: Optional[str] = None
+    for line in handle:
+        if previous is not None and previous.strip():
+            yield json.loads(previous)
+        previous = line
+    if previous is None or not previous.strip():
+        return
+    try:
+        yield json.loads(previous)
+    except json.JSONDecodeError:
+        warnings.warn(
+            f"{source}: skipping truncated trailing line "
+            f"({len(previous)} bytes) — likely a crash mid-write",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+
+
 def iter_jsonl(source: Union[str, Any]) -> Iterator[RunRecord]:
     """Yield records from a JSONL stream without loading the whole file.
 
     ``{"_meta": ...}`` annotation lines (see :class:`JsonlRecordSink`) are
-    skipped, so annotated and plain streams read back identically.
+    skipped, so annotated and plain streams read back identically.  A
+    crash-truncated final line is skipped with a warning (see
+    :func:`iter_jsonl_objects`) instead of raising, so the stream of an
+    interrupted sweep stays loadable.
     """
 
-    def records(handle) -> Iterator[RunRecord]:
-        for line in handle:
-            if not line.strip():
-                continue
-            data = json.loads(line)
+    def records(handle, name: str) -> Iterator[RunRecord]:
+        for data in iter_jsonl_objects(handle, source=name):
             if "_meta" in data and "scenario" not in data:
                 continue
             yield RunRecord.from_dict(data)
 
     if hasattr(source, "read"):
-        yield from records(source)
+        yield from records(source, "<stream>")
         return
     with open(source, "r", encoding="utf-8") as handle:
-        yield from records(handle)
+        yield from records(handle, str(source))
 
 
 def load_jsonl(source: Union[str, Any]) -> ResultFrame:

@@ -427,6 +427,34 @@ def _iter_delta_groups(
         yield group
 
 
+def _check_indices(indices: Sequence[int], size: int) -> List[int]:
+    """Validate a subset of expansion indices: sorted, unique, in range."""
+    checked = [int(index) for index in indices]
+    if checked != sorted(set(checked)):
+        raise ValueError("indices must be sorted and unique")
+    if checked and (checked[0] < 0 or checked[-1] >= size):
+        raise ValueError(
+            f"indices must lie in [0, {size}); got range "
+            f"[{checked[0]}, {checked[-1]}]"
+        )
+    return checked
+
+
+def _iter_subset(sweep: Sweep, indices: Sequence[int]) -> Iterator[Scenario]:
+    """Scenarios of the sweep at the given (sorted) expansion indices.
+
+    Walks the lazy expansion once and stops at the last requested index,
+    so a small subset of a huge sweep never expands the tail.
+    """
+    index_set = frozenset(indices)
+    last = indices[-1]
+    for position, scenario in enumerate(sweep):
+        if position in index_set:
+            yield scenario
+        if position >= last:
+            return
+
+
 def _shutdown_pool(pool: "multiprocessing.pool.Pool") -> None:
     """Finalizer target: release a raw pool's worker processes."""
     pool.terminate()
@@ -649,7 +677,11 @@ class CampaignRunner:
                 yield pending.pop(next_index)
                 next_index += 1
 
-    def iter_records(self, sweep: Union[Sweep, Iterable[Scenario]]) -> Iterator[RunRecord]:
+    def iter_records(
+        self,
+        sweep: Union[Sweep, Iterable[Scenario]],
+        indices: Optional[Sequence[int]] = None,
+    ) -> Iterator[RunRecord]:
         """Yield records in deterministic expansion order as they finish.
 
         Sweeps are expanded lazily: with ``jobs > 1`` their scenarios cross
@@ -657,6 +689,14 @@ class CampaignRunner:
         the initializer-shipped template, so a million-run sweep is never
         materialised in the parent.  An empty sweep (or scenario list)
         yields nothing.
+
+        ``indices`` optionally restricts execution to a sorted subset of
+        the sweep's expansion indices — the seam the campaign service uses
+        for checkpoint resume (run only the pending set) and shard dispatch
+        (run one shard's slice).  The subset flows through the same
+        template/affinity/seed-batch machinery as a full sweep, and records
+        are yielded in the subset's expansion order.  Results per scenario
+        are bit-identical to a full-sweep run.
 
         With the build cache enabled, sweeps up to
         :data:`AFFINITY_REORDER_LIMIT` runs are dispatched in
@@ -671,27 +711,40 @@ class CampaignRunner:
         scenarios in the background — and the next campaign re-warms it.
         """
         if isinstance(sweep, Sweep):
-            size = sweep.size
             scenarios: Optional[List[Scenario]] = None
+            if indices is not None:
+                indices = _check_indices(indices, sweep.size)
+                size = len(indices)
+            else:
+                size = sweep.size
         else:
             scenarios = list(sweep)
+            if indices is not None:
+                indices = _check_indices(indices, len(scenarios))
+                scenarios = [scenarios[index] for index in indices]
             size = len(scenarios)
         if size == 0:
             return
+
+        def expand() -> Iterator[Scenario]:
+            if scenarios is not None:
+                return iter(scenarios)
+            if indices is None:
+                return iter(sweep)
+            return _iter_subset(sweep, indices)
+
         if self.jobs == 1 or size == 1:
             if self.batch_seeds > 1:
                 from repro.campaign.batch_runner import execute_seed_batch, iter_seed_groups
 
-                for group in iter_seed_groups(
-                    (sweep if scenarios is None else scenarios), self.batch_seeds
-                ):
+                for group in iter_seed_groups(expand(), self.batch_seeds):
                     with ARTIFACT_CACHE.override(
                         enabled=self.build_cache, maxsize=self.cache_size
                     ):
                         records = execute_seed_batch(group, keep_raw=self.keep_raw)
                     yield from records
                 return
-            for scenario in (sweep if scenarios is None else scenarios):
+            for scenario in expand():
                 # Scope the runner's cache configuration to the execution
                 # itself (not the yield) so caller code running between
                 # records sees the process-wide defaults.
@@ -737,7 +790,7 @@ class CampaignRunner:
 
             order: Optional[List[int]] = None
             if self.build_cache and size <= AFFINITY_REORDER_LIMIT:
-                delta_list = [delta_of(s) for s in sweep]
+                delta_list = [delta_of(s) for s in expand()]
                 order = self._affinity_order(sweep, delta_list)
                 if order is not None:
                     dispatched = [delta_list[index] for index in order]
@@ -747,7 +800,7 @@ class CampaignRunner:
                 if order is not None:
                     results = self._reorder(results, order)
             else:
-                results = dispatch(delta_of(s) for s in sweep)
+                results = dispatch(delta_of(s) for s in expand())
         else:
             pool = self._worker_pool().ensure(
                 None, self.keep_raw, self.build_cache, self.cache_size
@@ -786,7 +839,9 @@ class CampaignRunner:
         :class:`~repro.campaign.frame.TableAggregator`); with ``collect``
         the scalar rows are additionally accumulated into the returned
         columnar :class:`ResultFrame`.  Sinks are closed on return, also
-        on error.
+        on error — including ``KeyboardInterrupt``, so an interrupted
+        checkpointed sweep always leaves readable (flushed and closed)
+        output files and no orphan worker processes.
         """
         frame = ResultFrame()
         try:
@@ -795,6 +850,15 @@ class CampaignRunner:
                     sink.write(record)
                 if collect:
                     frame.append_record(record)
+        except BaseException:
+            # BaseException on purpose: Ctrl-C raises KeyboardInterrupt in
+            # the consumer loop (e.g. inside a sink write), which abandons
+            # the iter_records generator without running its cleanup —
+            # terminate the pool explicitly so no workers outlive the
+            # interrupt.  close() is idempotent with the generator's own
+            # finally block.
+            self.close()
+            raise
         finally:
             for sink in sinks:
                 sink.close()

@@ -299,6 +299,36 @@ class Sweep:
             count *= len(values)
         return count
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (JSON-serialisable, round-trips via :meth:`from_dict`).
+
+        Sequences are normalised to lists, so ``from_dict(to_dict())``
+        produces an equal dictionary — the campaign service hashes this
+        canonical form into the sweep's spec digest.
+        """
+        return {
+            "experiment": self.experiment,
+            "macs": list(self.macs),
+            "grid": {name: list(values) for name, values in self.grid.items()},
+            "fixed": dict(self.fixed),
+            "seeds": [int(seed) for seed in self.seeds],
+            "propagations": list(self.propagations),
+            "metrics": list(self.metrics) if self.metrics is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Sweep":
+        metrics = data.get("metrics")
+        return cls(
+            experiment=data["experiment"],
+            macs=list(data.get("macs", ("qma",))),
+            grid={name: list(values) for name, values in data.get("grid", {}).items()},
+            fixed=dict(data.get("fixed", {})),
+            seeds=[int(seed) for seed in data.get("seeds", (0,))],
+            propagations=list(data.get("propagations", (None,))),
+            metrics=list(metrics) if metrics is not None else None,
+        )
+
     def scenarios(self) -> List[Scenario]:
         """Expand the sweep to its scenario list (deterministic order)."""
         return list(self)

@@ -134,6 +134,46 @@ def _add_campaign_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_sweep_spec_options(parser: argparse.ArgumentParser) -> None:
+    """Arguments describing *what* to run (shared by ``sweep`` and ``submit``)."""
+    parser.add_argument("experiment", choices=EXPERIMENT_KINDS)
+    parser.add_argument(
+        "--macs", nargs="+", default=None,
+        help="MAC kinds to sweep (default: qma; or use --grid mac=...)",
+    )
+    parser.add_argument(
+        "--grid",
+        action="append",
+        default=[],
+        metavar="KEY=V1,V2,...",
+        help="sweep a parameter over comma-separated values (repeatable)",
+    )
+    parser.add_argument(
+        "--set",
+        dest="fixed",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="fix a parameter for every scenario (repeatable)",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=1, help="number of seeds per grid point"
+    )
+    parser.add_argument("--base-seed", type=int, default=0)
+    _add_propagation_option(parser)
+    _add_collectors_option(parser)
+
+
+def _add_service_address_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="service address (default: 127.0.0.1)"
+    )
+    parser.add_argument(
+        "--port", type=int, default=8765,
+        help="service port (default: 8765; 0 picks an ephemeral port when serving)",
+    )
+
+
 def _parse_value(text: str) -> Any:
     """Parse a grid/fixed parameter value: int, then float, then string."""
     for parse in (int, float):
@@ -341,7 +381,8 @@ def cmd_fig21(args: argparse.Namespace) -> None:
     _export(campaign, args)
 
 
-def cmd_sweep(args: argparse.Namespace) -> None:
+def _sweep_from_args(args: argparse.Namespace) -> Sweep:
+    """Build the :class:`Sweep` described by sweep/submit command arguments."""
     try:
         grid = _parse_assignments(args.grid, split_values=True)
         # ``mac``, ``propagation`` and ``metrics`` are registry axes, not
@@ -388,18 +429,81 @@ def cmd_sweep(args: argparse.Namespace) -> None:
     except ValueError as exc:
         raise SystemExit(f"qma-repro sweep: error: {exc}")
     # Fail fast on metric-name typos before spending hours on the sweep.
-    for metric in args.metrics or ():
+    for metric in getattr(args, "metrics", None) or ():
         if not is_known_metric(args.experiment, metric, collectors=sweep.metrics):
             names = experiment_metric_names(args.experiment, collectors=sweep.metrics)
             raise SystemExit(
                 f"qma-repro sweep: error: unknown metric {metric!r} for "
                 f"{args.experiment}; available: {', '.join(names)}"
             )
+    return sweep
 
+
+def _by_axes(sweep: Sweep) -> tuple:
+    """Grouping columns of the sweep's aggregate table."""
     by = ("mac",)
     if any(propagation is not None for propagation in sweep.propagations):
         by += ("propagation",)
-    by += sweep.axes
+    return by + sweep.axes
+
+
+def _print_aggregate(
+    aggregator: TableAggregator, by: tuple, metrics: Optional[List[str]], verb: str
+) -> None:
+    """Print the mean/CI table of the finished campaign."""
+    available = aggregator.metric_names()
+    for metric in metrics or ():
+        if metric not in available:  # e.g. pdr_node_<id> for an absent node
+            raise SystemExit(
+                f"qma-repro {verb}: error: metric {metric!r} not present in the "
+                f"results; available: {', '.join(available)}"
+            )
+    rows = []
+    for metric in metrics or available:
+        for key, stats in aggregator.groups(metric).items():
+            rows.append(
+                list(key)
+                + [metric, f"{stats['mean']:.4f}", f"±{stats['ci95']:.4f}", int(stats["n"])]
+            )
+    _print_table(list(by) + ["metric", "mean", "ci95", "n"], rows)
+
+
+def _print_sink_lines(sinks: List[Any]) -> None:
+    for sink in sinks[1:]:
+        kind = {
+            JsonlRecordSink: "jsonl",
+            CsvRecordSink: "csv",
+            JsonDocumentSink: "json",
+        }[type(sink)]
+        print(f"wrote {sink.written} records to {sink.path} ({kind})")
+
+
+def _backend_from_args(args: argparse.Namespace) -> "DispatchBackend":
+    """Dispatch backend of a checkpointed CLI campaign (pool, or shards)."""
+    from repro.service.backends import PoolBackend, ShardBackend
+
+    if getattr(args, "shards", None):
+        return ShardBackend(
+            shards=args.shards,
+            jobs=args.jobs,
+            chunksize=args.chunksize,
+            build_cache=args.build_cache,
+            batch_seeds=args.batch_seeds,
+        )
+    return PoolBackend(
+        jobs=args.jobs,
+        chunksize=args.chunksize,
+        build_cache=args.build_cache,
+        batch_seeds=args.batch_seeds,
+    )
+
+
+def cmd_sweep(args: argparse.Namespace) -> None:
+    sweep = _sweep_from_args(args)
+    by = _by_axes(sweep)
+    if args.checkpoint:
+        _run_checkpointed_sweep(args, sweep, by)
+        return
 
     runner = CampaignRunner(
         jobs=args.jobs,
@@ -413,22 +517,8 @@ def cmd_sweep(args: argparse.Namespace) -> None:
 
     # Stream records through sinks: aggregation, JSONL and CSV run in
     # constant memory; only the legacy --json document buffers records.
-    aggregator = TableAggregator(by=by)
-    sinks = [aggregator]
-    if getattr(args, "jsonl_path", None):
-        sinks.append(JsonlRecordSink(args.jsonl_path, meta={"pool": pool_config}))
-    if getattr(args, "csv_path", None):
-        # Pre-declare the collector-provided columns: the streaming CSV
-        # header is fixed at the first record, so metrics that only appear
-        # later (e.g. trace_dropped) must be announced up front.
-        declared = [
-            name
-            for name in experiment_metric_names(args.experiment, collectors=sweep.metrics)
-            if "*" not in name
-        ]
-        sinks.append(CsvRecordSink(args.csv_path, columns=declared))
-    if getattr(args, "json_path", None):
-        sinks.append(JsonDocumentSink(args.json_path, meta={"pool": pool_config}))
+    sinks = _sweep_sinks(args, sweep, by, meta={"pool": pool_config})
+    aggregator = sinks[0]
 
     print(
         f"running {sweep.size} scenarios ({args.experiment}) with "
@@ -446,28 +536,213 @@ def cmd_sweep(args: argparse.Namespace) -> None:
             raise
         raise SystemExit(f"qma-repro sweep: error: {exc}")
 
-    available = aggregator.metric_names()
-    for metric in args.metrics or ():
-        if metric not in available:  # e.g. pdr_node_<id> for an absent node
-            raise SystemExit(
-                f"qma-repro sweep: error: metric {metric!r} not present in the "
-                f"results; available: {', '.join(available)}"
-            )
-    rows = []
-    for metric in args.metrics or available:
-        for key, stats in aggregator.groups(metric).items():
-            rows.append(
-                list(key)
-                + [metric, f"{stats['mean']:.4f}", f"±{stats['ci95']:.4f}", int(stats["n"])]
-            )
-    _print_table(list(by) + ["metric", "mean", "ci95", "n"], rows)
-    for sink in sinks[1:]:
-        kind = {
-            JsonlRecordSink: "jsonl",
-            CsvRecordSink: "csv",
-            JsonDocumentSink: "json",
-        }[type(sink)]
-        print(f"wrote {sink.written} records to {sink.path} ({kind})")
+    _print_aggregate(aggregator, by, args.metrics, "sweep")
+    _print_sink_lines(sinks)
+
+
+def _sweep_sinks(
+    args: argparse.Namespace, sweep: Sweep, by: tuple, meta: Dict[str, Any]
+) -> List[Any]:
+    """Record sinks of a sweep-style command: aggregator first, exports after."""
+    aggregator = TableAggregator(by=by)
+    sinks: List[Any] = [aggregator]
+    if getattr(args, "jsonl_path", None):
+        sinks.append(JsonlRecordSink(args.jsonl_path, meta=meta))
+    if getattr(args, "csv_path", None):
+        # Pre-declare the collector-provided columns: the streaming CSV
+        # header is fixed at the first record, so metrics that only appear
+        # later (e.g. trace_dropped) must be announced up front.
+        declared = [
+            name
+            for name in experiment_metric_names(sweep.experiment, collectors=sweep.metrics)
+            if "*" not in name
+        ]
+        sinks.append(CsvRecordSink(args.csv_path, columns=declared))
+    if getattr(args, "json_path", None):
+        sinks.append(JsonDocumentSink(args.json_path, meta=meta))
+    return sinks
+
+
+def _run_checkpointed_sweep(args: argparse.Namespace, sweep: Sweep, by: tuple) -> None:
+    """The ``sweep --checkpoint`` / ``resume`` execution path."""
+    from repro.service.checkpoint import run_checkpointed
+    from repro.service.journal import JournalError
+    from repro.service.manifest import sweep_digest
+
+    backend = _backend_from_args(args)
+    sinks = _sweep_sinks(
+        args, sweep, by, meta={"checkpoint": {"journal": args.checkpoint}}
+    )
+    aggregator = sinks[0]
+    print(
+        f"running {sweep.size} scenarios ({sweep.experiment}) under checkpoint "
+        f"{args.checkpoint} (spec {sweep_digest(sweep)[:12]}, "
+        f"backend {backend.name})",
+        flush=True,
+    )
+    try:
+        outcome = run_checkpointed(
+            sweep,
+            args.checkpoint,
+            backend=backend,
+            sinks=sinks,
+            meta={"cli": "sweep"},
+        )
+    except JournalError as exc:
+        raise SystemExit(f"qma-repro sweep: error: {exc}")
+    except TypeError as exc:
+        if "unexpected keyword argument" not in str(exc):
+            raise
+        raise SystemExit(f"qma-repro sweep: error: {exc}")
+    finally:
+        backend.close()
+    print(
+        f"resumed {outcome.resumed} completed run(s) from the journal, "
+        f"executed {outcome.executed}"
+    )
+    _print_aggregate(aggregator, by, getattr(args, "metrics", None), "sweep")
+    _print_sink_lines(sinks)
+
+
+def cmd_serve(args: argparse.Namespace) -> None:
+    """Run the long-lived campaign service until interrupted."""
+    import asyncio
+
+    from repro.service.server import CampaignServer, CampaignService
+
+    options: Dict[str, Any] = {
+        "backend": args.backend,
+        "jobs": args.jobs,
+        "chunksize": args.chunksize,
+        "build_cache": args.build_cache,
+        "batch_seeds": args.batch_seeds,
+    }
+    if args.backend == "shard":
+        options["shards"] = args.shards
+    elif args.throttle:
+        options["throttle"] = args.throttle
+    service = CampaignService(args.root, backend_options=options)
+
+    async def _run() -> None:
+        server = CampaignServer(service, args.host, args.port)
+        host, port = await server.start()
+        # The smoke harness parses this line to find an ephemeral port.
+        print(f"campaign service listening on http://{host}:{port} (root: {args.root})", flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("campaign service stopped")
+
+
+def _service_client(args: argparse.Namespace) -> "ServiceClient":
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(args.host, args.port)
+
+
+def _submit_options(args: argparse.Namespace) -> Dict[str, Any]:
+    """Backend overrides the submit verb sends along (only flags given)."""
+    options: Dict[str, Any] = {}
+    for key, name in (
+        ("backend", "backend"),
+        ("jobs", "jobs"),
+        ("batch_seeds", "batch_seeds"),
+        ("shards", "shards"),
+    ):
+        value = getattr(args, key, None)
+        if value is not None:
+            options[name] = value
+    return options
+
+
+def _print_job_snapshot(snapshot: Dict[str, Any]) -> None:
+    print(
+        f"job {snapshot['job']}: {snapshot['state']} "
+        f"{snapshot['completed']}/{snapshot['total']} "
+        f"({snapshot['experiment']}, spec {snapshot['digest'][:12]})"
+    )
+    if snapshot.get("error"):
+        print(f"  error: {snapshot['error']}")
+    rows = [
+        [name, stats["n"], f"{stats['mean']:.4f}", f"±{stats['ci95']:.4f}"]
+        for name, stats in sorted(snapshot.get("metrics", {}).items())
+    ]
+    if rows:
+        _print_table(["metric", "n", "mean", "ci95"], rows)
+
+
+def cmd_submit(args: argparse.Namespace) -> None:
+    """Submit a sweep to a running campaign service."""
+    from repro.service.client import ServiceError
+
+    sweep = _sweep_from_args(args)
+    client = _service_client(args)
+    try:
+        ack = client.submit(sweep.to_dict(), options=_submit_options(args) or None)
+    except (ServiceError, ConnectionError, OSError) as exc:
+        raise SystemExit(f"qma-repro submit: error: {exc}")
+    print(
+        f"submitted {ack['job']}: {ack['total']} runs, spec {ack['digest'][:12]}, "
+        f"journal {ack['journal']}"
+    )
+    if args.wait:
+        try:
+            snapshot = client.wait(ack["job"], timeout=args.timeout)
+        except (ServiceError, TimeoutError) as exc:
+            raise SystemExit(f"qma-repro submit: error: {exc}")
+        _print_job_snapshot(snapshot)
+
+
+def cmd_status(args: argparse.Namespace) -> None:
+    """Show job progress and live metric aggregates of a running service."""
+    from repro.service.client import ServiceError
+
+    client = _service_client(args)
+    try:
+        if args.job:
+            _print_job_snapshot(client.status(args.job)[0])
+            return
+        snapshots = client.status()
+    except (ServiceError, ConnectionError, OSError) as exc:
+        raise SystemExit(f"qma-repro status: error: {exc}")
+    if not snapshots:
+        print("no jobs submitted")
+        return
+    rows = [
+        [
+            snap["job"],
+            snap["state"],
+            f"{snap['completed']}/{snap['total']}",
+            snap["experiment"],
+            snap["digest"][:12],
+            snap.get("error") or "",
+        ]
+        for snap in snapshots
+    ]
+    _print_table(["job", "state", "done", "experiment", "spec", "error"], rows)
+
+
+def cmd_resume(args: argparse.Namespace) -> None:
+    """Resume a checkpointed sweep from its journal (sweep comes from the header)."""
+    from repro.service.journal import CheckpointJournal, JournalError
+
+    try:
+        journal = CheckpointJournal.open(args.journal)
+    except (OSError, JournalError) as exc:
+        raise SystemExit(f"qma-repro resume: error: {exc}")
+    try:
+        sweep = journal.sweep
+        pending = len(journal.pending_indices())
+    finally:
+        journal.close()
+    print(
+        f"journal {args.journal}: {journal.total - pending}/{journal.total} "
+        f"complete, resuming {pending} run(s)"
+    )
+    args.checkpoint = args.journal
+    _run_checkpointed_sweep(args, sweep, _by_axes(sweep))
 
 
 def cmd_fig26(args: argparse.Namespace) -> None:
@@ -536,30 +811,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_fig21)
 
     p = sub.add_parser("sweep", help="run an arbitrary campaign grid in parallel")
-    p.add_argument("experiment", choices=EXPERIMENT_KINDS)
-    p.add_argument(
-        "--macs", nargs="+", default=None,
-        help="MAC kinds to sweep (default: qma; or use --grid mac=...)",
-    )
-    p.add_argument(
-        "--grid",
-        action="append",
-        default=[],
-        metavar="KEY=V1,V2,...",
-        help="sweep a parameter over comma-separated values (repeatable)",
-    )
-    p.add_argument(
-        "--set",
-        dest="fixed",
-        action="append",
-        default=[],
-        metavar="KEY=VALUE",
-        help="fix a parameter for every scenario (repeatable)",
-    )
-    p.add_argument("--seeds", type=int, default=1, help="number of seeds per grid point")
-    p.add_argument("--base-seed", type=int, default=0)
-    _add_propagation_option(p)
-    _add_collectors_option(p)
+    _add_sweep_spec_options(p)
     p.add_argument(
         "--metrics", nargs="+", default=None, help="metrics to tabulate (default: all)"
     )
@@ -570,8 +822,103 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream per-run records to a JSONL file while the sweep runs "
         "(constant memory, one flushed JSON object per record)",
     )
+    p.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="journal every completed run to PATH; re-running the same "
+        "command resumes from the journal instead of recomputing "
+        "(output is bit-identical to an uninterrupted sweep)",
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --checkpoint: split the campaign into N affinity-ordered "
+        "subprocess shards, each with --jobs workers",
+    )
     _add_campaign_options(p)
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "serve", help="run the long-lived campaign service (HTTP + ndjson)"
+    )
+    _add_service_address_options(p)
+    p.add_argument(
+        "--root",
+        default=".qma-campaigns",
+        help="directory holding the per-campaign checkpoint journals "
+        "(default: .qma-campaigns)",
+    )
+    p.add_argument(
+        "--backend",
+        choices=("pool", "shard"),
+        default="pool",
+        help="dispatch backend for submitted campaigns (default: pool)",
+    )
+    p.add_argument(
+        "--shards", type=int, default=2, metavar="N",
+        help="shard count when --backend shard (default: 2)",
+    )
+    p.add_argument(
+        "--throttle",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="sleep after each completed run (demo/testing aid: makes live "
+        "progress observable on tiny sweeps)",
+    )
+    _add_campaign_options(p)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("submit", help="submit a sweep to a running campaign service")
+    _add_sweep_spec_options(p)
+    _add_service_address_options(p)
+    p.add_argument(
+        "--backend", choices=("pool", "shard"), default=None,
+        help="override the service's dispatch backend for this campaign",
+    )
+    p.add_argument("--jobs", type=int, default=None, help="override worker processes")
+    p.add_argument(
+        "--batch-seeds", type=int, default=None, metavar="N",
+        help="override seed batching",
+    )
+    p.add_argument(
+        "--shards", type=int, default=None, metavar="N", help="override shard count"
+    )
+    p.add_argument(
+        "--wait", action="store_true",
+        help="poll until the campaign finishes and print its final aggregates",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=3600.0,
+        help="--wait timeout in seconds (default: 3600)",
+    )
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("status", help="show campaign service jobs and live aggregates")
+    _add_service_address_options(p)
+    p.add_argument("--job", default=None, help="show one job in detail (with metrics)")
+    p.set_defaults(func=cmd_status)
+
+    p = sub.add_parser(
+        "resume", help="resume a checkpointed sweep from its journal file"
+    )
+    p.add_argument("journal", help="checkpoint journal written by sweep --checkpoint")
+    p.add_argument(
+        "--metrics", nargs="+", default=None, help="metrics to tabulate (default: all)"
+    )
+    p.add_argument(
+        "--jsonl", dest="jsonl_path", metavar="PATH",
+        help="stream the merged records to a JSONL file",
+    )
+    p.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="run the remaining work as N subprocess shards",
+    )
+    _add_campaign_options(p)
+    p.set_defaults(func=cmd_resume)
 
     p = sub.add_parser("fig26", help="expected handshake messages (Fig. 26)")
     p.add_argument("--probabilities", nargs="+", type=float, default=list(PAPER_PROBABILITIES))

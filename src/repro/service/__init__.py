@@ -1,0 +1,61 @@
+"""Campaign service: resumable, checkpointed, sharded sweep execution.
+
+The service layer turns the campaign runner into infrastructure for
+million-run sweeps:
+
+* :mod:`repro.service.manifest` — deterministic run identity (spec
+  digests, expansion indices, affinity-ordered shard splits);
+* :mod:`repro.service.journal` — the append-only, crash-tolerant
+  checkpoint journal;
+* :mod:`repro.service.backends` — pluggable dispatch (warm in-process
+  pool, subprocess shards);
+* :mod:`repro.service.checkpoint` — the resume-safe driver shared by the
+  CLI and the service;
+* :mod:`repro.service.server` / :mod:`repro.service.client` — the
+  long-lived asyncio front end and its blocking client.
+"""
+
+from repro.service.backends import (
+    DispatchBackend,
+    PoolBackend,
+    ShardBackend,
+    ShardFailure,
+    make_backend,
+)
+from repro.service.checkpoint import CheckpointOutcome, run_checkpointed
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.journal import (
+    CheckpointJournal,
+    JournalError,
+    SweepMismatchError,
+)
+from repro.service.manifest import (
+    affinity_order,
+    record_digest,
+    run_id,
+    split_shards,
+    sweep_digest,
+)
+from repro.service.server import CampaignServer, CampaignService
+
+__all__ = [
+    "CampaignServer",
+    "CampaignService",
+    "CheckpointJournal",
+    "CheckpointOutcome",
+    "DispatchBackend",
+    "JournalError",
+    "PoolBackend",
+    "ServiceClient",
+    "ServiceError",
+    "ShardBackend",
+    "ShardFailure",
+    "SweepMismatchError",
+    "affinity_order",
+    "make_backend",
+    "record_digest",
+    "run_checkpointed",
+    "run_id",
+    "split_shards",
+    "sweep_digest",
+]

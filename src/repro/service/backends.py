@@ -1,0 +1,337 @@
+"""Pluggable campaign dispatch: in-process pool and subprocess shards.
+
+A :class:`DispatchBackend` executes the pending runs of a sweep and
+appends every finished record to the campaign's checkpoint journal.  The
+contract is deliberately small — ``run(sweep, indices, journal,
+on_record)`` — so new execution substrates (a remote-host dispatcher, a
+batch scheduler) plug in without touching the journal, the service front
+end or the CLI:
+
+* :class:`PoolBackend` — the default: one warm
+  :class:`~repro.campaign.runner.CampaignRunner` (persistent worker pool,
+  build cache, seed batches) executing the pending set in expansion order.
+* :class:`ShardBackend` — splits the pending set into contiguous
+  *affinity-ordered* shards (see :func:`repro.service.manifest.affinity_order`)
+  and runs each shard as a subprocess (:mod:`repro.service.shard_worker`)
+  with its own journal; shard journals are merged into the main journal as
+  each shard completes.  Because shards are contiguous slices of the
+  affinity order, each shard keeps the PR 5 build-cache streaks and PR 7
+  seed-batch groups intact — and because every record is a pure function
+  of its scenario, the merged results are bit-identical to a single-process
+  run.  This is the seam where cross-host dispatch attaches later: ship
+  the same job document to another machine instead of a local subprocess.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.campaign.records import RunRecord
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import Sweep
+from repro.service.journal import CheckpointJournal, JournalError
+from repro.service.manifest import affinity_order, split_shards
+
+__all__ = [
+    "DispatchBackend",
+    "PoolBackend",
+    "ShardBackend",
+    "ShardFailure",
+    "make_backend",
+]
+
+#: Callback invoked per finished record: ``on_record(index, record)``.
+RecordCallback = Callable[[int, RunRecord], None]
+
+
+class DispatchBackend:
+    """Protocol of campaign execution substrates.
+
+    ``run`` executes the given pending expansion indices of the sweep,
+    appending each finished record to ``journal`` (atomically per record,
+    so a crash loses at most in-flight work) and invoking ``on_record``
+    live as results arrive.  Completion order is backend-defined; callers
+    that need expansion order replay the journal afterwards.
+    """
+
+    name = "abstract"
+
+    #: True when ``run`` invokes ``on_record`` in expansion order of the
+    #: given indices.  Lets :func:`~repro.service.checkpoint.run_checkpointed`
+    #: stream records straight into sinks on a cold run instead of paying
+    #: the journal replay pass.
+    ordered = False
+
+    def run(
+        self,
+        sweep: Sweep,
+        indices: Sequence[int],
+        journal: CheckpointJournal,
+        on_record: Optional[RecordCallback] = None,
+    ) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any persistent resources (worker pools, ...)."""
+
+
+class PoolBackend(DispatchBackend):
+    """Warm in-process worker-pool execution (the default backend).
+
+    Wraps a persistent :class:`CampaignRunner`: the subset flows through
+    the same template dispatch, affinity ordering and seed batching as a
+    full sweep.  ``throttle`` sleeps after each record — a testing and
+    demo aid that makes "mid-campaign" externally observable on sweeps
+    that would otherwise finish in milliseconds.
+    """
+
+    name = "pool"
+    # iter_records re-emits in expansion order regardless of jobs/affinity
+    # reordering/seed batching, so completions arrive index-sorted.
+    ordered = True
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        chunksize: Any = "auto",
+        build_cache: bool = True,
+        cache_size: Optional[int] = None,
+        batch_seeds: int = 1,
+        throttle: float = 0.0,
+    ) -> None:
+        self.throttle = float(throttle)
+        self._runner = CampaignRunner(
+            jobs=jobs,
+            chunksize=chunksize,
+            build_cache=build_cache,
+            cache_size=cache_size,
+            batch_seeds=batch_seeds,
+        )
+
+    @property
+    def runner(self) -> CampaignRunner:
+        return self._runner
+
+    def run(
+        self,
+        sweep: Sweep,
+        indices: Sequence[int],
+        journal: CheckpointJournal,
+        on_record: Optional[RecordCallback] = None,
+    ) -> None:
+        indices = list(indices)
+        if not indices:
+            return
+        results = self._runner.iter_records(sweep, indices=indices)
+        for index, record in zip(indices, results):
+            journal.append(index, record)
+            if on_record is not None:
+                on_record(index, record)
+            if self.throttle > 0:
+                time.sleep(self.throttle)
+
+    def close(self) -> None:
+        self._runner.close()
+
+
+class ShardFailure(RuntimeError):
+    """A shard subprocess exited non-zero; carries its stderr tail."""
+
+
+class ShardBackend(DispatchBackend):
+    """Contiguous affinity-ordered shards, one subprocess per shard.
+
+    Each shard worker writes its own journal (same format, same spec
+    digest, shard provenance in the header meta); as each worker exits the
+    parent verifies the shard journal against the manifest and merges its
+    records into the main journal.  A crash in the parent between shard
+    completion and merge loses only the unmerged shard's progress — the
+    shard journals themselves live next to the main journal (in
+    ``<journal>.shards/``) until the whole dispatch succeeds.
+
+    ``jobs`` is the per-shard worker-pool size (total process count is
+    roughly ``shards * jobs`` while running).
+    """
+
+    name = "shard"
+
+    #: Seconds between subprocess liveness polls.
+    POLL_INTERVAL = 0.05
+
+    def __init__(
+        self,
+        shards: int = 2,
+        jobs: int = 1,
+        chunksize: Any = "auto",
+        build_cache: bool = True,
+        batch_seeds: int = 1,
+        python: Optional[str] = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be positive, got {shards}")
+        self.shards = int(shards)
+        self.options = {
+            "jobs": int(jobs),
+            "chunksize": chunksize,
+            "build_cache": bool(build_cache),
+            "batch_seeds": int(batch_seeds),
+        }
+        self.python = python or sys.executable
+
+    def run(
+        self,
+        sweep: Sweep,
+        indices: Sequence[int],
+        journal: CheckpointJournal,
+        on_record: Optional[RecordCallback] = None,
+    ) -> None:
+        indices = list(indices)
+        if not indices:
+            return
+        chunks = split_shards(affinity_order(sweep, indices), self.shards)
+        workdir = self._workdir(journal)
+        sweep_data = sweep.to_dict()
+        procs: Dict[int, subprocess.Popen] = {}
+        shard_paths: Dict[int, str] = {}
+        try:
+            for shard_index, chunk in enumerate(chunks):
+                job_path = os.path.join(workdir, f"shard_{shard_index}.job.json")
+                shard_paths[shard_index] = os.path.join(
+                    workdir, f"shard_{shard_index}.journal.jsonl"
+                )
+                with open(job_path, "w", encoding="utf-8") as handle:
+                    json.dump(
+                        {
+                            "sweep": sweep_data,
+                            # Workers run their slice in expansion order;
+                            # affinity clustering is preserved by the
+                            # contiguous split, not by the within-shard order.
+                            "indices": sorted(chunk),
+                            "journal": shard_paths[shard_index],
+                            "shard": {"index": shard_index, "of": len(chunks)},
+                            "options": self.options,
+                        },
+                        handle,
+                    )
+                procs[shard_index] = subprocess.Popen(
+                    [self.python, "-m", "repro.service.shard_worker", job_path],
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.PIPE,
+                    env=_worker_env(),
+                )
+            pending = dict(procs)
+            while pending:
+                finished = [
+                    shard for shard, proc in pending.items() if proc.poll() is not None
+                ]
+                if not finished:
+                    time.sleep(self.POLL_INTERVAL)
+                    continue
+                for shard in finished:
+                    proc = pending.pop(shard)
+                    _, err = proc.communicate()
+                    if proc.returncode != 0:
+                        raise ShardFailure(
+                            f"shard {shard} exited with status {proc.returncode}:\n"
+                            + err.decode("utf-8", errors="replace")[-2000:]
+                        )
+                    self._merge(shard_paths[shard], journal, on_record)
+        finally:
+            for proc in procs.values():
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.communicate()
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    @staticmethod
+    def _workdir(journal: CheckpointJournal) -> str:
+        path = journal.path + ".shards"
+        try:
+            os.makedirs(path, exist_ok=True)
+            return path
+        except OSError:  # journal on a read-only mount? fall back to tmp
+            return tempfile.mkdtemp(prefix="qma-shards-")
+
+    @staticmethod
+    def _merge(
+        shard_path: str,
+        journal: CheckpointJournal,
+        on_record: Optional[RecordCallback],
+    ) -> None:
+        shard = CheckpointJournal.open(shard_path)
+        try:
+            if shard.spec_digest != journal.spec_digest:
+                raise JournalError(
+                    f"{shard_path}: shard journal spec digest "
+                    f"{shard.spec_digest[:12]} does not match campaign "
+                    f"{journal.spec_digest[:12]}"
+                )
+            for index, record in shard.iter_completed():
+                journal.append(index, record)
+                if on_record is not None:
+                    on_record(index, record)
+        finally:
+            shard.close()
+
+
+def _worker_env() -> Dict[str, str]:
+    """Subprocess environment with the repro package importable."""
+    import repro
+
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    if src not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    return env
+
+
+#: Option keys understood by each backend kind (validated by make_backend).
+_BACKEND_OPTIONS = {
+    "pool": ("jobs", "chunksize", "build_cache", "cache_size", "batch_seeds", "throttle"),
+    "shard": ("shards", "jobs", "chunksize", "build_cache", "batch_seeds", "python"),
+}
+
+
+def make_backend(options: Optional[Mapping[str, Any]] = None) -> DispatchBackend:
+    """Build a dispatch backend from a plain options mapping.
+
+    ``{"backend": "pool"|"shard", ...}`` — remaining keys are forwarded to
+    the backend constructor; unknown keys raise :class:`ValueError` (the
+    service front end surfaces this as a 400 instead of running a sweep
+    under silently-dropped options).
+    """
+    options = dict(options or {})
+    kind = options.pop("backend", "pool")
+    allowed = _BACKEND_OPTIONS.get(kind)
+    if allowed is None:
+        raise ValueError(
+            f"unknown dispatch backend {kind!r}; expected one of "
+            f"{sorted(_BACKEND_OPTIONS)}"
+        )
+    unknown = sorted(set(options) - set(allowed))
+    if unknown:
+        raise ValueError(
+            f"unknown option(s) {unknown} for backend {kind!r}; "
+            f"allowed: {sorted(allowed)}"
+        )
+    if kind == "shard":
+        return ShardBackend(**options)
+    return PoolBackend(**options)
+
+
+def backend_pool_config(options: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
+    """Effective backend description for status output and export meta."""
+    options = dict(options or {})
+    kind = options.get("backend", "pool")
+    return {"backend": kind, **{k: v for k, v in options.items() if k != "backend"}}
+
+
+_ = List  # typing import kept for annotations in docstrings

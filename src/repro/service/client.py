@@ -1,0 +1,88 @@
+"""Blocking ndjson-over-HTTP client for the campaign service.
+
+Stdlib :mod:`http.client` only — the CLI verbs (``submit``, ``status``)
+and the CI smoke test drive the service through this class; tests can
+also use it against an in-process :class:`~repro.service.server.CampaignServer`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, List, Mapping, Optional
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """The service answered with an error status; carries its message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """One service endpoint; a fresh connection per request (the server
+    closes connections after each response)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------- transport
+    def _request(self, method: str, target: str, payload: Optional[Mapping[str, Any]] = None) -> List[Dict[str, Any]]:
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = json.dumps(payload).encode("utf-8") if payload is not None else None
+            connection.request(
+                method, target, body=body, headers={"Content-Type": "application/json"}
+            )
+            response = connection.getresponse()
+            raw = response.read().decode("utf-8")
+            objects = [json.loads(line) for line in raw.splitlines() if line.strip()]
+            if response.status != 200:
+                message = objects[0].get("error", raw) if objects else raw
+                raise ServiceError(response.status, str(message))
+            return objects
+        finally:
+            connection.close()
+
+    # ----------------------------------------------------------------- verbs
+    def submit(
+        self,
+        sweep_data: Mapping[str, Any],
+        options: Optional[Mapping[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Submit a sweep spec; returns ``{"job", "digest", "total", "journal"}``."""
+        request: Dict[str, Any] = {"sweep": dict(sweep_data)}
+        if options:
+            request["options"] = dict(options)
+        return self._request("POST", "/submit", request)[0]
+
+    def status(self, job: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Snapshots of all jobs, or of one job when ``job`` is given."""
+        target = f"/status?job={job}" if job is not None else "/status"
+        return self._request("GET", target)
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/health")[0]
+
+    def wait(self, job: str, timeout: float = 120.0, poll: float = 0.1) -> Dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns its snapshot.
+
+        Raises :class:`ServiceError` if the job failed, :class:`TimeoutError`
+        if it does not finish in time.
+        """
+        deadline = time.time() + timeout
+        while True:
+            snapshot = self.status(job)[0]
+            if snapshot["state"] == "done":
+                return snapshot
+            if snapshot["state"] == "failed":
+                raise ServiceError(500, snapshot.get("error") or "job failed")
+            if time.time() >= deadline:
+                raise TimeoutError(f"job {job} still {snapshot['state']} after {timeout}s")
+            time.sleep(poll)

@@ -1,0 +1,350 @@
+"""Long-lived campaign service: asyncio HTTP front end over the backends.
+
+Two layers, separable for testing:
+
+* :class:`CampaignService` — the headless core.  Accepts sweep
+  submissions from any thread, queues them onto a single dispatcher
+  thread (campaigns execute one at a time — worker pools and the
+  artifact-cache override are not safe to interleave in one process) and
+  tracks per-job progress plus live per-metric
+  :class:`~repro.analysis.stats.StreamingStats` built from records *as
+  they finish*, so a million-run campaign reports running means and 95 %
+  confidence intervals mid-flight in constant memory.  Every job is
+  journalled under the service root, keyed by spec digest — submitting a
+  sweep whose digest matches an earlier (even killed) campaign resumes it
+  instead of recomputing.
+
+* :class:`CampaignServer` — a stdlib-only asyncio HTTP server speaking
+  line-delimited JSON.  One JSON object per response line; ``/status``
+  streams one line per job.  The event loop never blocks on simulation
+  work: handlers only touch the service's lock-guarded job table.
+
+Endpoints::
+
+    POST /submit   {"sweep": {...}, "options": {...}}  -> {"job": ...}
+    GET  /status                                       -> ndjson, one job/line
+    GET  /status?job=<id>                              -> single job object
+    GET  /health                                       -> {"ok": true, ...}
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import queue
+import threading
+import time
+import traceback
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.analysis.stats import StreamingStats
+from repro.campaign.records import RunRecord
+from repro.campaign.spec import Sweep
+from repro.service.backends import make_backend
+from repro.service.checkpoint import run_checkpointed
+from repro.service.manifest import sweep_digest
+
+__all__ = ["CampaignService", "CampaignServer"]
+
+#: Job lifecycle states.
+QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
+
+
+class CampaignJob:
+    """Mutable state of one submitted campaign (guarded by the service lock)."""
+
+    def __init__(self, job_id: str, sweep: Sweep, options: Dict[str, Any], journal_path: str) -> None:
+        self.job_id = job_id
+        self.sweep = sweep
+        self.options = options
+        self.journal_path = journal_path
+        self.spec_digest = sweep_digest(sweep)
+        self.state = QUEUED
+        self.total = sweep.size
+        self.completed = 0
+        self.resumed = 0
+        self.error: Optional[str] = None
+        self.submitted_at = time.time()
+        self.finished_at: Optional[float] = None
+        self.stats: Dict[str, StreamingStats] = {}
+
+    def observe(self, record: RunRecord) -> None:
+        self.completed += 1
+        for name, value in record.metrics.items():
+            stats = self.stats.get(name)
+            if stats is None:
+                stats = self.stats[name] = StreamingStats()
+            stats.push(float(value))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready view: identity, progress, live metric aggregates."""
+        metrics = {}
+        for name, stats in sorted(self.stats.items()):
+            mean, ci95 = stats.ci95()
+            metrics[name] = {"n": stats.n, "mean": mean, "ci95": ci95}
+        return {
+            "job": self.job_id,
+            "state": self.state,
+            "digest": self.spec_digest,
+            "experiment": self.sweep.experiment,
+            "total": self.total,
+            "completed": self.completed,
+            "resumed": self.resumed,
+            "journal": self.journal_path,
+            "error": self.error,
+            "metrics": metrics,
+        }
+
+
+class CampaignService:
+    """Thread-safe campaign queue + dispatcher; the server's headless core."""
+
+    def __init__(self, root: str, backend_options: Optional[Mapping[str, Any]] = None) -> None:
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.backend_options = dict(backend_options or {})
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, CampaignJob] = {}
+        self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
+        self._counter = 0
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="campaign-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------- submission
+    def submit(self, sweep_data: Mapping[str, Any], options: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:
+        """Validate and enqueue a sweep; returns the submit acknowledgement.
+
+        Raises :class:`ValueError` on an invalid sweep spec or backend
+        options — the server maps that to a 400 without enqueueing.
+        """
+        sweep = Sweep.from_dict(sweep_data)
+        merged = dict(self.backend_options)
+        merged.update(options or {})
+        make_backend(merged).close()  # validate options before enqueueing
+        digest = sweep_digest(sweep)
+        journal_path = os.path.join(self.root, f"{digest[:12]}.journal.jsonl")
+        with self._lock:
+            self._counter += 1
+            job = CampaignJob(f"job-{self._counter}", sweep, merged, journal_path)
+            self._jobs[job.job_id] = job
+        self._queue.put(job.job_id)
+        return {
+            "job": job.job_id,
+            "digest": digest,
+            "total": job.total,
+            "journal": journal_path,
+        }
+
+    # ----------------------------------------------------------------- status
+    def status(self, job_id: Optional[str] = None) -> List[Dict[str, Any]]:
+        with self._lock:
+            if job_id is not None:
+                job = self._jobs.get(job_id)
+                if job is None:
+                    raise KeyError(job_id)
+                return [job.snapshot()]
+            return [job.snapshot() for _, job in sorted(self._jobs.items())]
+
+    def health(self) -> Dict[str, Any]:
+        with self._lock:
+            states = [job.state for job in self._jobs.values()]
+        return {
+            "ok": True,
+            "jobs": len(states),
+            "running": states.count(RUNNING),
+            "queued": states.count(QUEUED),
+            "root": self.root,
+        }
+
+    def wait_idle(self, timeout: float = 60.0) -> bool:
+        """Block until no job is queued or running (testing aid)."""
+        deadline = time.time() + timeout
+        while time.time() < deadline:
+            with self._lock:
+                if all(job.state in (DONE, FAILED) for job in self._jobs.values()):
+                    return True
+            time.sleep(0.02)
+        return False
+
+    # -------------------------------------------------------------- dispatch
+    def _dispatch_loop(self) -> None:
+        while True:
+            job_id = self._queue.get()
+            if job_id is None:
+                return
+            with self._lock:
+                job = self._jobs[job_id]
+                job.state = RUNNING
+            try:
+                outcome = run_checkpointed(
+                    job.sweep,
+                    job.journal_path,
+                    backend=make_backend(job.options),
+                    meta={"service": {"job": job.job_id}},
+                    on_record=lambda index, record, job=job: self._observe(job, record),
+                )
+                with self._lock:
+                    job.resumed = outcome.resumed
+                    # Records resumed from the journal never passed through
+                    # observe(); fold them into the live aggregates now so
+                    # final stats always cover the whole campaign.
+                    job.completed = outcome.total
+                    job.state = DONE
+                    job.finished_at = time.time()
+                if outcome.resumed:
+                    self._backfill(job)
+            except BaseException as exc:  # noqa: BLE001 - job isolation
+                with self._lock:
+                    job.state = FAILED
+                    job.error = "".join(
+                        traceback.format_exception_only(type(exc), exc)
+                    ).strip()
+                    job.finished_at = time.time()
+
+    def _observe(self, job: CampaignJob, record: RunRecord) -> None:
+        with self._lock:
+            job.observe(record)
+
+    def _backfill(self, job: CampaignJob) -> None:
+        """Rebuild final stats from the journal when runs were resumed.
+
+        Live stats only saw newly executed records; replaying the full
+        journal in expansion order makes the end-state aggregates both
+        complete and deterministic.
+        """
+        from repro.service.journal import CheckpointJournal
+
+        journal = CheckpointJournal.open(job.journal_path)
+        try:
+            fresh: Dict[str, StreamingStats] = {}
+            for _, record in journal.iter_completed():
+                for name, value in record.metrics.items():
+                    stats = fresh.get(name)
+                    if stats is None:
+                        stats = fresh[name] = StreamingStats()
+                    stats.push(float(value))
+            with self._lock:
+                job.stats = fresh
+        finally:
+            journal.close()
+
+    def close(self) -> None:
+        """Stop the dispatcher after the current job (no new jobs start)."""
+        self._queue.put(None)
+
+
+class CampaignServer:
+    """Asyncio HTTP front end over a :class:`CampaignService`.
+
+    Stdlib-only: hand-parses the request head (method, target, headers,
+    Content-Length body) and answers with line-delimited JSON,
+    ``Connection: close``.  Start with :meth:`start` (binds and returns)
+    or :meth:`serve_forever`.
+    """
+
+    def __init__(self, service: CampaignService, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> Tuple[str, int]:
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------- plumbing
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                head = await asyncio.wait_for(reader.readuntil(b"\r\n\r\n"), timeout=10.0)
+            except (asyncio.IncompleteReadError, asyncio.TimeoutError, asyncio.LimitOverrunError):
+                return
+            method, target, headers = _parse_head(head)
+            body = b""
+            length = int(headers.get("content-length", "0") or "0")
+            if length:
+                body = await reader.readexactly(length)
+            status, payload = self._route(method, target, body)
+            writer.write(_response(status, payload))
+            await writer.drain()
+        except (ConnectionError, json.JSONDecodeError, ValueError) as exc:
+            try:
+                writer.write(_response(400, [{"error": str(exc)}]))
+                await writer.drain()
+            except ConnectionError:
+                pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    def _route(self, method: str, target: str, body: bytes) -> Tuple[int, List[Dict[str, Any]]]:
+        parts = urlsplit(target)
+        path = parts.path.rstrip("/") or "/"
+        query = {key: values[-1] for key, values in parse_qs(parts.query).items()}
+        if method == "POST" and path == "/submit":
+            try:
+                request = json.loads(body or b"{}")
+                ack = self.service.submit(
+                    request.get("sweep", {}), request.get("options")
+                )
+            except (ValueError, TypeError, KeyError) as exc:
+                return 400, [{"error": str(exc)}]
+            return 200, [ack]
+        if method == "GET" and path == "/status":
+            try:
+                return 200, self.service.status(query.get("job"))
+            except KeyError:
+                return 404, [{"error": f"unknown job {query.get('job')!r}"}]
+        if method == "GET" and path == "/health":
+            return 200, [self.service.health()]
+        return 404, [{"error": f"no route for {method} {path}"}]
+
+
+def _parse_head(head: bytes) -> Tuple[str, str, Dict[str, str]]:
+    lines = head.decode("latin-1").split("\r\n")
+    try:
+        method, target, _version = lines[0].split(" ", 2)
+    except ValueError:
+        raise ValueError(f"malformed request line {lines[0]!r}") from None
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if ":" in line:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+    return method.upper(), target, headers
+
+
+_STATUS_TEXT = {200: "OK", 400: "Bad Request", 404: "Not Found"}
+
+
+def _response(status: int, objects: List[Dict[str, Any]]) -> bytes:
+    body = "".join(json.dumps(obj, sort_keys=True) + "\n" for obj in objects).encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Error')}\r\n"
+        f"Content-Type: application/x-ndjson\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n"
+        "\r\n"
+    ).encode("latin-1")
+    return head + body

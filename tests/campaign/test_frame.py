@@ -214,3 +214,59 @@ class TestStream:
         batch = CampaignRunner(jobs=1).run(sweep)
         assert list(serial.iter_rows()) == list(parallel.iter_rows())
         assert list(serial.iter_rows()) == [record.row() for record in batch]
+
+
+class TestTolerantJsonlReader:
+    """Crash-truncated streams stay loadable (PR 8 journal hardening)."""
+
+    def _write_stream(self, tmp_path, records, tail=b""):
+        path = tmp_path / "stream.jsonl"
+        sink = JsonlRecordSink(str(path))
+        for record in records:
+            sink.write(record)
+        sink.close()
+        if tail:
+            with open(path, "ab") as handle:
+                handle.write(tail)
+        return str(path)
+
+    def test_truncated_final_line_skipped_with_warning(self, tmp_path, records):
+        path = self._write_stream(tmp_path, records, tail=b'{"scenario": {"exp')
+        with pytest.warns(RuntimeWarning, match="truncated"):
+            loaded = list(iter_jsonl(path))
+        assert len(loaded) == len(records)
+        assert [r.metrics for r in loaded] == [r.metrics for r in records]
+
+    def test_intact_stream_no_warning(self, tmp_path, records):
+        import warnings as warnings_module
+
+        path = self._write_stream(tmp_path, records)
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            loaded = list(iter_jsonl(path))
+        assert len(loaded) == len(records)
+
+    def test_iter_jsonl_objects_midfile_error_propagates(self, tmp_path):
+        """Only the *final* line is forgiven; mid-file garbage still raises."""
+        from repro.campaign.frame import iter_jsonl_objects
+
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\ngarbage\n{"ok": 2}\n')
+        with pytest.raises(json.JSONDecodeError):
+            with open(path) as handle:
+                list(iter_jsonl_objects(handle))
+
+    def test_sink_close_fsyncs(self, tmp_path, records, monkeypatch):
+        """JsonlRecordSink.close() pushes bytes to disk via os.fsync."""
+        import os as os_module
+
+        synced = []
+        real_fsync = os_module.fsync
+        monkeypatch.setattr(
+            "repro.campaign.frame.os.fsync",
+            lambda fd: (synced.append(fd), real_fsync(fd))[1],
+        )
+        sink = JsonlRecordSink(str(tmp_path / "out.jsonl"))
+        sink.write(records[0])
+        sink.close()
+        assert synced, "close() must fsync the sink's file descriptor"

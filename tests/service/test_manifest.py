@@ -1,0 +1,126 @@
+"""Manifest identity: spec digests, run ids, affinity order, shard splits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.spec import Sweep, construction_affinity_key
+from repro.service.manifest import (
+    affinity_order,
+    record_digest,
+    run_id,
+    split_shards,
+    sweep_digest,
+)
+
+
+def make_sweep(**overrides):
+    spec = dict(
+        experiment="hidden-node",
+        macs=["unslotted-csma", "qma"],
+        grid={"delta": [50.0, 100.0]},
+        fixed={"packets_per_node": 2, "warmup": 0.2},
+        seeds=[0, 1, 2],
+    )
+    spec.update(overrides)
+    return Sweep(**spec)
+
+
+class TestSweepDigest:
+    def test_stable_across_json_roundtrip(self):
+        sweep = make_sweep()
+        clone = Sweep.from_dict(sweep.to_dict())
+        assert sweep_digest(clone) == sweep_digest(sweep)
+
+    def test_distinguishes_specs(self):
+        assert sweep_digest(make_sweep()) != sweep_digest(make_sweep(seeds=[0, 1]))
+        assert sweep_digest(make_sweep()) != sweep_digest(
+            make_sweep(grid={"delta": [50.0, 101.0]})
+        )
+
+    def test_run_id_embeds_digest_prefix_and_index(self):
+        digest = sweep_digest(make_sweep())
+        assert run_id(digest, 137) == f"{digest[:12]}:137"
+
+
+class TestRecordDigest:
+    def test_key_order_independent(self):
+        assert record_digest({"a": 1, "b": 2}) == record_digest({"b": 2, "a": 1})
+
+    def test_value_sensitive(self):
+        assert record_digest({"a": 1}) != record_digest({"a": 2})
+
+
+class TestAffinityOrder:
+    def test_is_a_permutation(self):
+        sweep = make_sweep()
+        indices = list(range(sweep.size))
+        order = affinity_order(sweep, indices)
+        assert sorted(order) == indices
+
+    def test_groups_shared_configurations_adjacently(self):
+        """Runs with equal affinity keys must land in one contiguous streak."""
+        sweep = make_sweep()
+        scenarios = sweep.scenarios()
+        order = affinity_order(sweep, list(range(sweep.size)))
+        keys = [
+            construction_affinity_key(
+                sweep.experiment,
+                scenarios[i].propagation,
+                scenarios[i].seed,
+                scenarios[i].params,
+            )
+            for i in order
+        ]
+        seen = set()
+        for position, key in enumerate(keys):
+            if position and key != keys[position - 1]:
+                assert key not in seen, "affinity group split across the order"
+                seen.add(keys[position - 1])
+
+    def test_stable_within_groups(self):
+        """Equal keys keep expansion order (stable sort)."""
+        sweep = make_sweep()
+        scenarios = sweep.scenarios()
+
+        def key(i):
+            return construction_affinity_key(
+                sweep.experiment,
+                scenarios[i].propagation,
+                scenarios[i].seed,
+                scenarios[i].params,
+            )
+
+        order = affinity_order(sweep, list(range(sweep.size)))
+        for a, b in zip(order, order[1:]):
+            if key(a) == key(b):
+                assert a < b
+
+    def test_subset(self):
+        sweep = make_sweep()
+        subset = [1, 4, 7, 10]
+        order = affinity_order(sweep, subset)
+        assert sorted(order) == subset
+
+    def test_empty(self):
+        assert affinity_order(make_sweep(), []) == []
+
+
+class TestSplitShards:
+    def test_contiguous_and_complete(self):
+        ordered = [5, 3, 9, 1, 7, 2, 8]
+        chunks = split_shards(ordered, 3)
+        assert [i for chunk in chunks for i in chunk] == ordered
+        assert len(chunks) == 3
+
+    def test_near_equal_sizes(self):
+        chunks = split_shards(list(range(10)), 3)
+        assert sorted(len(c) for c in chunks) == [3, 3, 4]
+
+    def test_never_empty_shards(self):
+        chunks = split_shards([1, 2], 5)
+        assert chunks == [[1], [2]]
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            split_shards([1], 0)

@@ -394,3 +394,74 @@ def test_parser_has_all_figure_commands():
         "table4", "fig7", "fig12", "slots", "testbed", "fig21", "fig26", "sweep", "list",
     ):
         assert command in help_text
+
+
+def test_sweep_checkpoint_runs_then_resumes(tmp_path, capsys):
+    """sweep --checkpoint journals every run; a re-run resumes, not recomputes."""
+    journal = str(tmp_path / "campaign.journal.jsonl")
+    argv = [
+        "sweep", "hidden-node",
+        "--macs", "unslotted-csma",
+        "--grid", "delta=50,100",
+        "--set", "packets_per_node=2",
+        "--set", "warmup=0.2",
+        "--seeds", "2",
+        "--checkpoint", journal,
+    ]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert "executed 4" in first
+    assert "resumed 0" in first
+    assert main(argv) == 0
+    second = capsys.readouterr().out
+    assert "resumed 4" in second
+    assert "executed 0" in second
+    # The aggregate tables of the cold run and the resume are identical.
+    assert first.split("resumed 0 completed")[0] != ""
+    assert first.splitlines()[-8:] == second.splitlines()[-8:]
+
+
+def test_sweep_checkpoint_rejects_other_spec(tmp_path):
+    journal = str(tmp_path / "campaign.journal.jsonl")
+    base = [
+        "sweep", "hidden-node", "--macs", "unslotted-csma",
+        "--set", "packets_per_node=2", "--set", "warmup=0.2",
+        "--checkpoint", journal,
+    ]
+    assert main(base + ["--seeds", "2"]) == 0
+    with pytest.raises(SystemExit, match="refusing to mix campaigns"):
+        main(base + ["--seeds", "3"])
+
+
+def test_resume_command_reads_sweep_from_journal(tmp_path, capsys):
+    journal = str(tmp_path / "campaign.journal.jsonl")
+    assert main([
+        "sweep", "hidden-node", "--macs", "unslotted-csma",
+        "--grid", "delta=50",
+        "--set", "packets_per_node=2", "--set", "warmup=0.2",
+        "--seeds", "2", "--checkpoint", journal,
+    ]) == 0
+    capsys.readouterr()
+    assert main(["resume", journal]) == 0
+    output = capsys.readouterr().out
+    assert "resuming 0 run(s)" in output
+    assert "resumed 2 completed" in output
+
+
+def test_resume_command_rejects_missing_journal(tmp_path):
+    with pytest.raises(SystemExit, match="error"):
+        main(["resume", str(tmp_path / "nope.jsonl")])
+
+
+def test_sweep_checkpoint_with_shards(tmp_path, capsys):
+    """--checkpoint --shards executes through subprocess shard workers."""
+    journal = str(tmp_path / "campaign.journal.jsonl")
+    assert main([
+        "sweep", "hidden-node", "--macs", "unslotted-csma",
+        "--grid", "delta=50,100",
+        "--set", "packets_per_node=2", "--set", "warmup=0.2",
+        "--seeds", "1", "--checkpoint", journal, "--shards", "2",
+    ]) == 0
+    output = capsys.readouterr().out
+    assert "backend shard" in output
+    assert "executed 2" in output
