@@ -1,0 +1,150 @@
+"""CI chaos smoke test: a supervised sweep survives injected faults.
+
+Runs a 500-run checkpointed campaign through the public CLI with the
+deterministic fault harness armed — two worker kills, one 60-second run
+hang, and one torn journal line — and asserts the three supervision
+guarantees end to end:
+
+1. the campaign never hangs (a hard wall-clock bound kills the smoke);
+2. it exits ``complete`` (0) or ``partial`` (4), never an unhandled
+   traceback (any other exit status fails the smoke);
+3. the merged record set is byte-for-byte identical to a fault-free run
+   of the same sweep (after ``retry-quarantined`` if it went partial).
+
+Exit status 0 means all three held.  Run from the repository root::
+
+    PYTHONPATH=src python scripts/chaos_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO, "src")
+
+#: 1 MAC x 2 deltas x 250 seeds = 500 runs, ~2 ms each.
+SWEEP_ARGS = [
+    "hidden-node",
+    "--macs", "unslotted-csma",
+    "--grid", "delta=50,100",
+    "--set", "packets_per_node=2",
+    "--set", "warmup=0.2",
+    "--set", "drain_time=0.1",
+    "--set", "management_period=0.5",
+    "--seeds", "250",
+]
+TOTAL_RUNS = 500
+
+#: Two worker kills, one 60 s hang, one torn journal line — the worker
+#: faults fire exactly once per campaign, the hang is bounded by the
+#: run timeout's watchdog, the torn line by crash-tolerant replay.
+FAULTS = "crash@seed=3;crash@seed=101;hang:60@seed=7;torn@after=120"
+
+#: Per-run wall-clock budget: generous for a ~2 ms run, small enough to
+#: keep each watchdog-recovered fault under ~10 s of smoke time.
+RUN_TIMEOUT = "8.0"
+
+#: Hard bound on any single CLI invocation — guarantee (1).
+SMOKE_TIMEOUT_S = 420
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def cli(*args: str, timeout: float = SMOKE_TIMEOUT_S) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        env=_env(),
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def fail(message: str, proc: subprocess.CompletedProcess = None) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    if proc is not None:
+        print("--- stdout ---\n" + proc.stdout[-4000:], file=sys.stderr)
+        print("--- stderr ---\n" + proc.stderr[-4000:], file=sys.stderr)
+    sys.exit(1)
+
+
+def records_of(jsonl_path: str) -> list:
+    """The record objects of a JSONL export (meta lines skipped)."""
+    records = []
+    with open(jsonl_path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            if not line.strip():
+                continue
+            data = json.loads(line)
+            if "scenario" in data:
+                records.append(data)
+    return records
+
+
+def main() -> None:
+    tmp = tempfile.mkdtemp(prefix="qma-chaos-smoke-")
+    base_journal = os.path.join(tmp, "base.jsonl")
+    base_export = os.path.join(tmp, "base.records.jsonl")
+    chaos_journal = os.path.join(tmp, "chaos.jsonl")
+    chaos_export = os.path.join(tmp, "chaos.records.jsonl")
+
+    # 1. Fault-free baseline.
+    started = time.monotonic()
+    proc = cli("sweep", *SWEEP_ARGS, "--jobs", "2",
+               "--checkpoint", base_journal, "--jsonl", base_export)
+    if proc.returncode != 0:
+        fail("fault-free baseline sweep failed", proc)
+    baseline = records_of(base_export)
+    if len(baseline) != TOTAL_RUNS:
+        fail(f"baseline exported {len(baseline)} records, expected {TOTAL_RUNS}", proc)
+    print(f"baseline: {TOTAL_RUNS} runs in {time.monotonic() - started:.1f}s")
+
+    # 2. The same sweep under injected chaos.
+    started = time.monotonic()
+    proc = cli("sweep", *SWEEP_ARGS, "--jobs", "2",
+               "--checkpoint", chaos_journal,
+               "--inject-faults", FAULTS, "--run-timeout", RUN_TIMEOUT)
+    if proc.returncode not in (0, 4):
+        fail(f"chaos sweep exited {proc.returncode}, expected 0 (complete) "
+             "or 4 (partial)", proc)
+    outcome = "complete" if proc.returncode == 0 else "partial"
+    print(f"chaos sweep: {outcome} in {time.monotonic() - started:.1f}s")
+
+    # 3. Partial campaigns must heal once the (one-shot) faults are spent.
+    if proc.returncode == 4:
+        proc = cli("retry-quarantined", chaos_journal)
+        if proc.returncode != 0:
+            fail("retry-quarantined did not complete the campaign", proc)
+        print("retry-quarantined: campaign healed")
+
+    # 4. Merged output must be bit-identical to the fault-free run.
+    proc = cli("resume", chaos_journal, "--jsonl", chaos_export)
+    if proc.returncode != 0:
+        fail("replaying the chaos journal failed", proc)
+    chaos = records_of(chaos_export)
+    if chaos != baseline:
+        for position, (expected, got) in enumerate(zip(baseline, chaos)):
+            if expected != got:
+                fail(f"record {position} differs after chaos recovery:\n"
+                     f"  expected: {json.dumps(expected)[:300]}\n"
+                     f"  got:      {json.dumps(got)[:300]}")
+        fail(f"chaos run exported {len(chaos)} records, expected {len(baseline)}")
+    print(f"merged output bit-identical across {len(chaos)} records")
+    print("chaos smoke passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -95,8 +95,8 @@ def journal_record_set(path: str) -> dict:
             if not line.endswith("\n"):
                 continue  # torn tail from the kill — resume re-runs it
             data = json.loads(line)
-            if "checkpoint" in data:
-                continue
+            if "checkpoint" in data or "event" in data:
+                continue  # header / structured audit lines
             records[data["index"]] = data["record"]
     return records
 

@@ -99,6 +99,7 @@ def execute_seed_batch(
     Scalar metrics (and raw reports, with ``keep_raw``) are bit-identical
     to running each scenario through ``execute_scenario`` on its own.
     """
+    from repro.campaign import runner
     from repro.campaign.runner import _report_metrics, execute_scenario
 
     scenarios = list(scenarios)
@@ -106,6 +107,11 @@ def execute_seed_batch(
         return []
     if len(scenarios) == 1 or not batchable_experiment(scenarios[0].experiment):
         return [execute_scenario(s, keep_raw=keep_raw) for s in scenarios]
+    if runner.FAULT_HOOK is not None:
+        # The batched path bypasses execute_scenario; give the chaos
+        # harness the same per-scenario injection point.
+        for scenario in scenarios:
+            runner.FAULT_HOOK(scenario)
     prepared = [_prepare_lane(scenario) for scenario in scenarios]
     reports = (executor if executor is not None else SeedBatchExecutor()).run(prepared)
     return [

@@ -258,6 +258,14 @@ def is_known_metric(
     return False
 
 
+#: Opt-in fault-injection hook (installed by :func:`repro.service.faults.
+#: install`): called with each scenario about to execute, in the executing
+#: process.  A module-level callable rather than an import so the campaign
+#: layer carries zero dependency on (and zero overhead from) the service's
+#: chaos-testing harness when no plan is active.
+FAULT_HOOK: Optional[Callable[[Scenario], None]] = None
+
+
 def execute_scenario(scenario: Scenario, keep_raw: bool = False) -> RunRecord:
     """Run one scenario and return its :class:`RunRecord`.
 
@@ -265,6 +273,8 @@ def execute_scenario(scenario: Scenario, keep_raw: bool = False) -> RunRecord:
     :class:`~repro.metrics.report.SimReport` (series, tables, details); the
     scalar metrics are identical either way.
     """
+    if FAULT_HOOK is not None:
+        FAULT_HOOK(scenario)
     adapter = _ADAPTERS[scenario.experiment]
     report = adapter(scenario)
     return RunRecord(
@@ -357,10 +367,21 @@ _WORKER_STATE: Dict[str, Any] = {"template": None, "keep_raw": False}
 def _worker_init(blob: bytes) -> None:
     """Pool initializer: install the shared scenario template once per worker
     and configure the worker's construction-artifact cache."""
-    template, keep_raw, build_cache, cache_size = pickle.loads(blob)
+    template, keep_raw, build_cache, cache_size, fault_plan = pickle.loads(blob)
     _WORKER_STATE["template"] = template
     _WORKER_STATE["keep_raw"] = keep_raw
     ARTIFACT_CACHE.configure(enabled=build_cache, maxsize=cache_size)
+    if fault_plan is not None:
+        from repro.service import faults
+
+        faults.mark_worker_process()
+        faults.install(fault_plan)
+    elif FAULT_HOOK is not None:
+        # Forked workers inherit the parent's process-wide hook; a plan-free
+        # campaign must actively uninstall it or stale faults keep firing.
+        from repro.service import faults
+
+        faults.install(None)
 
 
 def _execute_scenario_task(scenario: Scenario) -> RunRecord:
@@ -483,10 +504,11 @@ class WorkerPool:
         keep_raw: bool,
         build_cache: bool = True,
         cache_size: Optional[int] = None,
+        fault_plan: Optional[Any] = None,
     ):
         """Return a pool whose workers carry the given template and cache config."""
         blob = pickle.dumps(
-            (template, keep_raw, build_cache, cache_size),
+            (template, keep_raw, build_cache, cache_size, fault_plan),
             protocol=pickle.HIGHEST_PROTOCOL,
         )
         if self._pool is None or blob != self._blob:
@@ -567,6 +589,7 @@ class CampaignRunner:
         build_cache: bool = True,
         cache_size: Optional[int] = None,
         batch_seeds: int = 1,
+        fault_plan: Optional[Any] = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.keep_raw = keep_raw
@@ -579,6 +602,20 @@ class CampaignRunner:
         if batch_seeds < 1:
             raise ValueError(f"batch_seeds must be positive, got {batch_seeds}")
         self.batch_seeds = batch_seeds
+        self.fault_plan = fault_plan
+        if fault_plan is not None:
+            # Opt-in chaos harness: the plan is active process-wide (the
+            # serial path runs in this process; crash faults still only
+            # fire in marked worker processes).
+            from repro.service import faults
+
+            faults.install(fault_plan)
+        elif FAULT_HOOK is not None:
+            # A previous campaign's plan is still installed process-wide;
+            # clear it so this (and any forked workers) run fault-free.
+            from repro.service import faults
+
+            faults.install(None)
         self._pool: Optional[WorkerPool] = None
 
     # ---------------------------------------------------------------- pool
@@ -758,7 +795,8 @@ class CampaignRunner:
         if scenarios is None:
             template = ScenarioTemplate.of(sweep)
             pool = self._worker_pool().ensure(
-                template, self.keep_raw, self.build_cache, self.cache_size
+                template, self.keep_raw, self.build_cache, self.cache_size,
+                self.fault_plan,
             )
             axes = sweep.axes
 
@@ -803,7 +841,8 @@ class CampaignRunner:
                 results = dispatch(delta_of(s) for s in expand())
         else:
             pool = self._worker_pool().ensure(
-                None, self.keep_raw, self.build_cache, self.cache_size
+                None, self.keep_raw, self.build_cache, self.cache_size,
+                self.fault_plan,
             )
             results = pool.imap(_execute_scenario_task, scenarios, chunksize=chunk)
         completed = False

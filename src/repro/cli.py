@@ -164,6 +164,39 @@ def _add_sweep_spec_options(parser: argparse.ArgumentParser) -> None:
     _add_collectors_option(parser)
 
 
+def _add_supervision_options(parser: argparse.ArgumentParser) -> None:
+    """Supervision flags shared by checkpointed execution verbs."""
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-run attempt budget before a persistently failing run is "
+        "quarantined instead of aborting the campaign (default: 3)",
+    )
+    parser.add_argument(
+        "--run-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per run; a stalled backend attempt is "
+        "aborted and the pending runs retried (default: no timeout)",
+    )
+    parser.add_argument(
+        "--no-supervise",
+        action="store_true",
+        help="dispatch directly without the supervision layer: any worker "
+        "failure aborts the whole campaign (pre-supervision behaviour)",
+    )
+    parser.add_argument(
+        "--inject-faults",
+        metavar="SPEC",
+        default=None,
+        help="deterministic chaos harness (testing aid): semicolon-separated "
+        "faults, e.g. 'crash@seed=1;hang:30@seed=2;torn@after=10'",
+    )
+
+
 def _add_service_address_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--host", default="127.0.0.1", help="service address (default: 127.0.0.1)"
@@ -478,24 +511,65 @@ def _print_sink_lines(sinks: List[Any]) -> None:
         print(f"wrote {sink.written} records to {sink.path} ({kind})")
 
 
-def _backend_from_args(args: argparse.Namespace) -> "DispatchBackend":
-    """Dispatch backend of a checkpointed CLI campaign (pool, or shards)."""
-    from repro.service.backends import PoolBackend, ShardBackend
-
+def _supervision_options(args: argparse.Namespace) -> Dict[str, Any]:
+    """Flat backend+supervision options of a checkpointed CLI campaign."""
+    options: Dict[str, Any] = {
+        "jobs": getattr(args, "jobs", 1),
+        "chunksize": getattr(args, "chunksize", "auto"),
+        "build_cache": getattr(args, "build_cache", True),
+        "batch_seeds": getattr(args, "batch_seeds", 1),
+    }
     if getattr(args, "shards", None):
-        return ShardBackend(
-            shards=args.shards,
-            jobs=args.jobs,
-            chunksize=args.chunksize,
-            build_cache=args.build_cache,
-            batch_seeds=args.batch_seeds,
+        options["backend"] = "shard"
+        options["shards"] = args.shards
+    if getattr(args, "no_supervise", False):
+        options["supervise"] = False
+    if getattr(args, "retries", None) is not None:
+        options["max_attempts"] = args.retries
+    if getattr(args, "run_timeout", None) is not None:
+        options["run_timeout"] = args.run_timeout
+    if getattr(args, "inject_faults", None):
+        options["faults"] = args.inject_faults
+    return options
+
+
+def _print_supervision_event(event: Dict[str, Any]) -> None:
+    """Narrate retry/degrade/quarantine events on stderr as they happen."""
+    kind = event.get("kind")
+    if kind == "retry":
+        line = (
+            f"supervisor: attempt {event['attempt']} on {event['backend']} "
+            f"left {event['pending']} run(s) pending"
         )
-    return PoolBackend(
-        jobs=args.jobs,
-        chunksize=args.chunksize,
-        build_cache=args.build_cache,
-        batch_seeds=args.batch_seeds,
-    )
+        if event.get("timed_out"):
+            line += " (run timeout)"
+        if event.get("error"):
+            line += f": {str(event['error']).splitlines()[0]}"
+    elif kind == "degrade":
+        line = (
+            f"supervisor: degrading {event['from_backend']} -> "
+            f"{event['to_backend']} after {event['after_failures']} failed attempt(s)"
+        )
+    elif kind == "quarantine":
+        line = (
+            f"supervisor: quarantined run {event['index']} (seed {event['seed']}) "
+            f"after {event['attempts']} attempt(s): {event['failure']}"
+        )
+    else:
+        return
+    print(line, file=sys.stderr, flush=True)
+
+
+def _backend_from_args(args: argparse.Namespace) -> "DispatchBackend":
+    """Supervised dispatch backend of a checkpointed CLI campaign."""
+    from repro.service.supervisor import make_supervised
+
+    try:
+        return make_supervised(
+            _supervision_options(args), on_event=_print_supervision_event
+        )
+    except ValueError as exc:
+        raise SystemExit(f"qma-repro: error: {exc}")
 
 
 def cmd_sweep(args: argparse.Namespace) -> None:
@@ -602,6 +676,20 @@ def _run_checkpointed_sweep(args: argparse.Namespace, sweep: Sweep, by: tuple) -
     )
     _print_aggregate(aggregator, by, getattr(args, "metrics", None), "sweep")
     _print_sink_lines(sinks)
+    if outcome.status == "partial":
+        from repro.service.supervisor import quarantine_path
+
+        print(
+            f"campaign PARTIAL: {len(outcome.quarantined)} run(s) quarantined "
+            f"(indices {outcome.quarantined}); details in "
+            f"{quarantine_path(args.checkpoint)}; re-dispatch with "
+            f"'qma-repro retry-quarantined {args.checkpoint}'",
+            file=sys.stderr,
+        )
+        raise SystemExit(4)
+    if outcome.status == "cancelled":
+        print("campaign CANCELLED before completion", file=sys.stderr)
+        raise SystemExit(1)
 
 
 def cmd_serve(args: argparse.Namespace) -> None:
@@ -621,10 +709,26 @@ def cmd_serve(args: argparse.Namespace) -> None:
         options["shards"] = args.shards
     elif args.throttle:
         options["throttle"] = args.throttle
+    if args.no_supervise:
+        options["supervise"] = False
+    if args.retries is not None:
+        options["max_attempts"] = args.retries
+    if args.run_timeout is not None:
+        options["run_timeout"] = args.run_timeout
+    fault_plan = None
+    if args.inject_faults:
+        from repro.service.faults import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.from_spec(args.inject_faults)
+        except ValueError as exc:
+            raise SystemExit(f"qma-repro serve: error: {exc}")
+        options["faults"] = args.inject_faults
+        print(f"fault injection active: {args.inject_faults}", file=sys.stderr)
     service = CampaignService(args.root, backend_options=options)
 
     async def _run() -> None:
-        server = CampaignServer(service, args.host, args.port)
+        server = CampaignServer(service, args.host, args.port, fault_plan=fault_plan)
         host, port = await server.start()
         # The smoke harness parses this line to find an ephemeral port.
         print(f"campaign service listening on http://{host}:{port} (root: {args.root})", flush=True)
@@ -665,6 +769,15 @@ def _print_job_snapshot(snapshot: Dict[str, Any]) -> None:
     )
     if snapshot.get("error"):
         print(f"  error: {snapshot['error']}")
+    if snapshot.get("quarantined"):
+        print(f"  quarantined: {snapshot['quarantined']} run(s)")
+    for event in (snapshot.get("events") or [])[-5:]:
+        detail = " ".join(
+            f"{key}={str(value)[:80]}"
+            for key, value in sorted(event.items())
+            if key != "kind" and value not in (None, "", False)
+        )
+        print(f"  [{event.get('kind')}] {detail}")
     rows = [
         [name, stats["n"], f"{stats['mean']:.4f}", f"±{stats['ci95']:.4f}"]
         for name, stats in sorted(snapshot.get("metrics", {}).items())
@@ -715,13 +828,16 @@ def cmd_status(args: argparse.Namespace) -> None:
             snap["job"],
             snap["state"],
             f"{snap['completed']}/{snap['total']}",
+            snap.get("quarantined") or "",
             snap["experiment"],
             snap["digest"][:12],
-            snap.get("error") or "",
+            # Errors carry the shard's multi-line stderr tail; the table
+            # keeps the first line, `status --job` prints it whole.
+            (snap.get("error") or "").splitlines()[0] if snap.get("error") else "",
         ]
         for snap in snapshots
     ]
-    _print_table(["job", "state", "done", "experiment", "spec", "error"], rows)
+    _print_table(["job", "state", "done", "quar", "experiment", "spec", "error"], rows)
 
 
 def cmd_resume(args: argparse.Namespace) -> None:
@@ -743,6 +859,85 @@ def cmd_resume(args: argparse.Namespace) -> None:
     )
     args.checkpoint = args.journal
     _run_checkpointed_sweep(args, sweep, _by_axes(sweep))
+
+
+def cmd_cancel(args: argparse.Namespace) -> None:
+    """Cancel a queued or running campaign-service job."""
+    from repro.service.client import ServiceError
+
+    client = _service_client(args)
+    try:
+        snapshot = client.cancel(args.job)
+    except (ServiceError, ConnectionError, OSError) as exc:
+        raise SystemExit(f"qma-repro cancel: error: {exc}")
+    note = " (cancelling, draining in-flight runs)" if snapshot.get("cancelling") else ""
+    print(
+        f"job {snapshot['job']}: {snapshot['state']}{note} "
+        f"{snapshot['completed']}/{snapshot['total']}"
+    )
+
+
+def cmd_retry_quarantined(args: argparse.Namespace) -> None:
+    """Re-dispatch a journal's quarantined runs with a fresh attempt budget."""
+    from repro.service.journal import JournalError
+    from repro.service.supervisor import (
+        load_quarantine,
+        quarantine_path,
+        retry_quarantined,
+    )
+
+    qpath = quarantine_path(args.journal)
+    entries = load_quarantine(qpath)
+    if not entries:
+        print(f"{args.journal}: no quarantined runs")
+        return
+    for entry in entries:
+        print(
+            f"retrying run {entry['index']} (seed {entry['seed']}, "
+            f"{len(entry['attempts'])} failed attempt(s))"
+        )
+    try:
+        count, outcome = retry_quarantined(
+            args.journal,
+            _supervision_options(args),
+            on_event=_print_supervision_event,
+        )
+    except (OSError, JournalError) as exc:
+        raise SystemExit(f"qma-repro retry-quarantined: error: {exc}")
+    done = outcome.total - len(outcome.quarantined)
+    print(f"retried {count} run(s): campaign {outcome.status} ({done}/{outcome.total})")
+    if outcome.status == "partial":
+        print(
+            f"{len(outcome.quarantined)} run(s) quarantined again "
+            f"(indices {outcome.quarantined}); details in {qpath}",
+            file=sys.stderr,
+        )
+        raise SystemExit(4)
+
+
+def cmd_compact(args: argparse.Namespace) -> None:
+    """Seal a journal's completed prefix into an immutable segment file."""
+    import os
+
+    from repro.service.journal import CheckpointJournal, JournalError
+
+    try:
+        journal = CheckpointJournal.open(args.journal)
+    except (OSError, JournalError) as exc:
+        raise SystemExit(f"qma-repro compact: error: {exc}")
+    try:
+        before = os.path.getsize(args.journal)
+        segment = journal.compact(min_runs=args.min_runs)
+        after = os.path.getsize(args.journal)
+    finally:
+        journal.close()
+    if segment is None:
+        print(
+            f"{args.journal}: nothing to compact "
+            f"(fewer than {args.min_runs} newly sealable run(s))"
+        )
+        return
+    print(f"sealed segment {segment}; journal {before} -> {after} bytes")
 
 
 def cmd_fig26(args: argparse.Namespace) -> None:
@@ -839,6 +1034,7 @@ def build_parser() -> argparse.ArgumentParser:
         "subprocess shards, each with --jobs workers",
     )
     _add_campaign_options(p)
+    _add_supervision_options(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser(
@@ -870,6 +1066,7 @@ def build_parser() -> argparse.ArgumentParser:
         "progress observable on tiny sweeps)",
     )
     _add_campaign_options(p)
+    _add_supervision_options(p)
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("submit", help="submit a sweep to a running campaign service")
@@ -918,7 +1115,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the remaining work as N subprocess shards",
     )
     _add_campaign_options(p)
+    _add_supervision_options(p)
     p.set_defaults(func=cmd_resume)
+
+    p = sub.add_parser(
+        "cancel", help="cancel a queued or running campaign-service job"
+    )
+    p.add_argument("job", help="job id returned by submit")
+    _add_service_address_options(p)
+    p.set_defaults(func=cmd_cancel)
+
+    p = sub.add_parser(
+        "retry-quarantined",
+        help="re-dispatch a journal's quarantined runs with a fresh attempt budget",
+    )
+    p.add_argument("journal", help="checkpoint journal of the partial campaign")
+    p.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="run the retries as N subprocess shards",
+    )
+    _add_campaign_options(p)
+    _add_supervision_options(p)
+    p.set_defaults(func=cmd_retry_quarantined)
+
+    p = sub.add_parser(
+        "compact",
+        help="seal a journal's completed prefix into an immutable segment file",
+    )
+    p.add_argument("journal", help="checkpoint journal to compact")
+    p.add_argument(
+        "--min-runs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="only compact when at least N new runs are sealable (default: 1)",
+    )
+    p.set_defaults(func=cmd_compact)
 
     p = sub.add_parser("fig26", help="expected handshake messages (Fig. 26)")
     p.add_argument("--probabilities", nargs="+", type=float, default=list(PAPER_PROBABILITIES))

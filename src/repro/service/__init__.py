@@ -1,4 +1,4 @@
-"""Campaign service: resumable, checkpointed, sharded sweep execution.
+"""Campaign service: resumable, checkpointed, sharded, supervised sweeps.
 
 The service layer turns the campaign runner into infrastructure for
 million-run sweeps:
@@ -6,9 +6,15 @@ million-run sweeps:
 * :mod:`repro.service.manifest` — deterministic run identity (spec
   digests, expansion indices, affinity-ordered shard splits);
 * :mod:`repro.service.journal` — the append-only, crash-tolerant
-  checkpoint journal;
+  checkpoint journal (with event audit lines and sealed-segment
+  compaction);
 * :mod:`repro.service.backends` — pluggable dispatch (warm in-process
-  pool, subprocess shards);
+  pool, subprocess shards, isolated serial);
+* :mod:`repro.service.supervisor` — fault tolerance: per-run timeouts,
+  heartbeats, bounded retry with backoff, poison-run quarantine, and
+  graceful backend degradation;
+* :mod:`repro.service.faults` — the deterministic fault-injection
+  harness behind the chaos test matrix;
 * :mod:`repro.service.checkpoint` — the resume-safe driver shared by the
   CLI and the service;
 * :mod:`repro.service.server` / :mod:`repro.service.client` — the
@@ -18,12 +24,14 @@ million-run sweeps:
 from repro.service.backends import (
     DispatchBackend,
     PoolBackend,
+    SerialBackend,
     ShardBackend,
     ShardFailure,
     make_backend,
 )
 from repro.service.checkpoint import CheckpointOutcome, run_checkpointed
 from repro.service.client import ServiceClient, ServiceError
+from repro.service.faults import Fault, FaultPlan, InjectedFault
 from repro.service.journal import (
     CheckpointJournal,
     JournalError,
@@ -37,6 +45,14 @@ from repro.service.manifest import (
     sweep_digest,
 )
 from repro.service.server import CampaignServer, CampaignService
+from repro.service.supervisor import (
+    RetryPolicy,
+    SupervisedBackend,
+    load_quarantine,
+    make_supervised,
+    quarantine_path,
+    retry_quarantined,
+)
 
 __all__ = [
     "CampaignServer",
@@ -44,16 +60,26 @@ __all__ = [
     "CheckpointJournal",
     "CheckpointOutcome",
     "DispatchBackend",
+    "Fault",
+    "FaultPlan",
+    "InjectedFault",
     "JournalError",
     "PoolBackend",
+    "RetryPolicy",
+    "SerialBackend",
     "ServiceClient",
     "ServiceError",
     "ShardBackend",
     "ShardFailure",
+    "SupervisedBackend",
     "SweepMismatchError",
     "affinity_order",
+    "load_quarantine",
     "make_backend",
+    "make_supervised",
+    "quarantine_path",
     "record_digest",
+    "retry_quarantined",
     "run_checkpointed",
     "run_id",
     "split_shards",

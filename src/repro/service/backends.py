@@ -1,4 +1,4 @@
-"""Pluggable campaign dispatch: in-process pool and subprocess shards.
+"""Pluggable campaign dispatch: in-process pool, subprocess shards, serial.
 
 A :class:`DispatchBackend` executes the pending runs of a sweep and
 appends every finished record to the campaign's checkpoint journal.  The
@@ -20,28 +20,47 @@ end or the CLI:
   of its scenario, the merged results are bit-identical to a single-process
   run.  This is the seam where cross-host dispatch attaches later: ship
   the same job document to another machine instead of a local subprocess.
+* :class:`SerialBackend` — one run at a time in (or forked from) the
+  calling process.  With ``isolate`` each run executes in a disposable
+  child process with an optional wall-clock timeout, so a poison scenario
+  that segfaults or loops cannot take the caller down — this is the
+  supervision layer's last-resort degradation tier and the substrate that
+  attributes failures to *specific* runs for quarantine.
+
+Every backend shares a small supervision surface: :meth:`~DispatchBackend.
+touch` timestamps progress (``last_progress``) for heartbeat watchdogs,
+:meth:`~DispatchBackend.cancel` requests a graceful stop (finish/drain
+in-flight runs into the journal, then return), :meth:`~DispatchBackend.
+abort` a forced one (return as soon as possible; in-flight work is
+abandoned to the journal's atomicity), and :meth:`~DispatchBackend.reset`
+re-arms an aborted backend for a retry attempt.
 """
 
 from __future__ import annotations
 
 import json
+import multiprocessing
 import os
+import queue
 import shutil
 import subprocess
 import sys
 import tempfile
+import threading
 import time
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+import traceback
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.campaign.records import RunRecord
-from repro.campaign.runner import CampaignRunner
-from repro.campaign.spec import Sweep
+from repro.campaign.runner import CampaignRunner, execute_scenario
+from repro.campaign.spec import Scenario, Sweep
 from repro.service.journal import CheckpointJournal, JournalError
 from repro.service.manifest import affinity_order, split_shards
 
 __all__ = [
     "DispatchBackend",
     "PoolBackend",
+    "SerialBackend",
     "ShardBackend",
     "ShardFailure",
     "make_backend",
@@ -49,6 +68,9 @@ __all__ = [
 
 #: Callback invoked per finished record: ``on_record(index, record)``.
 RecordCallback = Callable[[int, RunRecord], None]
+
+#: Lines of child stderr surfaced in a :class:`ShardFailure`.
+STDERR_TAIL_LINES = 50
 
 
 class DispatchBackend:
@@ -59,6 +81,12 @@ class DispatchBackend:
     so a crash loses at most in-flight work) and invoking ``on_record``
     live as results arrive.  Completion order is backend-defined; callers
     that need expansion order replay the journal afterwards.
+
+    ``run`` returning with indices still pending is not an error at this
+    layer: a cancelled or aborted backend stops early by design, and the
+    supervision layer decides whether that means retry, degrade or
+    quarantine.  Backends honour :meth:`cancel` / :meth:`abort` promptly
+    (within a poll interval) and never block forever on a dead worker.
     """
 
     name = "abstract"
@@ -69,6 +97,38 @@ class DispatchBackend:
     #: the journal replay pass.
     ordered = False
 
+    def __init__(self) -> None:
+        self.last_progress = time.monotonic()
+        self._stop = threading.Event()
+        self._cancel = threading.Event()
+
+    # --------------------------------------------------------- supervision
+    def touch(self) -> None:
+        """Record liveness; heartbeat watchdogs compare ``last_progress``."""
+        self.last_progress = time.monotonic()
+
+    def cancel(self) -> None:
+        """Request a graceful stop: drain in-flight runs, then return."""
+        self._cancel.set()
+
+    def abort(self) -> None:
+        """Request a forced stop: return as soon as possible."""
+        self._stop.set()
+
+    def reset(self) -> None:
+        """Re-arm an aborted backend for another attempt (keeps ``cancel``)."""
+        self._stop.clear()
+        self.touch()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancel.is_set()
+
+    @property
+    def aborted(self) -> bool:
+        return self._stop.is_set()
+
+    # ----------------------------------------------------------- execution
     def run(
         self,
         sweep: Sweep,
@@ -90,12 +150,23 @@ class PoolBackend(DispatchBackend):
     full sweep.  ``throttle`` sleeps after each record — a testing and
     demo aid that makes "mid-campaign" externally observable on sweeps
     that would otherwise finish in milliseconds.
+
+    Results are consumed through a bounded queue fed by a daemon pump
+    thread, so ``run`` itself never blocks on the pool: a dead or wedged
+    worker shows up as a stalled ``last_progress`` (caught by the
+    supervisor's watchdog) and :meth:`abort` returns promptly even while
+    the pump is stuck mid-``imap`` — ``Pool.terminate`` cannot unblock a
+    waiting ``IMapIterator``, so the pump is abandoned (daemon) rather
+    than joined.
     """
 
     name = "pool"
     # iter_records re-emits in expansion order regardless of jobs/affinity
     # reordering/seed batching, so completions arrive index-sorted.
     ordered = True
+
+    #: Queue poll period — the latency bound on cancel/abort.
+    POLL_INTERVAL = 0.2
 
     def __init__(
         self,
@@ -105,7 +176,9 @@ class PoolBackend(DispatchBackend):
         cache_size: Optional[int] = None,
         batch_seeds: int = 1,
         throttle: float = 0.0,
+        fault_plan: Optional[Any] = None,
     ) -> None:
+        super().__init__()
         self.throttle = float(throttle)
         self._runner = CampaignRunner(
             jobs=jobs,
@@ -113,6 +186,7 @@ class PoolBackend(DispatchBackend):
             build_cache=build_cache,
             cache_size=cache_size,
             batch_seeds=batch_seeds,
+            fault_plan=fault_plan,
         )
 
     @property
@@ -129,13 +203,90 @@ class PoolBackend(DispatchBackend):
         indices = list(indices)
         if not indices:
             return
-        results = self._runner.iter_records(sweep, indices=indices)
-        for index, record in zip(indices, results):
-            journal.append(index, record)
-            if on_record is not None:
-                on_record(index, record)
-            if self.throttle > 0:
-                time.sleep(self.throttle)
+        self.touch()
+        results: "queue.Queue[Tuple[str, Any]]" = queue.Queue(maxsize=64)
+        stop = self._stop
+
+        def pump() -> None:
+            try:
+                for record in self._runner.iter_records(sweep, indices=indices):
+                    while not stop.is_set():
+                        try:
+                            results.put(("rec", record), timeout=PoolBackend.POLL_INTERVAL)
+                            break
+                        except queue.Full:
+                            continue
+                    else:
+                        return
+                    # Throttling on the dispatch side keeps tiny campaigns
+                    # genuinely mid-flight: a graceful cancel then finds
+                    # uncomputed runs to skip rather than a full queue.
+                    if self.throttle > 0 and not stop.is_set():
+                        time.sleep(self.throttle)
+            except BaseException as exc:  # surfaced in run()'s thread
+                try:
+                    results.put(("err", exc), timeout=1.0)
+                except queue.Full:
+                    pass
+            else:
+                try:
+                    results.put(("done", None), timeout=1.0)
+                except queue.Full:
+                    pass
+
+        thread = threading.Thread(target=pump, name="pool-backend-pump", daemon=True)
+        thread.start()
+        position = 0
+        interrupted = True
+        try:
+            while not stop.is_set():
+                if self._cancel.is_set():
+                    # Graceful: journal everything that already finished,
+                    # then stop dispatching.
+                    while True:
+                        try:
+                            kind, payload = results.get_nowait()
+                        except queue.Empty:
+                            break
+                        if kind == "rec":
+                            position = self._deliver(
+                                payload, indices, position, journal, on_record
+                            )
+                    return
+                try:
+                    kind, payload = results.get(timeout=PoolBackend.POLL_INTERVAL)
+                except queue.Empty:
+                    continue
+                if kind == "rec":
+                    position = self._deliver(
+                        payload, indices, position, journal, on_record
+                    )
+                    self.touch()
+                elif kind == "err":
+                    raise payload
+                else:  # done
+                    interrupted = False
+                    return
+        finally:
+            if interrupted:
+                # Cancelled, aborted, or an error: drop the pool so
+                # outstanding tasks die with it (the abandoned pump thread
+                # then unblocks or exits with the pool's pipes).
+                self._runner.close()
+
+    @staticmethod
+    def _deliver(
+        record: RunRecord,
+        indices: List[int],
+        position: int,
+        journal: CheckpointJournal,
+        on_record: Optional[RecordCallback],
+    ) -> int:
+        index = indices[position]
+        journal.append(index, record)
+        if on_record is not None:
+            on_record(index, record)
+        return position + 1
 
     def close(self) -> None:
         self._runner.close()
@@ -143,6 +294,10 @@ class PoolBackend(DispatchBackend):
 
 class ShardFailure(RuntimeError):
     """A shard subprocess exited non-zero; carries its stderr tail."""
+
+    def __init__(self, message: str, stderr_tail: str = "") -> None:
+        super().__init__(message)
+        self.stderr_tail = stderr_tail
 
 
 class ShardBackend(DispatchBackend):
@@ -156,6 +311,15 @@ class ShardBackend(DispatchBackend):
     shard journals themselves live next to the main journal (in
     ``<journal>.shards/``) until the whole dispatch succeeds.
 
+    On a shard *failure* (nonzero exit), the remaining shards are stopped
+    and every shard journal — including the failed shard's partial one —
+    is salvage-merged into the main journal before :class:`ShardFailure`
+    is raised, so completed runs are never re-executed by a retry.  The
+    failure carries the child's last ~50 stderr lines (worker stderr goes
+    to a file, not a pipe, so chatty shards cannot deadlock on a full
+    pipe).  Shard journal growth doubles as the heartbeat: any byte of
+    progress in any shard journal bumps ``last_progress``.
+
     ``jobs`` is the per-shard worker-pool size (total process count is
     roughly ``shards * jobs`` while running).
     """
@@ -165,6 +329,9 @@ class ShardBackend(DispatchBackend):
     #: Seconds between subprocess liveness polls.
     POLL_INTERVAL = 0.05
 
+    #: Seconds a cancelled/aborted shard gets to die after SIGTERM.
+    TERM_GRACE = 5.0
+
     def __init__(
         self,
         shards: int = 2,
@@ -173,7 +340,9 @@ class ShardBackend(DispatchBackend):
         build_cache: bool = True,
         batch_seeds: int = 1,
         python: Optional[str] = None,
+        fault_plan: Optional[Any] = None,
     ) -> None:
+        super().__init__()
         if shards < 1:
             raise ValueError(f"shards must be positive, got {shards}")
         self.shards = int(shards)
@@ -184,6 +353,7 @@ class ShardBackend(DispatchBackend):
             "batch_seeds": int(batch_seeds),
         }
         self.python = python or sys.executable
+        self.fault_plan = fault_plan
 
     def run(
         self,
@@ -195,60 +365,127 @@ class ShardBackend(DispatchBackend):
         indices = list(indices)
         if not indices:
             return
+        self.touch()
         chunks = split_shards(affinity_order(sweep, indices), self.shards)
         workdir = self._workdir(journal)
         sweep_data = sweep.to_dict()
         procs: Dict[int, subprocess.Popen] = {}
         shard_paths: Dict[int, str] = {}
+        stderr_paths: Dict[int, str] = {}
+        stderr_handles: List[Any] = []
+        journal_sizes: Dict[int, int] = {}
         try:
             for shard_index, chunk in enumerate(chunks):
                 job_path = os.path.join(workdir, f"shard_{shard_index}.job.json")
                 shard_paths[shard_index] = os.path.join(
                     workdir, f"shard_{shard_index}.journal.jsonl"
                 )
+                stderr_paths[shard_index] = os.path.join(
+                    workdir, f"shard_{shard_index}.stderr"
+                )
+                job_doc = {
+                    "sweep": sweep_data,
+                    # Workers run their slice in expansion order;
+                    # affinity clustering is preserved by the
+                    # contiguous split, not by the within-shard order.
+                    "indices": sorted(chunk),
+                    "journal": shard_paths[shard_index],
+                    "shard": {"index": shard_index, "of": len(chunks)},
+                    "options": self.options,
+                }
+                if self.fault_plan is not None:
+                    job_doc["faults"] = self.fault_plan.to_dict()
                 with open(job_path, "w", encoding="utf-8") as handle:
-                    json.dump(
-                        {
-                            "sweep": sweep_data,
-                            # Workers run their slice in expansion order;
-                            # affinity clustering is preserved by the
-                            # contiguous split, not by the within-shard order.
-                            "indices": sorted(chunk),
-                            "journal": shard_paths[shard_index],
-                            "shard": {"index": shard_index, "of": len(chunks)},
-                            "options": self.options,
-                        },
-                        handle,
-                    )
+                    json.dump(job_doc, handle)
+                stderr_file = open(stderr_paths[shard_index], "wb")
+                stderr_handles.append(stderr_file)
                 procs[shard_index] = subprocess.Popen(
                     [self.python, "-m", "repro.service.shard_worker", job_path],
-                    stdout=subprocess.PIPE,
-                    stderr=subprocess.PIPE,
+                    stdout=subprocess.DEVNULL,
+                    stderr=stderr_file,
                     env=_worker_env(),
                 )
             pending = dict(procs)
             while pending:
+                if self._stop.is_set() or self._cancel.is_set():
+                    self._stop_children(pending)
+                    self._salvage(shard_paths, journal, on_record)
+                    return
                 finished = [
                     shard for shard, proc in pending.items() if proc.poll() is not None
                 ]
                 if not finished:
+                    self._heartbeat(shard_paths, journal_sizes)
                     time.sleep(self.POLL_INTERVAL)
                     continue
                 for shard in finished:
                     proc = pending.pop(shard)
-                    _, err = proc.communicate()
                     if proc.returncode != 0:
+                        self._stop_children(pending)
+                        self._salvage(shard_paths, journal, on_record)
+                        tail = _tail_lines(stderr_paths[shard], STDERR_TAIL_LINES)
                         raise ShardFailure(
-                            f"shard {shard} exited with status {proc.returncode}:\n"
-                            + err.decode("utf-8", errors="replace")[-2000:]
+                            f"shard {shard} exited with status {proc.returncode}"
+                            + (f":\n{tail}" if tail else ""),
+                            stderr_tail=tail,
                         )
                     self._merge(shard_paths[shard], journal, on_record)
+                    self.touch()
         finally:
             for proc in procs.values():
                 if proc.poll() is None:
                     proc.kill()
-                    proc.communicate()
+                    proc.wait()
+            for handle in stderr_handles:
+                handle.close()
             shutil.rmtree(workdir, ignore_errors=True)
+
+    def _heartbeat(self, shard_paths: Dict[int, str], sizes: Dict[int, int]) -> None:
+        """Treat any shard-journal growth as campaign progress."""
+        for shard, path in shard_paths.items():
+            try:
+                size = os.path.getsize(path)
+            except OSError:
+                continue
+            if size != sizes.get(shard):
+                sizes[shard] = size
+                self.touch()
+
+    def _stop_children(self, pending: Mapping[int, subprocess.Popen]) -> None:
+        """Terminate the still-running shards (grace period, then kill)."""
+        for proc in pending.values():
+            if proc.poll() is None:
+                proc.terminate()
+        deadline = time.monotonic() + self.TERM_GRACE
+        for proc in pending.values():
+            remaining = deadline - time.monotonic()
+            try:
+                proc.wait(timeout=max(0.0, remaining))
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+
+    def _salvage(
+        self,
+        shard_paths: Mapping[int, str],
+        journal: CheckpointJournal,
+        on_record: Optional[RecordCallback],
+    ) -> None:
+        """Merge whatever the shard journals already committed.
+
+        Called on cancellation, abort, or a shard failure — the surviving
+        records are digest-verified like any merge, torn shard tails are
+        discarded by the tolerant open, and unreadable shard journals
+        (killed before the header fsynced) are skipped.  A later retry
+        then re-dispatches only the truly missing indices.
+        """
+        for path in shard_paths.values():
+            if not os.path.exists(path):
+                continue
+            try:
+                self._merge(path, journal, on_record)
+            except JournalError:
+                continue
 
     @staticmethod
     def _workdir(journal: CheckpointJournal) -> str:
@@ -274,11 +511,173 @@ class ShardBackend(DispatchBackend):
                     f"{journal.spec_digest[:12]}"
                 )
             for index, record in shard.iter_completed():
+                if index in journal:
+                    continue  # salvaged earlier, or a duplicate retry merge
                 journal.append(index, record)
                 if on_record is not None:
                     on_record(index, record)
         finally:
             shard.close()
+
+
+def _probe_run(conn: Any, scenario: Scenario, fault_plan: Optional[Any]) -> None:
+    """Disposable-child entry point for :class:`SerialBackend` isolation."""
+    try:
+        from repro.service import faults
+
+        if fault_plan is not None:
+            faults.mark_worker_process()
+        # Unconditional: installing None clears any plan this forked child
+        # inherited from a previous chaos campaign in the parent.
+        faults.install(fault_plan)
+        record = execute_scenario(scenario)
+        conn.send(("ok", record))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):  # parent gave up on us
+            pass
+    finally:
+        conn.close()
+
+
+class SerialBackend(DispatchBackend):
+    """One run at a time, in-process or in disposable child processes.
+
+    The plain mode (``isolate=False``) executes each scenario inline —
+    the minimal, dependency-free substrate.  With ``isolate=True`` each
+    run happens in a forked child connected by a pipe, with an optional
+    per-run wall-clock ``timeout``: a run that crashes the interpreter,
+    loops forever, or raises is recorded in :attr:`failures` as
+    ``(index, kind, detail)`` (kind ``error`` | ``crash`` | ``timeout``)
+    and execution continues with the next index.  This precise
+    per-run failure attribution is what the supervision layer's
+    quarantine decisions are built on — parallel backends can only say
+    *an attempt* failed, the serial tier can say *which run* did.
+    """
+
+    name = "serial"
+    ordered = True
+
+    #: Child-pipe poll period in isolate mode.
+    POLL_INTERVAL = 0.1
+
+    #: Seconds a terminated probe child gets to die before SIGKILL.
+    TERM_GRACE = 5.0
+
+    def __init__(
+        self,
+        timeout: Optional[float] = None,
+        isolate: bool = False,
+        fault_plan: Optional[Any] = None,
+    ) -> None:
+        super().__init__()
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        self.timeout = timeout
+        self.isolate = bool(isolate)
+        self.fault_plan = fault_plan
+        #: Per-run failures of the most recent ``run`` call.
+        self.failures: List[Tuple[int, str, str]] = []
+
+    def run(
+        self,
+        sweep: Sweep,
+        indices: Sequence[int],
+        journal: CheckpointJournal,
+        on_record: Optional[RecordCallback] = None,
+    ) -> None:
+        self.failures = []
+        indices = list(indices)
+        if not indices:
+            return
+        self.touch()
+        index_set = frozenset(indices)
+        last = max(indices)
+        for position, scenario in enumerate(sweep):
+            if position > last:
+                return
+            if position not in index_set:
+                continue
+            if self._stop.is_set() or self._cancel.is_set():
+                return
+            outcome, payload = self._execute(scenario)
+            self.touch()
+            if outcome != "ok":
+                self.failures.append((position, outcome, payload))
+                continue
+            journal.append(position, payload)
+            if on_record is not None:
+                on_record(position, payload)
+
+    def _execute(self, scenario: Scenario) -> Tuple[str, Any]:
+        if not self.isolate:
+            try:
+                return "ok", execute_scenario(scenario)
+            except Exception:
+                return "error", traceback.format_exc()
+        ctx = multiprocessing.get_context()
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_probe_run,
+            args=(child_conn, scenario, self.fault_plan),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        deadline = (
+            None if self.timeout is None else time.monotonic() + self.timeout
+        )
+        try:
+            while True:
+                if parent_conn.poll(self.POLL_INTERVAL):
+                    try:
+                        kind, payload = parent_conn.recv()
+                    except (EOFError, OSError):
+                        kind = None
+                    if kind == "ok":
+                        return "ok", payload
+                    if kind == "error":
+                        return "error", payload
+                    # Pipe closed without a message: fall through to the
+                    # liveness check below (the child crashed mid-send).
+                if not proc.is_alive():
+                    # One last poll closes the race between a sent message
+                    # and the child's exit.
+                    if parent_conn.poll(0):
+                        continue
+                    return "crash", f"run worker exited with code {proc.exitcode}"
+                if deadline is not None and time.monotonic() > deadline:
+                    proc.terminate()
+                    proc.join(self.TERM_GRACE)
+                    if proc.is_alive():  # pragma: no cover - SIGTERM blocked
+                        proc.kill()
+                        proc.join()
+                    return "timeout", (
+                        f"run exceeded the {self.timeout:g}s wall-clock timeout"
+                    )
+                if self._stop.is_set() or self._cancel.is_set():
+                    proc.terminate()
+                    proc.join(self.TERM_GRACE)
+                    return "error", "stopped before completion"
+        finally:
+            parent_conn.close()
+            if not proc.is_alive():
+                proc.join()
+
+
+def _tail_lines(path: str, limit: int) -> str:
+    """The last ``limit`` lines of a (possibly missing) text file."""
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            handle.seek(max(0, size - 64 * 1024))
+            data = handle.read()
+    except OSError:
+        return ""
+    text = data.decode("utf-8", errors="replace")
+    return "\n".join(text.splitlines()[-limit:])
 
 
 def _worker_env() -> Dict[str, str]:
@@ -297,16 +696,22 @@ def _worker_env() -> Dict[str, str]:
 _BACKEND_OPTIONS = {
     "pool": ("jobs", "chunksize", "build_cache", "cache_size", "batch_seeds", "throttle"),
     "shard": ("shards", "jobs", "chunksize", "build_cache", "batch_seeds", "python"),
+    "serial": ("timeout", "isolate"),
 }
 
 
-def make_backend(options: Optional[Mapping[str, Any]] = None) -> DispatchBackend:
+def make_backend(
+    options: Optional[Mapping[str, Any]] = None,
+    fault_plan: Optional[Any] = None,
+) -> DispatchBackend:
     """Build a dispatch backend from a plain options mapping.
 
-    ``{"backend": "pool"|"shard", ...}`` — remaining keys are forwarded to
-    the backend constructor; unknown keys raise :class:`ValueError` (the
-    service front end surfaces this as a 400 instead of running a sweep
-    under silently-dropped options).
+    ``{"backend": "pool"|"shard"|"serial", ...}`` — remaining keys are
+    forwarded to the backend constructor; unknown keys raise
+    :class:`ValueError` (the service front end surfaces this as a 400
+    instead of running a sweep under silently-dropped options).
+    ``fault_plan`` is the chaos harness's injection plan — an internal
+    parameter threaded by the supervisor, not an option key.
     """
     options = dict(options or {})
     kind = options.pop("backend", "pool")
@@ -323,8 +728,10 @@ def make_backend(options: Optional[Mapping[str, Any]] = None) -> DispatchBackend
             f"allowed: {sorted(allowed)}"
         )
     if kind == "shard":
-        return ShardBackend(**options)
-    return PoolBackend(**options)
+        return ShardBackend(fault_plan=fault_plan, **options)
+    if kind == "serial":
+        return SerialBackend(fault_plan=fault_plan, **options)
+    return PoolBackend(fault_plan=fault_plan, **options)
 
 
 def backend_pool_config(options: Optional[Mapping[str, Any]] = None) -> Dict[str, Any]:

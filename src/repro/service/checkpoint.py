@@ -31,7 +31,10 @@ class CheckpointOutcome:
 
     ``resumed`` counts the records found already complete in the journal
     when the call started; ``executed`` counts the runs performed by this
-    call.  ``resumed + executed == total`` on success.
+    call.  ``resumed + executed == total`` when ``status`` is
+    ``"complete"``; a supervised campaign that quarantined poison runs
+    ends ``"partial"`` (the missing indices are in ``quarantined``), and
+    a cancelled one ends ``"cancelled"``.
     """
 
     journal_path: str
@@ -40,6 +43,8 @@ class CheckpointOutcome:
     resumed: int
     executed: int
     records: Optional[List[RunRecord]] = field(default=None, repr=False)
+    status: str = "complete"
+    quarantined: List[int] = field(default_factory=list)
 
     def result(self) -> CampaignResult:
         """The merged records as a :class:`CampaignResult` (needs ``collect``)."""
@@ -96,12 +101,11 @@ def run_checkpointed(
                         on_record(index, record)
 
                 backend.run(sweep, pending, journal, on_record=deliver)
-                _check_complete(journal, journal_path)
+                status, missing = _conclude(journal, journal_path, backend)
             else:
                 backend.run(sweep, pending, journal, on_record=on_record)
-                _check_complete(journal, journal_path)
-                for index in range(journal.total):
-                    record = journal.replay(index)
+                status, missing = _conclude(journal, journal_path, backend)
+                for index, record in journal.iter_completed():
                     if records is not None:
                         records.append(record)
                     for sink in sinks:
@@ -116,8 +120,10 @@ def run_checkpointed(
             spec_digest=journal.spec_digest,
             total=journal.total,
             resumed=resumed,
-            executed=len(pending),
+            executed=len(pending) - len(missing),
             records=records,
+            status=status,
+            quarantined=sorted(getattr(backend, "quarantined", []) or []),
         )
     finally:
         journal.close()
@@ -125,13 +131,32 @@ def run_checkpointed(
             backend.close()
 
 
-def _check_complete(journal: CheckpointJournal, journal_path: str) -> None:
+def _conclude(
+    journal: CheckpointJournal, journal_path: str, backend: DispatchBackend
+) -> Any:
+    """Decide the campaign's terminal status and record it in the journal.
+
+    Every pending run must be accounted for: by completion, by the
+    backend's quarantine list (status ``partial``), or by a cancellation
+    (status ``cancelled``).  Unexplained gaps stay a hard error — a
+    backend silently under-delivering is a bug, not a degraded outcome.
+    """
     missing = journal.pending_indices()
-    if missing:
+    quarantined = set(getattr(backend, "quarantined", []) or [])
+    cancelled = bool(getattr(backend, "cancelled", False))
+    if not missing:
+        status = "complete"
+    elif cancelled:
+        status = "cancelled"
+    elif set(missing) <= quarantined:
+        status = "partial"
+    else:
         raise RuntimeError(
             f"{journal_path}: backend finished but {len(missing)} run(s) "
             f"have no completion record (first: {missing[0]})"
         )
+    journal.append_event(status, missing=len(missing))
+    return status, missing
 
 
 def resume_sweep(journal_path: str) -> Sweep:

@@ -70,16 +70,22 @@ class ServiceClient:
     def health(self) -> Dict[str, Any]:
         return self._request("GET", "/health")[0]
 
+    def cancel(self, job: str) -> Dict[str, Any]:
+        """Cancel a queued or running job; returns its snapshot."""
+        return self._request("DELETE", f"/job/{job}")[0]
+
     def wait(self, job: str, timeout: float = 120.0, poll: float = 0.1) -> Dict[str, Any]:
         """Poll until the job reaches a terminal state; returns its snapshot.
 
-        Raises :class:`ServiceError` if the job failed, :class:`TimeoutError`
-        if it does not finish in time.
+        Terminal states are ``done``, ``partial`` (quarantined runs — check
+        the snapshot's ``quarantined`` count) and ``cancelled``.  Raises
+        :class:`ServiceError` if the job failed, :class:`TimeoutError` if
+        it does not finish in time.
         """
         deadline = time.time() + timeout
         while True:
             snapshot = self.status(job)[0]
-            if snapshot["state"] == "done":
+            if snapshot["state"] in ("done", "partial", "cancelled"):
                 return snapshot
             if snapshot["state"] == "failed":
                 raise ServiceError(500, snapshot.get("error") or "job failed")

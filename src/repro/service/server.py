@@ -42,14 +42,22 @@ from urllib.parse import parse_qs, urlsplit
 from repro.analysis.stats import StreamingStats
 from repro.campaign.records import RunRecord
 from repro.campaign.spec import Sweep
-from repro.service.backends import make_backend
 from repro.service.checkpoint import run_checkpointed
 from repro.service.manifest import sweep_digest
+from repro.service.supervisor import make_supervised
 
 __all__ = ["CampaignService", "CampaignServer"]
 
-#: Job lifecycle states.
+#: Job lifecycle states.  ``partial`` is terminal-but-incomplete (poison
+#: runs quarantined by the supervisor); ``cancelled`` is a user stop.
 QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
+PARTIAL, CANCELLED = "partial", "cancelled"
+
+#: States in which a job will never run again.
+TERMINAL_STATES = (DONE, FAILED, PARTIAL, CANCELLED)
+
+#: Supervision events kept per job for status output (bounded).
+MAX_JOB_EVENTS = 50
 
 
 class CampaignJob:
@@ -69,6 +77,8 @@ class CampaignJob:
         self.submitted_at = time.time()
         self.finished_at: Optional[float] = None
         self.stats: Dict[str, StreamingStats] = {}
+        self.quarantined = 0
+        self.events: List[Dict[str, Any]] = []
 
     def observe(self, record: RunRecord) -> None:
         self.completed += 1
@@ -94,6 +104,8 @@ class CampaignJob:
             "resumed": self.resumed,
             "journal": self.journal_path,
             "error": self.error,
+            "quarantined": self.quarantined,
+            "events": list(self.events),
             "metrics": metrics,
         }
 
@@ -109,6 +121,7 @@ class CampaignService:
         self._jobs: Dict[str, CampaignJob] = {}
         self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
         self._counter = 0
+        self._active: Optional[Tuple[str, Any]] = None
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="campaign-dispatcher", daemon=True
         )
@@ -124,7 +137,7 @@ class CampaignService:
         sweep = Sweep.from_dict(sweep_data)
         merged = dict(self.backend_options)
         merged.update(options or {})
-        make_backend(merged).close()  # validate options before enqueueing
+        make_supervised(merged).close()  # validate options before enqueueing
         digest = sweep_digest(sweep)
         journal_path = os.path.join(self.root, f"{digest[:12]}.journal.jsonl")
         with self._lock:
@@ -165,10 +178,37 @@ class CampaignService:
         deadline = time.time() + timeout
         while time.time() < deadline:
             with self._lock:
-                if all(job.state in (DONE, FAILED) for job in self._jobs.values()):
+                if all(job.state in TERMINAL_STATES for job in self._jobs.values()):
                     return True
             time.sleep(0.02)
         return False
+
+    # ----------------------------------------------------------- cancellation
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """Cancel a job: dequeue it, or drain the running campaign.
+
+        A queued job flips straight to ``cancelled``.  A running job's
+        backend is asked to stop gracefully — in-flight runs drain into
+        the journal, the dispatcher then marks the job ``cancelled`` (a
+        resubmission of the same sweep resumes from the journal).  A
+        terminal job is returned unchanged.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise KeyError(job_id)
+            if job.state == QUEUED:
+                job.state = CANCELLED
+                job.finished_at = time.time()
+                return job.snapshot()
+            if job.state in TERMINAL_STATES:
+                return job.snapshot()
+            active = self._active
+            snapshot = job.snapshot()
+        if active is not None and active[0] == job_id:
+            active[1].cancel()
+        snapshot["cancelling"] = True
+        return snapshot
 
     # -------------------------------------------------------------- dispatch
     def _dispatch_loop(self) -> None:
@@ -178,12 +218,21 @@ class CampaignService:
                 return
             with self._lock:
                 job = self._jobs[job_id]
+                if job.state != QUEUED:  # cancelled while waiting in line
+                    continue
                 job.state = RUNNING
+            backend = None
             try:
+                backend = make_supervised(
+                    job.options,
+                    on_event=lambda event, job=job: self._record_event(job, event),
+                )
+                with self._lock:
+                    self._active = (job_id, backend)
                 outcome = run_checkpointed(
                     job.sweep,
                     job.journal_path,
-                    backend=make_backend(job.options),
+                    backend=backend,
                     meta={"service": {"job": job.job_id}},
                     on_record=lambda index, record, job=job: self._observe(job, record),
                 )
@@ -192,8 +241,13 @@ class CampaignService:
                     # Records resumed from the journal never passed through
                     # observe(); fold them into the live aggregates now so
                     # final stats always cover the whole campaign.
-                    job.completed = outcome.total
-                    job.state = DONE
+                    job.completed = outcome.resumed + outcome.executed
+                    job.quarantined = len(outcome.quarantined)
+                    job.state = {
+                        "complete": DONE,
+                        "partial": PARTIAL,
+                        "cancelled": CANCELLED,
+                    }[outcome.status]
                     job.finished_at = time.time()
                 if outcome.resumed:
                     self._backfill(job)
@@ -203,7 +257,22 @@ class CampaignService:
                     job.error = "".join(
                         traceback.format_exception_only(type(exc), exc)
                     ).strip()
+                    tail = getattr(exc, "stderr_tail", "")
+                    if tail:
+                        job.error += "\n" + tail
                     job.finished_at = time.time()
+            finally:
+                with self._lock:
+                    self._active = None
+                if backend is not None:
+                    backend.close()
+
+    def _record_event(self, job: CampaignJob, event: Dict[str, Any]) -> None:
+        with self._lock:
+            job.events.append(event)
+            if event.get("kind") == "quarantine":
+                job.quarantined += 1
+            del job.events[:-MAX_JOB_EVENTS]
 
     def _observe(self, job: CampaignJob, record: RunRecord) -> None:
         with self._lock:
@@ -246,10 +315,20 @@ class CampaignServer:
     or :meth:`serve_forever`.
     """
 
-    def __init__(self, service: CampaignService, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        service: CampaignService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        fault_plan: Optional[Any] = None,
+    ) -> None:
         self.service = service
         self.host = host
         self.port = port
+        #: Chaos-harness hook: a fault plan whose ``drop-http`` faults make
+        #: the server close a connection before answering (clients must
+        #: survive and retry/resubmit — resubmission is a resume).
+        self.fault_plan = fault_plan
         self._server: Optional[asyncio.AbstractServer] = None
 
     async def start(self) -> Tuple[str, int]:
@@ -283,6 +362,8 @@ class CampaignServer:
             if length:
                 body = await reader.readexactly(length)
             status, payload = self._route(method, target, body)
+            if self.fault_plan is not None and self.fault_plan.take_drop_http():
+                return  # injected fault: drop the connection unanswered
             writer.write(_response(status, payload))
             await writer.drain()
         except (ConnectionError, json.JSONDecodeError, ValueError) as exc:
@@ -318,6 +399,12 @@ class CampaignServer:
                 return 404, [{"error": f"unknown job {query.get('job')!r}"}]
         if method == "GET" and path == "/health":
             return 200, [self.service.health()]
+        if method == "DELETE" and path.startswith("/job/"):
+            job_id = path[len("/job/"):]
+            try:
+                return 200, [self.service.cancel(job_id)]
+            except KeyError:
+                return 404, [{"error": f"unknown job {job_id!r}"}]
         return 404, [{"error": f"no route for {method} {path}"}]
 
 

@@ -28,6 +28,14 @@ def run_shard(job_path: str) -> int:
     sweep = Sweep.from_dict(job["sweep"])
     indices = [int(index) for index in job["indices"]]
     options = dict(job.get("options", {}))
+    fault_plan = None
+    if job.get("faults") is not None:
+        from repro.service import faults
+
+        fault_plan = faults.FaultPlan.from_dict(job["faults"])
+        # The shard process (and its pool workers, via the runner's
+        # initializer blob) is expendable: crash faults may kill it.
+        faults.mark_worker_process()
     meta = {"shard": job.get("shard", {})}
     journal = CheckpointJournal.open_or_create(job["journal"], sweep, meta=meta)
     try:
@@ -40,6 +48,7 @@ def run_shard(job_path: str) -> int:
             chunksize=options.get("chunksize", "auto"),
             build_cache=bool(options.get("build_cache", True)),
             batch_seeds=int(options.get("batch_seeds", 1)),
+            fault_plan=fault_plan,
         )
         try:
             for index, record in zip(todo, runner.iter_records(sweep, indices=todo)):

@@ -1,0 +1,223 @@
+"""Journal compaction and torn-write recovery.
+
+Two rotation/robustness contracts of the checkpoint journal:
+
+* ``compact()`` seals the contiguous completed prefix into an immutable
+  segment file without changing what any replay sees — resumes, digests
+  and expansion order are oblivious to how many segments history spans;
+* a crash mid-append (simulated at *every* byte offset of the final
+  record line) never corrupts the journal: the torn tail is discarded on
+  open and exactly that run becomes pending again.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import pytest
+
+from repro.campaign.spec import Sweep
+from repro.scenario import ARTIFACT_CACHE
+from repro.service.checkpoint import run_checkpointed
+from repro.service.journal import CheckpointJournal
+
+FIXED = {
+    "packets_per_node": 2,
+    "warmup": 0.2,
+    "drain_time": 0.1,
+    "management_period": 0.5,
+}
+
+
+@pytest.fixture(autouse=True)
+def _clean_cache():
+    ARTIFACT_CACHE.clear()
+    yield
+    ARTIFACT_CACHE.clear()
+
+
+def make_sweep():
+    return Sweep(
+        experiment="hidden-node",
+        macs=["unslotted-csma"],
+        grid={"delta": [50.0, 100.0]},
+        fixed=FIXED,
+        seeds=[0, 1, 2],
+    )
+
+
+def run_full(path):
+    outcome = run_checkpointed(make_sweep(), str(path), collect=True)
+    assert outcome.status == "complete"
+    return [record.to_dict() for record in outcome.records]
+
+
+def replay_dicts(path):
+    journal = CheckpointJournal.open(str(path))
+    try:
+        return [(index, record.to_dict()) for index, record in journal.iter_completed()]
+    finally:
+        journal.close()
+
+
+class TestCompaction:
+    def test_compacting_a_complete_journal_preserves_replay(self, tmp_path):
+        path = tmp_path / "full.jsonl"
+        baseline = run_full(path)
+        before = replay_dicts(path)
+        journal = CheckpointJournal.open(str(path))
+        try:
+            segment = journal.compact()
+            assert segment is not None
+            assert os.path.exists(segment)
+            assert journal.pending_indices() == []
+        finally:
+            journal.close()
+        assert replay_dicts(path) == before
+        assert [record for _i, record in before] == baseline
+        # The active journal shrank: completions now live in the segment.
+        assert os.path.getsize(path) < os.path.getsize(segment)
+
+    def test_compact_respects_min_runs_and_is_idempotent(self, tmp_path):
+        path = tmp_path / "full.jsonl"
+        run_full(path)
+        journal = CheckpointJournal.open(str(path))
+        try:
+            assert journal.compact(min_runs=7) is None  # only 6 sealable
+            assert journal.compact(min_runs=6) is not None
+            assert journal.compact() is None  # nothing new to seal
+        finally:
+            journal.close()
+
+    def test_append_to_sealed_index_rejected(self, tmp_path):
+        path = tmp_path / "full.jsonl"
+        run_full(path)
+        journal = CheckpointJournal.open(str(path))
+        try:
+            journal.compact()
+            with pytest.raises(ValueError, match="sealed"):
+                journal.append(0, None)
+        finally:
+            journal.close()
+
+    def test_resume_after_mid_campaign_compaction(self, tmp_path):
+        full = tmp_path / "full.jsonl"
+        baseline = run_full(full)
+        replayed = replay_dicts(full)
+
+        # Rebuild a half-finished journal from the baseline's records —
+        # byte-wise this is exactly a journal interrupted after 3 runs.
+        partial = tmp_path / "partial.jsonl"
+        source = CheckpointJournal.open(str(full))
+        records = {index: record for index, record in source.iter_completed()}
+        source.close()
+        journal = CheckpointJournal.open_or_create(str(partial), make_sweep())
+        for index in (0, 1, 2):
+            journal.append(index, records[index])
+        segment = journal.compact()
+        assert segment is not None
+        assert journal.pending_indices() == [3, 4, 5]
+        journal.close()
+
+        outcome = run_checkpointed(make_sweep(), str(partial), collect=True)
+        assert outcome.status == "complete"
+        assert outcome.resumed == 3 and outcome.executed == 3
+        assert [record.to_dict() for record in outcome.records] == baseline
+        assert replay_dicts(partial) == replayed
+
+    def test_repeated_compaction_grows_contiguous_segments(self, tmp_path):
+        full = tmp_path / "full.jsonl"
+        run_full(full)
+        replayed = replay_dicts(full)
+        source = CheckpointJournal.open(str(full))
+        records = {index: record for index, record in source.iter_completed()}
+        source.close()
+
+        path = tmp_path / "rotating.jsonl"
+        journal = CheckpointJournal.open_or_create(str(path), make_sweep())
+        segments = []
+        for index in range(6):
+            journal.append(index, records[index])
+            if index % 2 == 1:  # seal every two runs
+                segments.append(journal.compact())
+        journal.close()
+        assert all(segment is not None for segment in segments)
+        assert len(set(segments)) == 3
+        assert replay_dicts(path) == replayed
+
+    def test_out_of_prefix_completions_survive_compaction(self, tmp_path):
+        full = tmp_path / "full.jsonl"
+        run_full(full)
+        source = CheckpointJournal.open(str(full))
+        records = {index: record for index, record in source.iter_completed()}
+        source.close()
+
+        path = tmp_path / "gappy.jsonl"
+        journal = CheckpointJournal.open_or_create(str(path), make_sweep())
+        for index in (0, 1, 4, 5):  # gap at 2, 3
+            journal.append(index, records[index])
+        assert journal.compact() is not None  # seals [0, 2) only
+        assert journal.pending_indices() == [2, 3]
+        journal.close()
+
+        reopened = CheckpointJournal.open(str(path))
+        try:
+            assert [index for index, _r in reopened.iter_completed()] == [0, 1, 4, 5]
+            assert reopened.pending_indices() == [2, 3]
+        finally:
+            reopened.close()
+
+
+class TestTornWriteFuzz:
+    def test_every_byte_offset_of_the_final_record(self, tmp_path):
+        """Simulate a crash at every possible cut point of the last append."""
+        path = tmp_path / "full.jsonl"
+        baseline = run_full(path)
+        raw = path.read_bytes()
+        # The final *completion* line, newline included (the very last
+        # line of a finished journal is its status event — a crash mid
+        # final append happens before that event exists).
+        line_start = raw.rfind(b'\n{"digest"') + 1
+        line_end = raw.index(b"\n", line_start) + 1
+        raw = raw[:line_end]
+        final_line = raw[line_start:]
+        assert len(final_line) > 100
+
+        torn = tmp_path / "torn.jsonl"
+        for cut in range(len(final_line)):
+            torn.write_bytes(raw[: line_start + cut])
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                journal = CheckpointJournal.open(str(torn))
+            try:
+                # However the line is torn, exactly the final run is lost.
+                assert journal.pending_indices() == [5], f"cut at byte {cut}"
+                assert len(list(journal.iter_completed())) == 5
+            finally:
+                journal.close()
+
+        # Full recovery drill at representative cut points: nothing cut,
+        # one byte written, torn mid-record, newline lost.
+        for cut in (0, 1, len(final_line) // 2, len(final_line) - 1):
+            torn.write_bytes(raw[: line_start + cut])
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                outcome = run_checkpointed(make_sweep(), str(torn), collect=True)
+            assert outcome.status == "complete"
+            assert outcome.resumed == 5 and outcome.executed == 1
+            assert [record.to_dict() for record in outcome.records] == baseline
+
+    def test_torn_event_line_is_discarded_too(self, tmp_path):
+        path = tmp_path / "full.jsonl"
+        run_full(path)
+        with open(path, "ab") as handle:
+            handle.write(b'{"event": {"kind": "comp')  # torn, no newline
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            journal = CheckpointJournal.open(str(path))
+        try:
+            assert journal.pending_indices() == []
+            assert len(list(journal.iter_completed())) == 6
+        finally:
+            journal.close()

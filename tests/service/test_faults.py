@@ -1,0 +1,156 @@
+"""Fault-injection harness: spec parsing, matching, exactly-once markers.
+
+Unit tests of :mod:`repro.service.faults` — nothing here runs a
+simulation; the chaos matrix that drives real campaigns through the
+harness lives in ``test_supervisor.py``.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.campaign import runner
+from repro.campaign.spec import Scenario
+from repro.service import faults
+from repro.service.faults import Fault, FaultPlan, InjectedPoisonError
+
+
+def scenario(seed=0, delta=50.0, mac="unslotted-csma"):
+    return Scenario(
+        experiment="hidden-node",
+        mac=mac,
+        seed=seed,
+        params={"delta": delta, "packets_per_node": 2},
+    )
+
+
+@pytest.fixture(autouse=True)
+def _clean_install():
+    yield
+    faults.install(None)
+    faults._IS_WORKER = False
+
+
+class TestSpecParsing:
+    def test_single_fault(self):
+        plan = FaultPlan.from_spec("crash@seed=1")
+        assert len(plan.faults) == 1
+        fault = plan.faults[0]
+        assert fault.kind == "crash"
+        assert dict(fault.match) == {"seed": 1}
+
+    def test_hang_duration_argument(self):
+        (fault,) = FaultPlan.from_spec("hang:7.5@seed=2").faults
+        assert fault.kind == "hang"
+        assert fault.hang_s == 7.5
+
+    def test_torn_alias_and_after(self):
+        (fault,) = FaultPlan.from_spec("torn:12").faults
+        assert fault.kind == "torn-tail"
+        assert fault.after == 12
+        (fault,) = FaultPlan.from_spec("torn@after=3").faults
+        assert fault.after == 3
+
+    def test_multiple_faults_semicolon_separated(self):
+        plan = FaultPlan.from_spec("crash@seed=1;hang:30@seed=2;torn@after=10")
+        assert [fault.kind for fault in plan.faults] == ["crash", "hang", "torn-tail"]
+
+    def test_match_values_parse_numerically(self):
+        (fault,) = FaultPlan.from_spec("poison@seed=3,delta=50.0").faults
+        assert dict(fault.match) == {"seed": 3, "delta": 50.0}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan.from_spec("explode@seed=1")
+
+    def test_worker_fault_without_match_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.from_spec("crash")
+
+    def test_roundtrips_through_dict(self):
+        plan = FaultPlan.from_spec("crash@seed=1;torn@after=4")
+        clone = FaultPlan.from_dict(plan.to_dict())
+        assert clone.to_dict() == plan.to_dict()
+
+    def test_roundtrips_through_pickle(self):
+        plan = FaultPlan.from_spec("hang:5@seed=2")
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.to_dict() == plan.to_dict()
+
+
+class TestMatching:
+    def test_matches_seed_and_params(self):
+        fault = Fault(kind="poison", match=(("seed", 1), ("delta", 50.0)))
+        assert fault.matches(scenario(seed=1, delta=50.0))
+        assert not fault.matches(scenario(seed=1, delta=100.0))
+        assert not fault.matches(scenario(seed=2, delta=50.0))
+
+    def test_matches_mac_attribute(self):
+        fault = Fault(kind="poison", match=(("mac", "qma"),))
+        assert fault.matches(scenario(mac="qma"))
+        assert not fault.matches(scenario(mac="unslotted-csma"))
+
+
+class TestFiring:
+    def test_poison_raises_every_attempt(self, tmp_path):
+        plan = FaultPlan.from_spec("poison@seed=1")
+        plan.bind(str(tmp_path / "scratch"))
+        with pytest.raises(InjectedPoisonError):
+            plan.check_scenario(scenario(seed=1))
+        with pytest.raises(InjectedPoisonError):
+            plan.check_scenario(scenario(seed=1))  # not exactly-once
+        plan.check_scenario(scenario(seed=0))  # non-matching passes
+
+    def test_crash_needs_worker_process(self, tmp_path):
+        plan = FaultPlan.from_spec("crash@seed=1")
+        plan.bind(str(tmp_path / "scratch"))
+        # In the supervisor process a crash fault must never fire — it
+        # would take down the supervision loop itself.
+        plan.check_scenario(scenario(seed=1))
+
+    def test_torn_tail_fires_once_after_threshold(self, tmp_path):
+        plan = FaultPlan.from_spec("torn@after=3")
+        plan.bind(str(tmp_path / "scratch"))
+        assert not plan.take_torn_tail(2)
+        assert plan.take_torn_tail(3)
+        assert not plan.take_torn_tail(4)  # marker file: exactly once
+
+    def test_marker_survives_a_fresh_plan_instance(self, tmp_path):
+        scratch = str(tmp_path / "scratch")
+        first = FaultPlan.from_spec("torn@after=1")
+        first.bind(scratch)
+        assert first.take_torn_tail(1)
+        # A resume constructs a new plan over the same journal: the
+        # on-disk marker keeps the fault from firing twice per campaign.
+        second = FaultPlan.from_spec("torn@after=1")
+        second.bind(scratch)
+        assert not second.take_torn_tail(1)
+
+    def test_drop_http_fires_once(self, tmp_path):
+        plan = FaultPlan.from_spec("drop-http")
+        plan.bind(str(tmp_path / "scratch"))
+        assert plan.take_drop_http()
+        assert not plan.take_drop_http()
+
+
+class TestInstallation:
+    def test_install_hooks_the_runner(self):
+        plan = FaultPlan.from_spec("poison@seed=1")
+        faults.install(plan)
+        assert runner.FAULT_HOOK is not None
+        assert faults.active_plan() is plan
+        faults.install(None)
+        assert runner.FAULT_HOOK is None
+        assert faults.active_plan() is None
+
+    def test_plan_free_campaign_runner_clears_stale_hook(self):
+        # Forked workers inherit the parent's hook; constructing a
+        # fault-free runner must actively uninstall a stale plan.
+        faults.install(FaultPlan.from_spec("poison@seed=0"))
+        campaign_runner = runner.CampaignRunner(jobs=1)
+        try:
+            assert runner.FAULT_HOOK is None
+        finally:
+            campaign_runner.close()

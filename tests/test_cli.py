@@ -465,3 +465,70 @@ def test_sweep_checkpoint_with_shards(tmp_path, capsys):
     output = capsys.readouterr().out
     assert "backend shard" in output
     assert "executed 2" in output
+
+
+def test_sweep_with_injected_poison_exits_4_and_retry_quarantined_heals(
+    tmp_path, capsys
+):
+    """The partial-campaign exit contract: poison -> exit 4 -> retry -> 0."""
+    journal = str(tmp_path / "campaign.journal.jsonl")
+    base = [
+        "sweep", "hidden-node", "--macs", "unslotted-csma",
+        "--grid", "delta=50",
+        "--set", "packets_per_node=2", "--set", "warmup=0.2",
+        "--seeds", "2", "--checkpoint", journal,
+    ]
+    with pytest.raises(SystemExit) as excinfo:
+        main(base + ["--inject-faults", "poison@seed=1", "--retries", "2"])
+    assert excinfo.value.code == 4
+    output = capsys.readouterr()
+    assert "PARTIAL" in output.err
+    assert "quarantined" in output.err
+
+    assert main(["retry-quarantined", journal]) == 0
+    output = capsys.readouterr().out
+    assert "campaign complete" in output
+
+    assert main(["retry-quarantined", journal]) == 0
+    assert "no quarantined runs" in capsys.readouterr().out
+
+
+def test_compact_command_seals_and_resume_replays(tmp_path, capsys):
+    journal = str(tmp_path / "campaign.journal.jsonl")
+    assert main([
+        "sweep", "hidden-node", "--macs", "unslotted-csma",
+        "--grid", "delta=50",
+        "--set", "packets_per_node=2", "--set", "warmup=0.2",
+        "--seeds", "2", "--checkpoint", journal,
+    ]) == 0
+    capsys.readouterr()
+    assert main(["compact", journal]) == 0
+    assert "sealed segment" in capsys.readouterr().out
+    assert main(["compact", journal]) == 0
+    assert "nothing to compact" in capsys.readouterr().out
+    assert main(["resume", journal]) == 0
+    assert "resumed 2 completed" in capsys.readouterr().out
+
+
+def test_no_supervise_flag_fails_fast_on_poison(tmp_path):
+    """--no-supervise restores the pre-supervision abort-on-failure path."""
+    journal = str(tmp_path / "campaign.journal.jsonl")
+    from repro.service import faults
+    from repro.service.faults import InjectedPoisonError
+
+    try:
+        with pytest.raises(InjectedPoisonError):
+            main([
+                "sweep", "hidden-node", "--macs", "unslotted-csma",
+                "--grid", "delta=50",
+                "--set", "packets_per_node=2", "--set", "warmup=0.2",
+                "--seeds", "2", "--checkpoint", journal,
+                "--inject-faults", "poison@seed=1", "--no-supervise",
+            ])
+    finally:
+        faults.install(None)
+
+
+def test_cancel_command_requires_running_service():
+    with pytest.raises(SystemExit, match="error"):
+        main(["cancel", "job-1", "--port", "1"])
