@@ -11,7 +11,13 @@ guarantees end to end:
 3. the merged record set is byte-for-byte identical to a fault-free run
    of the same sweep (after ``retry-quarantined`` if it went partial).
 
-Exit status 0 means all three held.  Run from the repository root::
+A second phase repeats the sweep over **remote dispatch**: two localhost
+campaign agents, one SIGKILLed mid-campaign and one injected mid-stream
+disconnect.  The same three guarantees must hold — the lost agent's
+slice is reassigned, the dropped stream resumes at its byte offset, and
+the merged output is again bit-identical to the fault-free baseline.
+
+Exit status 0 means all held.  Run from the repository root::
 
     PYTHONPATH=src python scripts/chaos_smoke.py
 """
@@ -20,6 +26,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import subprocess
 import sys
 import tempfile
@@ -79,6 +86,25 @@ def fail(message: str, proc: subprocess.CompletedProcess = None) -> None:
         print("--- stdout ---\n" + proc.stdout[-4000:], file=sys.stderr)
         print("--- stderr ---\n" + proc.stderr[-4000:], file=sys.stderr)
     sys.exit(1)
+
+
+def spawn_agent(tmp: str, name: str) -> tuple:
+    """Start a campaign agent subprocess; returns (proc, 'host:port')."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "agent", "--port", "0",
+         "--workdir", os.path.join(tmp, name), "--name", name],
+        env=_env(),
+        cwd=REPO,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    line = proc.stdout.readline()
+    match = re.search(r"listening on ([\d.]+:\d+)", line)
+    if not match:
+        proc.kill()
+        fail(f"agent {name} printed no listening line: {line!r}")
+    return proc, match.group(1)
 
 
 def records_of(jsonl_path: str) -> list:
@@ -143,6 +169,67 @@ def main() -> None:
                      f"  got:      {json.dumps(got)[:300]}")
         fail(f"chaos run exported {len(chaos)} records, expected {len(baseline)}")
     print(f"merged output bit-identical across {len(chaos)} records")
+
+    # 5. Remote dispatch: the same sweep across two localhost agents with
+    #    one agent SIGKILLed mid-campaign and one mid-stream disconnect.
+    remote_journal = os.path.join(tmp, "remote.jsonl")
+    remote_export = os.path.join(tmp, "remote.records.jsonl")
+    victim, victim_host = spawn_agent(tmp, "victim")
+    survivor, survivor_host = spawn_agent(tmp, "survivor")
+    try:
+        started = time.monotonic()
+        sweep_proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "sweep", *SWEEP_ARGS,
+             "--checkpoint", remote_journal,
+             "--hosts", f"{victim_host}*2", f"{survivor_host}*2",
+             "--inject-faults", "drop-stream@after=150",
+             "--run-timeout", RUN_TIMEOUT],
+            env=_env(), cwd=REPO,
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        time.sleep(1.5)
+        victim.kill()  # SIGKILL one agent while its shards stream
+        try:
+            out, err = sweep_proc.communicate(timeout=SMOKE_TIMEOUT_S)
+        except subprocess.TimeoutExpired:
+            sweep_proc.kill()
+            fail("remote chaos sweep hung past the wall-clock bound")
+        proc = subprocess.CompletedProcess(
+            sweep_proc.args, sweep_proc.returncode, out, err
+        )
+        if proc.returncode not in (0, 4):
+            fail(f"remote chaos sweep exited {proc.returncode}, expected 0 "
+                 "(complete) or 4 (partial)", proc)
+        outcome = "complete" if proc.returncode == 0 else "partial"
+        print(f"remote chaos sweep: {outcome} in "
+              f"{time.monotonic() - started:.1f}s (one agent SIGKILLed, "
+              "one stream dropped)")
+
+        if proc.returncode == 4:
+            proc = cli("retry-quarantined", remote_journal)
+            if proc.returncode != 0:
+                fail("retry-quarantined did not heal the remote campaign", proc)
+            print("retry-quarantined: remote campaign healed")
+
+        proc = cli("resume", remote_journal, "--jsonl", remote_export)
+        if proc.returncode != 0:
+            fail("replaying the remote chaos journal failed", proc)
+        remote = records_of(remote_export)
+        if remote != baseline:
+            for position, (expected, got) in enumerate(zip(baseline, remote)):
+                if expected != got:
+                    fail(f"record {position} differs after remote recovery:\n"
+                         f"  expected: {json.dumps(expected)[:300]}\n"
+                         f"  got:      {json.dumps(got)[:300]}")
+            fail(f"remote run exported {len(remote)} records, "
+                 f"expected {len(baseline)}")
+        print(f"remote output bit-identical across {len(remote)} records")
+    finally:
+        for agent in (victim, survivor):
+            if agent.poll() is None:
+                agent.kill()
+            agent.wait()
+
     print("chaos smoke passed")
 
 

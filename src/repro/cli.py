@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Any, Dict, List, Optional
 
 from repro.campaign.frame import (
@@ -204,6 +205,19 @@ def _add_service_address_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--port", type=int, default=8765,
         help="service port (default: 8765; 0 picks an ephemeral port when serving)",
+    )
+
+
+def _add_hosts_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--hosts",
+        nargs="+",
+        default=None,
+        metavar="HOST:PORT[*CAP]",
+        help="dispatch shards to remote campaign agents (see 'qma-repro "
+        "agent'); each entry is HOST:PORT with an optional per-host "
+        "concurrent-shard cap (HOST:PORT*CAP), @FILE or a plain path "
+        "reads a hosts file (one entry per line, # comments)",
     )
 
 
@@ -519,7 +533,10 @@ def _supervision_options(args: argparse.Namespace) -> Dict[str, Any]:
         "build_cache": getattr(args, "build_cache", True),
         "batch_seeds": getattr(args, "batch_seeds", 1),
     }
-    if getattr(args, "shards", None):
+    if getattr(args, "hosts", None):
+        options["backend"] = "remote"
+        options["hosts"] = list(args.hosts)
+    elif getattr(args, "shards", None):
         options["backend"] = "shard"
         options["shards"] = args.shards
     if getattr(args, "no_supervise", False):
@@ -705,9 +722,27 @@ def cmd_serve(args: argparse.Namespace) -> None:
         "build_cache": args.build_cache,
         "batch_seeds": args.batch_seeds,
     }
-    if args.backend == "shard":
+    if args.backend == "remote" and not args.hosts:
+        raise SystemExit(
+            "qma-repro serve: error: --backend remote requires --hosts"
+        )
+    if args.hosts:
+        options["backend"] = "remote"
+        options["hosts"] = list(args.hosts)
+        from repro.service.remote import parse_hosts
+
+        try:
+            specs = parse_hosts(args.hosts, source="--hosts")
+        except ValueError as exc:
+            raise SystemExit(f"qma-repro serve: error: {exc}")
+        print(
+            "remote dispatch to "
+            + ", ".join(f"{spec.key}*{spec.cap}" for spec in specs),
+            file=sys.stderr,
+        )
+    elif args.backend == "shard":
         options["shards"] = args.shards
-    elif args.throttle:
+    elif args.backend == "pool" and args.throttle:
         options["throttle"] = args.throttle
     if args.no_supervise:
         options["supervise"] = False
@@ -754,10 +789,13 @@ def _submit_options(args: argparse.Namespace) -> Dict[str, Any]:
         ("jobs", "jobs"),
         ("batch_seeds", "batch_seeds"),
         ("shards", "shards"),
+        ("hosts", "hosts"),
     ):
         value = getattr(args, key, None)
         if value is not None:
             options[name] = value
+    if options.get("hosts") and "backend" not in options:
+        options["backend"] = "remote"
     return options
 
 
@@ -838,6 +876,79 @@ def cmd_status(args: argparse.Namespace) -> None:
         for snap in snapshots
     ]
     _print_table(["job", "state", "done", "quar", "experiment", "spec", "error"], rows)
+    try:
+        host_rows = client.hosts()
+    except (ServiceError, ConnectionError, OSError):
+        host_rows = []  # pre-remote server, or it went away mid-status
+    if host_rows:
+        print()
+        _print_hosts_rows(host_rows)
+
+
+def _format_beat_age(age: Any) -> str:
+    return "-" if age is None else f"{float(age):.1f}s"
+
+
+def _print_hosts_rows(host_rows: List[Dict[str, Any]]) -> None:
+    rows = [
+        [
+            host["key"],
+            host["state"],
+            host["cap"],
+            host["shards"],
+            host["failures"],
+            _format_beat_age(host.get("last_beat_age")),
+        ]
+        for host in host_rows
+    ]
+    _print_table(["host", "state", "cap", "shards", "fails", "beat"], rows)
+
+
+def cmd_hosts(args: argparse.Namespace) -> None:
+    """List remote dispatch agents, their health and recent failure events."""
+    from repro.service.client import ServiceError
+
+    client = _service_client(args)
+    try:
+        host_rows = client.hosts()
+    except (ServiceError, ConnectionError, OSError) as exc:
+        raise SystemExit(f"qma-repro hosts: error: {exc}")
+    if not host_rows:
+        print("no remote hosts registered (service runs a local backend)")
+        return
+    _print_hosts_rows(host_rows)
+    for host in host_rows:
+        for event in (host.get("events") or [])[-5:]:
+            stamp = time.strftime(
+                "%H:%M:%S", time.localtime(float(event.get("time", 0)))
+            )
+            print(
+                f"  {host['key']} [{event.get('kind')}] {stamp} "
+                f"{event.get('detail', '')}"
+            )
+
+
+def cmd_agent(args: argparse.Namespace) -> None:
+    """Run a campaign agent executing shard jobs for remote dispatchers."""
+    from repro.service.agent import CampaignAgent, AgentServer
+
+    agent = CampaignAgent(
+        workdir=args.workdir, max_jobs=args.max_jobs, name=args.name
+    )
+    server = AgentServer(agent, args.host, args.port)
+    host, port = server.start()
+    # Harnesses parse this line to find an ephemeral port.
+    print(
+        f"campaign agent {agent.name} listening on {host}:{port} "
+        f"(workdir: {agent.workdir})",
+        flush=True,
+    )
+    try:
+        server.wait()
+    except KeyboardInterrupt:
+        print("campaign agent stopped")
+    finally:
+        server.stop()
 
 
 def cmd_resume(args: argparse.Namespace) -> None:
@@ -1033,6 +1144,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --checkpoint: split the campaign into N affinity-ordered "
         "subprocess shards, each with --jobs workers",
     )
+    _add_hosts_option(p)
     _add_campaign_options(p)
     _add_supervision_options(p)
     p.set_defaults(func=cmd_sweep)
@@ -1049,7 +1161,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--backend",
-        choices=("pool", "shard"),
+        choices=("pool", "shard", "remote"),
         default="pool",
         help="dispatch backend for submitted campaigns (default: pool)",
     )
@@ -1057,6 +1169,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=2, metavar="N",
         help="shard count when --backend shard (default: 2)",
     )
+    _add_hosts_option(p)
     p.add_argument(
         "--throttle",
         type=float,
@@ -1073,7 +1186,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sweep_spec_options(p)
     _add_service_address_options(p)
     p.add_argument(
-        "--backend", choices=("pool", "shard"), default=None,
+        "--backend", choices=("pool", "shard", "remote"), default=None,
         help="override the service's dispatch backend for this campaign",
     )
     p.add_argument("--jobs", type=int, default=None, help="override worker processes")
@@ -1084,6 +1197,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--shards", type=int, default=None, metavar="N", help="override shard count"
     )
+    _add_hosts_option(p)
     p.add_argument(
         "--wait", action="store_true",
         help="poll until the campaign finishes and print its final aggregates",
@@ -1100,6 +1214,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_status)
 
     p = sub.add_parser(
+        "hosts",
+        help="list remote dispatch agents, their health and recent failures",
+    )
+    _add_service_address_options(p)
+    p.set_defaults(func=cmd_hosts)
+
+    p = sub.add_parser(
+        "agent",
+        help="run a campaign agent executing shard jobs for remote dispatchers",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port", type=int, default=0,
+        help="bind port (default: 0 = ephemeral, printed on start)",
+    )
+    p.add_argument("--workdir", default=None, help="job/journal scratch directory")
+    p.add_argument(
+        "--max-jobs", type=int, default=0, metavar="N",
+        help="maximum concurrent shard workers (default: 0 = unbounded)",
+    )
+    p.add_argument("--name", default=None, help="agent name reported to dispatchers")
+    p.set_defaults(func=cmd_agent)
+
+    p = sub.add_parser(
         "resume", help="resume a checkpointed sweep from its journal file"
     )
     p.add_argument("journal", help="checkpoint journal written by sweep --checkpoint")
@@ -1114,6 +1252,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=None, metavar="N",
         help="run the remaining work as N subprocess shards",
     )
+    _add_hosts_option(p)
     _add_campaign_options(p)
     _add_supervision_options(p)
     p.set_defaults(func=cmd_resume)
@@ -1134,6 +1273,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=None, metavar="N",
         help="run the retries as N subprocess shards",
     )
+    _add_hosts_option(p)
     _add_campaign_options(p)
     _add_supervision_options(p)
     p.set_defaults(func=cmd_retry_quarantined)

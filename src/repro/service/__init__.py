@@ -17,6 +17,9 @@ million-run sweeps:
   harness behind the chaos test matrix;
 * :mod:`repro.service.checkpoint` — the resume-safe driver shared by the
   CLI and the service;
+* :mod:`repro.service.remote` / :mod:`repro.service.agent` — cross-host
+  shard dispatch: per-host agents executing shard job documents, with
+  host-health quarantine and byte-offset-resumable journal streaming;
 * :mod:`repro.service.server` / :mod:`repro.service.client` — the
   long-lived asyncio front end and its blocking client.
 """
@@ -44,6 +47,14 @@ from repro.service.manifest import (
     split_shards,
     sweep_digest,
 )
+from repro.service.agent import AgentServer, CampaignAgent
+from repro.service.remote import (
+    HostRegistry,
+    HostSpec,
+    RemoteBackend,
+    RemoteDispatchError,
+    parse_hosts,
+)
 from repro.service.server import CampaignServer, CampaignService
 from repro.service.supervisor import (
     RetryPolicy,
@@ -55,6 +66,8 @@ from repro.service.supervisor import (
 )
 
 __all__ = [
+    "AgentServer",
+    "CampaignAgent",
     "CampaignServer",
     "CampaignService",
     "CheckpointJournal",
@@ -62,9 +75,13 @@ __all__ = [
     "DispatchBackend",
     "Fault",
     "FaultPlan",
+    "HostRegistry",
+    "HostSpec",
     "InjectedFault",
     "JournalError",
     "PoolBackend",
+    "RemoteBackend",
+    "RemoteDispatchError",
     "RetryPolicy",
     "SerialBackend",
     "ServiceClient",
@@ -77,6 +94,7 @@ __all__ = [
     "load_quarantine",
     "make_backend",
     "make_supervised",
+    "parse_hosts",
     "quarantine_path",
     "record_digest",
     "retry_quarantined",

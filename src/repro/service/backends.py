@@ -18,8 +18,9 @@ end or the CLI:
   affinity order, each shard keeps the PR 5 build-cache streaks and PR 7
   seed-batch groups intact — and because every record is a pure function
   of its scenario, the merged results are bit-identical to a single-process
-  run.  This is the seam where cross-host dispatch attaches later: ship
-  the same job document to another machine instead of a local subprocess.
+  run.  :class:`~repro.service.remote.RemoteBackend` rides this seam:
+  it ships the same job document to per-host agent processes instead of
+  local subprocesses and merges the streamed-back journals identically.
 * :class:`SerialBackend` — one run at a time in (or forked from) the
   calling process.  With ``isolate`` each run executes in a disposable
   child process with an optional wall-clock timeout, so a poison scenario
@@ -55,7 +56,7 @@ from repro.campaign.records import RunRecord
 from repro.campaign.runner import CampaignRunner, execute_scenario
 from repro.campaign.spec import Scenario, Sweep
 from repro.service.journal import CheckpointJournal, JournalError
-from repro.service.manifest import affinity_order, split_shards
+from repro.service.manifest import affinity_order, shard_job_document, split_shards
 
 __all__ = [
     "DispatchBackend",
@@ -383,18 +384,15 @@ class ShardBackend(DispatchBackend):
                 stderr_paths[shard_index] = os.path.join(
                     workdir, f"shard_{shard_index}.stderr"
                 )
-                job_doc = {
-                    "sweep": sweep_data,
-                    # Workers run their slice in expansion order;
-                    # affinity clustering is preserved by the
-                    # contiguous split, not by the within-shard order.
-                    "indices": sorted(chunk),
-                    "journal": shard_paths[shard_index],
-                    "shard": {"index": shard_index, "of": len(chunks)},
-                    "options": self.options,
-                }
-                if self.fault_plan is not None:
-                    job_doc["faults"] = self.fault_plan.to_dict()
+                job_doc = shard_job_document(
+                    sweep_data,
+                    chunk,
+                    shard_paths[shard_index],
+                    shard_index,
+                    len(chunks),
+                    self.options,
+                    faults=self.fault_plan,
+                )
                 with open(job_path, "w", encoding="utf-8") as handle:
                     json.dump(job_doc, handle)
                 stderr_file = open(stderr_paths[shard_index], "wb")
@@ -697,40 +695,67 @@ _BACKEND_OPTIONS = {
     "pool": ("jobs", "chunksize", "build_cache", "cache_size", "batch_seeds", "throttle"),
     "shard": ("shards", "jobs", "chunksize", "build_cache", "batch_seeds", "python"),
     "serial": ("timeout", "isolate"),
+    "remote": (
+        "hosts",
+        "jobs",
+        "chunksize",
+        "build_cache",
+        "batch_seeds",
+        "connect_timeout",
+        "io_timeout",
+        "transport_attempts",
+        "host_failures",
+        "probation",
+    ),
 }
 
 
 def make_backend(
     options: Optional[Mapping[str, Any]] = None,
     fault_plan: Optional[Any] = None,
+    host_registry: Optional[Any] = None,
+    source: Optional[str] = None,
 ) -> DispatchBackend:
     """Build a dispatch backend from a plain options mapping.
 
-    ``{"backend": "pool"|"shard"|"serial", ...}`` — remaining keys are
-    forwarded to the backend constructor; unknown keys raise
+    ``{"backend": "pool"|"shard"|"serial"|"remote", ...}`` — remaining
+    keys are forwarded to the backend constructor; unknown keys raise
     :class:`ValueError` (the service front end surfaces this as a 400
-    instead of running a sweep under silently-dropped options).
-    ``fault_plan`` is the chaos harness's injection plan — an internal
-    parameter threaded by the supervisor, not an option key.
+    instead of running a sweep under silently-dropped options), with
+    ``source`` naming where the bad option came from (a CLI flag, submit
+    options, ...).  ``fault_plan`` is the chaos harness's injection plan
+    and ``host_registry`` a shared :class:`~repro.service.remote.HostRegistry`
+    for the remote backend — internal parameters threaded by the
+    supervisor/service, not option keys.
     """
     options = dict(options or {})
     kind = options.pop("backend", "pool")
+    origin = f" (from {source})" if source else ""
     allowed = _BACKEND_OPTIONS.get(kind)
     if allowed is None:
         raise ValueError(
-            f"unknown dispatch backend {kind!r}; expected one of "
+            f"unknown dispatch backend {kind!r}{origin}; expected one of "
             f"{sorted(_BACKEND_OPTIONS)}"
         )
     unknown = sorted(set(options) - set(allowed))
     if unknown:
         raise ValueError(
-            f"unknown option(s) {unknown} for backend {kind!r}; "
+            f"unknown option(s) {unknown} for backend {kind!r}{origin}; "
             f"allowed: {sorted(allowed)}"
         )
     if kind == "shard":
         return ShardBackend(fault_plan=fault_plan, **options)
     if kind == "serial":
         return SerialBackend(fault_plan=fault_plan, **options)
+    if kind == "remote":
+        from repro.service.remote import RemoteBackend, parse_hosts
+
+        hosts = parse_hosts(
+            options.pop("hosts", None) or (), source=source or "--hosts"
+        )
+        return RemoteBackend(
+            hosts, registry=host_registry, fault_plan=fault_plan, **options
+        )
     return PoolBackend(fault_plan=fault_plan, **options)
 
 

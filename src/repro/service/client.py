@@ -3,12 +3,19 @@
 Stdlib :mod:`http.client` only — the CLI verbs (``submit``, ``status``)
 and the CI smoke test drive the service through this class; tests can
 also use it against an in-process :class:`~repro.service.server.CampaignServer`.
+
+Transient transport failures (a dropped connection, a restarting server)
+are retried with the supervision layer's exponential backoff before they
+surface, so a long ``wait`` loop survives a server blip.  Service-level
+errors (:class:`ServiceError`, an HTTP status from a live server) are
+never retried — the server answered; retrying would duplicate submits.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
 from typing import Any, Dict, List, Mapping, Optional
 
@@ -25,15 +32,44 @@ class ServiceError(RuntimeError):
 
 class ServiceClient:
     """One service endpoint; a fresh connection per request (the server
-    closes connections after each response)."""
+    closes connections after each response).
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8765, timeout: float = 30.0) -> None:
+    ``retries`` bounds transport attempts per request (1 = the old
+    fail-fast behaviour).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        timeout: float = 30.0,
+        retries: int = 3,
+    ) -> None:
         self.host = host
         self.port = int(port)
         self.timeout = float(timeout)
+        self.retries = max(1, int(retries))
 
     # ------------------------------------------------------------- transport
     def _request(self, method: str, target: str, payload: Optional[Mapping[str, Any]] = None) -> List[Dict[str, Any]]:
+        from repro.service.supervisor import RetryPolicy
+
+        policy = RetryPolicy(
+            max_attempts=self.retries, backoff_base=0.2, backoff_max=2.0
+        )
+        rng = random.Random(policy.seed)
+        last_error: Optional[BaseException] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                return self._attempt(method, target, payload)
+            except (OSError, http.client.HTTPException) as exc:
+                last_error = exc
+                if attempt < policy.max_attempts:
+                    time.sleep(policy.backoff(attempt, rng))
+        assert last_error is not None
+        raise last_error
+
+    def _attempt(self, method: str, target: str, payload: Optional[Mapping[str, Any]] = None) -> List[Dict[str, Any]]:
         connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             body = json.dumps(payload).encode("utf-8") if payload is not None else None
@@ -69,6 +105,10 @@ class ServiceClient:
 
     def health(self) -> Dict[str, Any]:
         return self._request("GET", "/health")[0]
+
+    def hosts(self) -> List[Dict[str, Any]]:
+        """Remote-dispatch host health rows (empty for local-only services)."""
+        return self._request("GET", "/hosts")
 
     def cancel(self, job: str) -> Dict[str, Any]:
         """Cancel a queued or running job; returns its snapshot."""

@@ -29,6 +29,22 @@ Parent-side faults fire in the supervising process:
 * ``drop-http`` — the campaign server closes one connection before
   writing its response.
 
+Network faults target the remote dispatch path (see
+:mod:`repro.service.remote`); ``drop-stream``/``partition`` fire in the
+dispatching process, ``slow-link``/``agent-crash`` in the agent:
+
+* ``drop-stream@after=N`` — the dispatcher tears down a shard's journal
+  stream after ``N`` merged lines, mid-chunk, as a dropped TCP link
+  would; the transport retry must resume at the byte offset.
+* ``partition:<host>`` — connections towards ``host`` (``HOST:PORT``;
+  omit for any host) fail ``after`` times (default 1) as if the network
+  were partitioned, exercising host quarantine and slice reassignment.
+* ``slow-link:<secs>`` — the agent stalls chunk delivery for ``secs``
+  while the shard worker keeps running (heartbeats still flow), probing
+  that slow links do not false-trip ``run_timeout`` watchdogs.
+* ``agent-crash@shard=K`` — the agent process ``os._exit``'s before
+  starting shard ``K`` (a dead box stand-in).
+
 One-shot faults (every kind except ``poison``) fire exactly once per
 campaign *across processes*: firing requires atomically claiming a marker
 file (``O_CREAT | O_EXCL``) under the plan's scratch directory, so two
@@ -68,6 +84,10 @@ WORKER_KINDS = ("crash", "hang", "poison")
 #: Fault kinds consulted by the supervising / serving process.
 PARENT_KINDS = ("torn-tail", "drop-http")
 
+#: Fault kinds consulted by the remote dispatch transport (dispatcher or
+#: agent side; never inside a simulation run).
+NETWORK_KINDS = ("drop-stream", "partition", "slow-link", "agent-crash")
+
 
 class InjectedFault(RuntimeError):
     """An injected (deliberate) fault — raised only under a fault plan."""
@@ -93,13 +113,15 @@ class Fault:
     after: int = 1  # torn-tail: journal appends before the tear
 
     def __post_init__(self) -> None:
-        if self.kind not in WORKER_KINDS + PARENT_KINDS:
+        if self.kind not in WORKER_KINDS + PARENT_KINDS + NETWORK_KINDS:
             raise ValueError(
                 f"unknown fault kind {self.kind!r}; expected one of "
-                f"{WORKER_KINDS + PARENT_KINDS}"
+                f"{WORKER_KINDS + PARENT_KINDS + NETWORK_KINDS}"
             )
         if self.kind in WORKER_KINDS and not self.match:
             raise ValueError(f"{self.kind} fault needs a match (e.g. {self.kind}@seed=3)")
+        if self.kind == "agent-crash" and not self.match:
+            raise ValueError("agent-crash fault needs a match (e.g. agent-crash@shard=0)")
 
     @property
     def once(self) -> bool:
@@ -160,7 +182,7 @@ class FaultPlan:
         self.scratch = scratch
         return self
 
-    def _claim(self, slot: int) -> bool:
+    def _claim(self, slot: Any) -> bool:
         """Atomically claim one-shot fault ``slot``; True exactly once."""
         if self.scratch is None:
             if slot in self._fired:
@@ -219,6 +241,51 @@ class FaultPlan:
                 return True
         return False
 
+    # ------------------------------------------------------ network faults
+    def take_drop_stream(self, streamed: int) -> bool:
+        """True when a remote journal stream should drop after ``streamed`` lines."""
+        for slot, fault in enumerate(self.faults):
+            if fault.kind == "drop-stream" and streamed >= fault.after:
+                if self._claim(slot):
+                    return True
+        return False
+
+    def take_partition(self, host: str) -> bool:
+        """True when a connection towards ``host`` should fail as partitioned.
+
+        A partition fires ``after`` times (default 1) so it can outlast a
+        transport retry budget and force host quarantine; an empty match
+        partitions whichever host connects first.
+        """
+        for slot, fault in enumerate(self.faults):
+            if fault.kind != "partition":
+                continue
+            target = dict(fault.match).get("host")
+            if target is not None and str(target) != host:
+                continue
+            for shot in range(max(1, fault.after)):
+                if self._claim(f"{slot}_p{shot}"):
+                    return True
+        return False
+
+    def take_slow_link(self) -> Optional[float]:
+        """Stall seconds for the agent's next chunk delivery, or None."""
+        for slot, fault in enumerate(self.faults):
+            if fault.kind == "slow-link" and self._claim(slot):
+                return fault.hang_s
+        return None
+
+    def take_agent_crash(self, shard: Any) -> bool:
+        """True when the agent should die before starting ``shard``."""
+        for slot, fault in enumerate(self.faults):
+            if fault.kind != "agent-crash":
+                continue
+            if dict(fault.match).get("shard") != shard:
+                continue
+            if self._claim(slot):
+                return True
+        return False
+
     # ------------------------------------------------------- serialisation
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -247,8 +314,9 @@ class FaultPlan:
         """Parse the CLI fault grammar (see the module docstring).
 
         Entries are semicolon-separated: ``kind[:arg][@key=value,...]``.
-        The ``:arg`` is ``hang_s`` for ``hang`` and ``after`` for
-        ``torn``/``torn-tail``.
+        The ``:arg`` is ``hang_s`` for ``hang``/``slow-link``, ``after``
+        for ``torn``/``torn-tail``/``drop-stream``, and the target host
+        for ``partition`` (``partition:HOST:PORT``).
         """
         faults: List[Fault] = []
         for entry in spec.split(";"):
@@ -269,17 +337,22 @@ class FaultPlan:
                 match.append((key, _parse_value(value)))
             kwargs: Dict[str, Any] = {"kind": kind, "match": tuple(match)}
             if arg:
-                if kind == "hang":
+                if kind in ("hang", "slow-link"):
                     kwargs["hang_s"] = float(arg)
-                elif kind == "torn-tail":
+                elif kind in ("torn-tail", "drop-stream"):
                     kwargs["after"] = int(arg)
+                elif kind == "partition":
+                    kwargs["match"] = tuple(match) + (("host", arg),)
                 else:
                     raise ValueError(f"fault kind {kind!r} takes no :argument")
-            if kind == "torn-tail" and not arg:
-                after = dict(match).get("after")
-                if after is not None:
-                    kwargs["after"] = int(after)
-                    kwargs["match"] = ()
+            if kind in ("torn-tail", "drop-stream", "partition") and "after" in dict(
+                match
+            ):
+                promoted = dict(match)
+                kwargs["after"] = int(promoted.pop("after"))
+                kwargs["match"] = tuple(
+                    pair for pair in kwargs["match"] if pair[0] != "after"
+                )
             faults.append(Fault(**kwargs))
         if not faults:
             raise ValueError(f"fault spec {spec!r} declares no faults")

@@ -49,7 +49,12 @@ from repro.campaign.records import RunRecord
 from repro.campaign.spec import Sweep
 from repro.service.manifest import payload_digest, record_digest, sweep_digest
 
-__all__ = ["CheckpointJournal", "JournalError", "SweepMismatchError"]
+__all__ = [
+    "CheckpointJournal",
+    "JournalError",
+    "SweepMismatchError",
+    "verify_completion",
+]
 
 #: Journal file format version (the header's ``version`` field).
 JOURNAL_VERSION = 1
@@ -64,6 +69,30 @@ class JournalError(ValueError):
 
 class SweepMismatchError(JournalError):
     """A journal belongs to a different sweep than the one being resumed."""
+
+
+def verify_completion(
+    data: Mapping[str, Any], path: str = "<stream>"
+) -> Tuple[int, RunRecord]:
+    """Digest-verify one parsed completion payload, wherever it came from.
+
+    The single trust gate for completion records: local replay and the
+    remote journal stream merge both go through it, so a record crossing
+    a network link gets exactly the verification a local re-read does.
+    Returns ``(index, record)``; raises :class:`JournalError` on a
+    malformed payload or a content digest mismatch.
+    """
+    try:
+        index = int(data["index"])
+        record_data = data["record"]
+    except (KeyError, TypeError, ValueError):
+        raise JournalError(f"{path}: malformed completion record") from None
+    if record_digest(record_data) != data.get("digest"):
+        raise JournalError(
+            f"{path}: digest mismatch for run {index} — journal "
+            "corrupted, delete it and re-run"
+        )
+    return index, RunRecord.from_dict(record_data)
 
 
 class CheckpointJournal:
@@ -370,13 +399,8 @@ class CheckpointJournal:
             raise JournalError(
                 f"{path}: offset table out of sync at run {index}"
             )
-        record_data = data["record"]
-        if record_digest(record_data) != data.get("digest"):
-            raise JournalError(
-                f"{path}: digest mismatch for run {index} — journal "
-                "corrupted, delete it and re-run"
-            )
-        return RunRecord.from_dict(record_data)
+        _, record = verify_completion(data, path=path)
+        return record
 
     def _segment_path(self, name: str) -> str:
         return os.path.join(os.path.dirname(os.path.abspath(self.path)), name)

@@ -30,6 +30,7 @@ __all__ = [
     "affinity_order",
     "record_digest",
     "run_id",
+    "shard_job_document",
     "split_shards",
     "sweep_digest",
 ]
@@ -100,6 +101,38 @@ def affinity_order(sweep: Sweep, indices: Sequence[int]) -> List[int]:
         if position >= last:
             break
     return sorted(indices, key=keys.__getitem__)
+
+
+def shard_job_document(
+    sweep_data: Mapping[str, Any],
+    indices: Sequence[int],
+    journal_path: str,
+    shard_index: int,
+    shard_count: int,
+    options: Mapping[str, Any],
+    faults: Any = None,
+) -> Mapping[str, Any]:
+    """The canonical shard job document, host-agnostic by construction.
+
+    This is the single wire/disk format a shard worker consumes: the
+    local :class:`~repro.service.backends.ShardBackend` writes it to a
+    file next to the journal, the remote dispatcher ships it to an agent
+    over the wire (with ``journal`` left for the agent to localise).
+    ``faults`` may be a plan object (``to_dict`` is called) or an
+    already-serialised plan dict.
+    """
+    doc: dict = {
+        "sweep": dict(sweep_data),
+        # Workers run their slice in expansion order; affinity clustering
+        # is preserved by the contiguous split, not the within-shard order.
+        "indices": sorted(int(index) for index in indices),
+        "journal": journal_path,
+        "shard": {"index": int(shard_index), "of": int(shard_count)},
+        "options": dict(options),
+    }
+    if faults is not None:
+        doc["faults"] = faults.to_dict() if hasattr(faults, "to_dict") else dict(faults)
+    return doc
 
 
 def split_shards(ordered: Sequence[int], shards: int) -> List[List[int]]:

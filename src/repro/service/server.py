@@ -25,6 +25,7 @@ Endpoints::
     GET  /status                                       -> ndjson, one job/line
     GET  /status?job=<id>                              -> single job object
     GET  /health                                       -> {"ok": true, ...}
+    GET  /hosts                                        -> ndjson, one host/line
 """
 
 from __future__ import annotations
@@ -117,6 +118,18 @@ class CampaignService:
         self.root = str(root)
         os.makedirs(self.root, exist_ok=True)
         self.backend_options = dict(backend_options or {})
+        #: Shared across every remote-dispatched job of this service, so
+        #: host health (quarantine state, failure streaks, heartbeats)
+        #: persists between campaigns and feeds ``/hosts``.
+        self._host_registry: Optional[Any] = None
+        if self.backend_options.get("backend") == "remote":
+            from repro.service.remote import HostRegistry, parse_hosts
+
+            specs = parse_hosts(
+                self.backend_options.get("hosts") or (),
+                source="service backend options",
+            )
+            self._host_registry = HostRegistry(specs)
         self._lock = threading.Lock()
         self._jobs: Dict[str, CampaignJob] = {}
         self._queue: "queue.Queue[Optional[str]]" = queue.Queue()
@@ -137,7 +150,12 @@ class CampaignService:
         sweep = Sweep.from_dict(sweep_data)
         merged = dict(self.backend_options)
         merged.update(options or {})
-        make_supervised(merged).close()  # validate options before enqueueing
+        # Validate options before enqueueing (bad options -> 400, not a
+        # failed job).  The throwaway backend shares the host registry so
+        # validation does not reset host health.
+        make_supervised(
+            merged, host_registry=self._host_registry, source="submit options"
+        ).close()
         digest = sweep_digest(sweep)
         journal_path = os.path.join(self.root, f"{digest[:12]}.journal.jsonl")
         with self._lock:
@@ -161,6 +179,11 @@ class CampaignService:
                     raise KeyError(job_id)
                 return [job.snapshot()]
             return [job.snapshot() for _, job in sorted(self._jobs.items())]
+
+    def hosts(self) -> List[Dict[str, Any]]:
+        """Host health rows of the remote dispatch registry (may be empty)."""
+        registry = self._host_registry
+        return registry.snapshot() if registry is not None else []
 
     def health(self) -> Dict[str, Any]:
         with self._lock:
@@ -226,7 +249,13 @@ class CampaignService:
                 backend = make_supervised(
                     job.options,
                     on_event=lambda event, job=job: self._record_event(job, event),
+                    host_registry=self._host_registry,
                 )
+                inner = getattr(backend, "inner", backend)
+                if self._host_registry is None and inner.name == "remote":
+                    # Per-job --hosts on a local-default service: adopt
+                    # the first remote backend's registry for /hosts.
+                    self._host_registry = inner.registry
                 with self._lock:
                     self._active = (job_id, backend)
                 outcome = run_checkpointed(
@@ -399,6 +428,8 @@ class CampaignServer:
                 return 404, [{"error": f"unknown job {query.get('job')!r}"}]
         if method == "GET" and path == "/health":
             return 200, [self.service.health()]
+        if method == "GET" and path == "/hosts":
+            return 200, self.service.hosts()
         if method == "DELETE" and path.startswith("/job/"):
             job_id = path[len("/job/"):]
             try:

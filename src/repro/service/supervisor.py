@@ -292,8 +292,24 @@ class SupervisedBackend(DispatchBackend):
     # ----------------------------------------------------------- lifecycle
     def _build_tiers(self) -> List[DispatchBackend]:
         if self._tiers is None:
+            from repro.service.remote import RemoteBackend
+
             tiers: List[DispatchBackend] = [self.inner]
-            if isinstance(self.inner, ShardBackend):
+            if isinstance(self.inner, RemoteBackend):
+                # Remote dispatch degrades to local shards first: same
+                # job documents, same merge path, no network.
+                opts = self.inner.options
+                tiers.append(
+                    ShardBackend(
+                        shards=max(1, min(self.inner.slots, 4)),
+                        jobs=opts["jobs"],
+                        chunksize=opts["chunksize"],
+                        build_cache=opts["build_cache"],
+                        batch_seeds=opts["batch_seeds"],
+                        fault_plan=self.fault_plan,
+                    )
+                )
+            if isinstance(self.inner, (RemoteBackend, ShardBackend)):
                 opts = self.inner.options
                 tiers.append(
                     PoolBackend(
@@ -552,6 +568,8 @@ def _tear_journal_tail(journal: CheckpointJournal) -> None:
 def make_supervised(
     options: Optional[Mapping[str, Any]] = None,
     on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+    host_registry: Optional[Any] = None,
+    source: Optional[str] = None,
 ) -> DispatchBackend:
     """Build a (by default supervised) backend from one flat options mapping.
 
@@ -576,7 +594,9 @@ def make_supervised(
         backoff_base=float(options.pop("backoff_base", 0.5)),
         backoff_max=float(options.pop("backoff_max", 30.0)),
     )
-    inner = make_backend(options, fault_plan=plan)
+    inner = make_backend(
+        options, fault_plan=plan, host_registry=host_registry, source=source
+    )
     if not supervise:
         return inner
     return SupervisedBackend(inner, policy=policy, on_event=on_event, fault_plan=plan)

@@ -142,16 +142,28 @@ class TestPartialJobs:
 
 
 class TestDropHttp:
-    def test_dropped_connection_then_recovery(self, tmp_path):
+    def test_dropped_connection_surfaces_without_retry(self, tmp_path):
+        plan = FaultPlan.from_spec("drop-http")
+        client, _service, shutdown = serve(tmp_path, fault_plan=plan)
+        fail_fast = ServiceClient(client.host, client.port, retries=1)
+        try:
+            # With retries disabled the dropped connection surfaces as a
+            # transient network error (exactly once) …
+            with pytest.raises((ServiceError, ConnectionError, OSError,
+                                http.client.HTTPException)):
+                fail_fast.health()
+            # … and the very next request succeeds: clients see a clean
+            # error, never a half-written response.
+            assert fail_fast.health()["ok"] is True
+        finally:
+            shutdown()
+
+    def test_default_client_retries_through_drop(self, tmp_path):
         plan = FaultPlan.from_spec("drop-http")
         client, _service, shutdown = serve(tmp_path, fault_plan=plan)
         try:
-            # The first request dies without a response (exactly once) …
-            with pytest.raises((ServiceError, ConnectionError, OSError,
-                                http.client.HTTPException)):
-                client.health()
-            # … and the very next one succeeds: clients see a transient
-            # network error, never a half-written response.
+            # The default client's bounded retry absorbs the one dropped
+            # connection — a wait/status poll loop survives a server blip.
             assert client.health()["ok"] is True
         finally:
             shutdown()
